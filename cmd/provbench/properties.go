@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/gen"
+	"repro/internal/logs"
+	"repro/internal/monitor"
+	"repro/internal/semantics"
+)
+
+// weaken mirrors the information-reducing transformations used by the
+// property tests: the result is ≼ the input by construction.
+func weaken(rng *rand.Rand, l logs.Log, freshID *int) logs.Log {
+	switch rng.Intn(4) {
+	case 0:
+		if p, ok := l.(*logs.Pre); ok {
+			return p.Rest
+		}
+		return l
+	case 1:
+		return &logs.Comp{L: l, R: l}
+	case 2:
+		if p, ok := l.(*logs.Pre); ok {
+			if q, ok := p.Rest.(*logs.Pre); ok {
+				return logs.Compose(logs.Prefix(p.Act, q.Rest), logs.Prefix(q.Act, q.Rest))
+			}
+		}
+		return l
+	default:
+		if p, ok := l.(*logs.Pre); ok {
+			if (p.Act.Kind == logs.Snd || p.Act.Kind == logs.Rcv) && p.Act.A.Kind == logs.TName {
+				*freshID++
+				act := p.Act
+				act.A = logs.VarT("w" + strconv.Itoa(*freshID))
+				return logs.Prefix(act, p.Rest)
+			}
+		}
+		return l
+	}
+}
+
+// expP1 — Proposition 1: ≼ is reflexive and transitive on generated logs
+// (antisymmetry holds up to information equality; strict weakenings that
+// drop an action are never mutually related).
+func expP1() {
+	cfg := gen.Default()
+	const n = 400
+	reflexOK, soundOK, transOK, strictOK := 0, 0, 0, 0
+	for seed := int64(0); seed < n; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		phi := cfg.Log(rng)
+		if logs.Le(phi, phi) {
+			reflexOK++
+		}
+		fresh := 0
+		w1 := weaken(rng, phi, &fresh)
+		w2 := weaken(rng, w1, &fresh)
+		if logs.Le(w1, phi) && logs.Le(w2, w1) {
+			soundOK++
+		}
+		if logs.Le(w2, phi) {
+			transOK++
+		}
+		if p, ok := phi.(*logs.Pre); ok {
+			if !logs.Le(phi, p.Rest) {
+				strictOK++
+			}
+		} else {
+			strictOK++
+		}
+	}
+	row("logs", fmt.Sprint(n))
+	row("reflexive", fmt.Sprint(reflexOK))
+	row("weakening sound", fmt.Sprint(soundOK))
+	row("transitive chains", fmt.Sprint(transOK))
+	row("strictness (φ ⋠ tail φ)", fmt.Sprint(strictOK))
+	check("Proposition 1 evidence", reflexOK == n && soundOK == n && transOK == n && strictOK == n)
+}
+
+// expP2 — Proposition 2: M →m M' iff |M| → |M'|, tested as step-set
+// equality along random monitored runs.
+func expP2() {
+	cfg := gen.Default()
+	const n = 300
+	bad := 0
+	for seed := int64(0); seed < n; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := monitor.New(cfg.System(rng))
+		for step := 0; step < 12; step++ {
+			ms := monitor.Steps(m)
+			ps := semantics.Steps(m.Erase())
+			if len(ms) != len(ps) {
+				bad++
+				break
+			}
+			if len(ms) == 0 {
+				break
+			}
+			i := rng.Intn(len(ms))
+			if ms[i].Next.Erase().Canon() != ps[i].Next.Canon() {
+				bad++
+				break
+			}
+			m = ms[i].Next
+		}
+	}
+	row("systems", fmt.Sprint(n))
+	row("correspondence failures", fmt.Sprint(bad))
+	check("Proposition 2 evidence", bad == 0)
+}
+
+// expP3 — Proposition 3: the paper's counterexample, machine-checked, plus
+// a sweep showing completeness generally breaks after one step.
+func expP3() {
+	m := monitor.New(mustSys(`a[m!(v)] || b[m?(any as x).0]`))
+	before := monitor.HasCompleteProvenance(m)
+	m1 := monitor.Steps(m)[0].Next
+	after := monitor.HasCompleteProvenance(m1)
+	row("paper counterexample", fmt.Sprintf("complete before: %v", before),
+		fmt.Sprintf("complete after send: %v", after))
+	check("counterexample behaves as in the paper", before && !after)
+	check("correctness still holds after the send (Thm 1)", monitor.HasCorrectProvenance(m1))
+
+	cfg := gen.Default()
+	attempts, violations := 0, 0
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mm := monitor.New(cfg.System(rng))
+		if !monitor.HasCompleteProvenance(mm) {
+			continue
+		}
+		steps := monitor.Steps(mm)
+		if len(steps) == 0 {
+			continue
+		}
+		next := steps[0].Next
+		if len(monitor.Values(next)) == 0 {
+			continue
+		}
+		attempts++
+		if !monitor.HasCompleteProvenance(next) {
+			violations++
+		}
+	}
+	row("random systems exercised", fmt.Sprint(attempts))
+	row("completeness broken after one step", fmt.Sprint(violations))
+	check("incompleteness is generic", attempts > 0 && violations > 0)
+}
+
+// expTH1 — Theorem 1: the correctness invariant holds at every state of
+// random monitored runs.
+func expTH1() {
+	cfg := gen.Default()
+	const n = 300
+	statesChecked, violations := 0, 0
+	for seed := int64(0); seed < n; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := monitor.New(cfg.System(rng))
+		for step := 0; step < 20; step++ {
+			statesChecked++
+			if _, bad := monitor.FirstIncorrectValue(m); bad {
+				violations++
+				break
+			}
+			steps := monitor.Steps(m)
+			if len(steps) == 0 {
+				break
+			}
+			m = steps[rng.Intn(len(steps))].Next
+		}
+	}
+	row("systems", fmt.Sprint(n))
+	row("monitored states checked", fmt.Sprint(statesChecked))
+	row("correctness violations", fmt.Sprint(violations))
+	check("Theorem 1 evidence", violations == 0)
+}

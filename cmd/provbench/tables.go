@@ -1,0 +1,165 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/logs"
+	"repro/internal/monitor"
+	"repro/internal/parser"
+	"repro/internal/semantics"
+	"repro/internal/syntax"
+)
+
+// expT1 — Table 1: the syntax is faithfully round-tripped by the printer
+// and parser on generated systems (parse ∘ print = id up to structural
+// congruence).
+func expT1() {
+	cfg := gen.Default()
+	const n = 500
+	okCount := 0
+	for seed := int64(0); seed < n; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := cfg.System(rng)
+		back, err := parser.ParseSystem(s.String())
+		if err != nil {
+			continue
+		}
+		if semantics.Normalize(s).Canon() == semantics.Normalize(back).Canon() {
+			okCount++
+		}
+	}
+	row("generated systems", fmt.Sprint(n))
+	row("round-tripped identically", fmt.Sprint(okCount))
+	check("parse/print round trip", okCount == n)
+}
+
+// expT2 — Table 2: each reduction rule fired on a minimal witness, with
+// the provenance updates the rule prescribes.
+func expT2() {
+	// R-Send: a[m:κₘ⟨v:κᵥ⟩] → m⟨⟨v : a!κₘ;κᵥ⟩⟩
+	km := syntax.Seq(syntax.InEvent("b", nil))
+	kv := syntax.Seq(syntax.OutEvent("c", nil))
+	send := syntax.Loc("a", syntax.Out(
+		syntax.IdentVal(syntax.Chan("m"), km),
+		syntax.IdentVal(syntax.Chan("v"), kv)))
+	st := semantics.Steps(semantics.Normalize(send))
+	got := st[0].Next.Messages[0].Payload[0].K
+	want := kv.Push(syntax.OutEvent("a", km))
+	row("R-Send", "a[m:(b?())!(v:(c!()))]", "->", st[0].Next.String())
+	check("R-Send provenance = a!κₘ;κᵥ", got.Equal(want))
+
+	// R-Recv: pattern-vetted input with stamp a?κₘ;κᵥ.
+	recvSys, err := parser.ParseSystem(`b[m?(c!any;any as x).sink!(x)] || m<<v:(c!())>>`)
+	if err != nil {
+		panic(err)
+	}
+	st = semantics.Steps(semantics.Normalize(recvSys))
+	check("R-Recv fires when κᵥ ⊨ π", len(st) == 1)
+	cont := st[0].Next.Threads[0].Proc.(*syntax.Output)
+	wantRecv := syntax.Seq(syntax.InEvent("b", nil), syntax.OutEvent("c", nil))
+	check("R-Recv provenance = b?κₘ;κᵥ", cont.Args[0].Val.K.Equal(wantRecv))
+
+	vetoSys, _ := parser.ParseSystem(`b[m?(c!any;any as x).sink!(x)] || m<<v:(d!())>>`)
+	check("R-Recv blocked when κᵥ ⊭ π", len(semantics.Steps(semantics.Normalize(vetoSys))) == 0)
+
+	// R-IfT / R-IfF: plain values compared, provenance ignored.
+	ift, _ := parser.ParseSystem(`a[if m:(x!()) = m:(y?()) then yes!() else no!()]`)
+	st = semantics.Steps(semantics.Normalize(ift))
+	check("R-IfT ignores provenance", st[0].Label.Kind == semantics.ActIfT)
+	iff, _ := parser.ParseSystem(`a[if m = n then yes!() else no!()]`)
+	st = semantics.Steps(semantics.Normalize(iff))
+	check("R-IfF on distinct names", st[0].Label.Kind == semantics.ActIfF)
+
+	// R-Res/R-Par/R-Struct are absorbed by the normal form: reduction
+	// under restriction and parallel context.
+	ctx, _ := parser.ParseSystem(`new n. (a[n!(v)] || b[n?(any as x).0] || z[idle?(any as y).0])`)
+	tr, quiet := semantics.RunToQuiescence(ctx, 10)
+	check("reduction under restriction and parallel context", quiet && tr.Len() == 2)
+}
+
+// expT3 — Table 3: the satisfaction rules of the sample pattern language
+// on the paper's own patterns.
+func expT3() {
+	cases := []struct {
+		pat, prov string
+		want      bool
+	}{
+		{"eps", "", true},
+		{"eps", "a!()", false},
+		{"any", "a!();b?()", true},
+		{"c!any", "c!()", true},
+		{"c!any", "d!()", false},
+		{"c!any;any", "c!();x?();y!()", true}, // direct sender c
+		{"c!any;any", "x?();c!()", false},
+		{"any;d!any", "x?();y!();d!()", true}, // originated at d
+		{"any;d!any", "d!();x?()", false},
+		{"(c1+c3)!any;any", "c1!()", true}, // competition π₁
+		{"(c1+c3)!any;any", "c2!()", false},
+		{"c2!any;any", "c2!()", true}, // competition π₂
+		{"(~-a)!any", "b!()", true},   // group difference
+		{"(~-a)!any", "a!()", false},
+		{"(a!any)*", "a!();a!();a!()", true}, // repetition
+		{"(a!any)*", "a!();b!()", false},
+		{"a!any / b?any", "b?()", true}, // alternation
+		{"a!(c?any)", "a!(c?())", true}, // nested channel provenance
+		{"a!(c?any)", "a!()", false},
+	}
+	bad := 0
+	for _, c := range cases {
+		p, err := parser.ParsePattern(c.pat)
+		if err != nil {
+			panic(err)
+		}
+		k, err := parser.ParseProv(c.prov)
+		if err != nil {
+			panic(err)
+		}
+		got := p.Matches(k)
+		mark := "ok"
+		if got != c.want {
+			mark = "FAIL"
+			bad++
+		}
+		row(fmt.Sprintf("%-18s", c.pat), fmt.Sprintf("%-18s", c.prov),
+			fmt.Sprintf("|= %-5v (%s)", got, mark))
+	}
+	check("all satisfaction verdicts", bad == 0)
+}
+
+// expT4 — Table 4: monitored reduction preserves the plain semantics and
+// grows the log by exactly the actions performed.
+func expT4() {
+	cfg := gen.Default()
+	const n = 200
+	mismatches := 0
+	logMismatch := 0
+	for seed := int64(0); seed < n; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := monitor.New(cfg.System(rng))
+		for step := 0; step < 10; step++ {
+			ms := monitor.Steps(m)
+			ps := semantics.Steps(m.Erase())
+			if len(ms) != len(ps) {
+				mismatches++
+				break
+			}
+			if len(ms) == 0 {
+				break
+			}
+			i := rng.Intn(len(ms))
+			before := logs.Size(m.Log)
+			m = ms[i].Next
+			if logs.Size(m.Log) <= before {
+				logMismatch++
+				break
+			}
+		}
+	}
+	row("systems", fmt.Sprint(n))
+	row("step-set mismatches", fmt.Sprint(mismatches))
+	row("non-growing logs", fmt.Sprint(logMismatch))
+	check("monitored steps = plain steps (Prop 2 direction)", mismatches == 0)
+	check("every step extends the log", logMismatch == 0)
+}

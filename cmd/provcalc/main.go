@@ -1,0 +1,271 @@
+// Command provcalc parses, runs, traces, explores and statically analyses
+// programs of the provenance calculus.
+//
+// Usage:
+//
+//	provcalc parse   [-f file | -e program]
+//	provcalc run     [-f file | -e program] [-seed N] [-steps N] [-det]
+//	provcalc trace   [-f file | -e program] [-seed N] [-steps N] [-det]
+//	provcalc explore [-f file | -e program] [-states N] [-depth N]
+//	provcalc check   [-f file | -e program] [-seeds N] [-steps N]
+//	provcalc analyze [-f file | -e program] [-k N]
+//	provcalc match   -pat PATTERN -prov PROVENANCE
+//
+// With neither -f nor -e, the program is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/parser"
+	"repro/internal/semantics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "parse":
+		err = cmdParse(args)
+	case "run":
+		err = cmdRun(args, false)
+	case "trace":
+		err = cmdRun(args, true)
+	case "explore":
+		err = cmdExplore(args)
+	case "graph":
+		err = cmdGraph(args)
+	case "check":
+		err = cmdCheck(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "match":
+		err = cmdMatch(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "provcalc: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: provcalc <command> [flags]
+
+commands:
+  parse     parse a program and print its canonical form
+  run       run a program under the monitored semantics
+  trace     run and print every step and intermediate state
+  explore   enumerate the reachable state space
+  graph     emit the reachable labelled transition system as Graphviz dot
+  check     verify the Theorem 1 correctness invariant along runs
+  analyze   static provenance-flow analysis (dead-branch report)
+  match     test a pattern against a provenance literal`)
+}
+
+// sourceFlags wires the shared -f/-e source selection.
+func sourceFlags(fs *flag.FlagSet) (file, expr *string) {
+	file = fs.String("f", "", "read the program from this file")
+	expr = fs.String("e", "", "use this literal program text")
+	return
+}
+
+func loadSource(file, expr string) (*core.Program, error) {
+	var src string
+	switch {
+	case file != "" && expr != "":
+		return nil, fmt.Errorf("use -f or -e, not both")
+	case file != "":
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		src = string(b)
+	case expr != "":
+		src = expr
+	default:
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		src = string(b)
+	}
+	return core.Load(src)
+}
+
+func cmdParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	file, expr := sourceFlags(fs)
+	fs.Parse(args)
+	p, err := loadSource(*file, *expr)
+	if err != nil {
+		return err
+	}
+	fmt.Println(p.Sys)
+	return nil
+}
+
+func cmdRun(args []string, traceMode bool) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	file, expr := sourceFlags(fs)
+	seed := fs.Int64("seed", 1, "scheduler seed")
+	steps := fs.Int("steps", 1000, "maximum reduction steps")
+	det := fs.Bool("det", false, "deterministic scheduling (first redex)")
+	fs.Parse(args)
+	p, err := loadSource(*file, *expr)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Seed: *seed, MaxSteps: *steps, Deterministic: *det}
+	if traceMode {
+		trace := p.RunTrace(opts)
+		for i, m := range trace {
+			fmt.Printf("-- state %d --\n%s\n", i, m.Sys)
+			if i < len(trace)-1 {
+				fmt.Printf("   log: %s\n", m.Log)
+			}
+		}
+		last := trace[len(trace)-1]
+		fmt.Printf("final log: %s\n", last.Log)
+		reportCorrectness(last)
+		return nil
+	}
+	rep := p.Run(opts)
+	fmt.Println("steps:")
+	for i, l := range rep.Steps {
+		fmt.Printf("%4d. %s\n", i+1, l)
+	}
+	fmt.Println("final:", rep.Final)
+	fmt.Println("log:  ", rep.Log)
+	fmt.Println("quiescent:", rep.Quiescent)
+	if rep.Correct {
+		fmt.Println("provenance: correct (Definition 3)")
+	} else {
+		fmt.Println("provenance: INCORRECT, witness", rep.Witness)
+	}
+	return nil
+}
+
+func reportCorrectness(m *monitor.Monitored) {
+	if v, bad := monitor.FirstIncorrectValue(m); bad {
+		fmt.Println("provenance: INCORRECT, witness", v)
+	} else {
+		fmt.Println("provenance: correct (Definition 3)")
+	}
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	file, expr := sourceFlags(fs)
+	states := fs.Int("states", 10000, "state budget")
+	depth := fs.Int("depth", 100, "depth budget")
+	fs.Parse(args)
+	p, err := loadSource(*file, *expr)
+	if err != nil {
+		return err
+	}
+	res := p.Explore(*states, *depth)
+	fmt.Printf("states: %d (truncated: %v)\n", len(res.States), res.Truncated)
+	fmt.Printf("quiescent states: %d\n", len(res.Quiescent))
+	for _, q := range res.Quiescent {
+		fmt.Println("  ", q)
+	}
+	return nil
+}
+
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	file, expr := sourceFlags(fs)
+	states := fs.Int("states", 200, "state budget")
+	depth := fs.Int("depth", 50, "depth budget")
+	fs.Parse(args)
+	p, err := loadSource(*file, *expr)
+	if err != nil {
+		return err
+	}
+	g := semantics.BuildGraph(p.Sys, *states, *depth)
+	if g.Truncated {
+		fmt.Fprintln(os.Stderr, "provcalc: graph truncated at the state/depth budget")
+	}
+	fmt.Print(g.DOT())
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	file, expr := sourceFlags(fs)
+	seeds := fs.Int("seeds", 10, "number of random schedules to try")
+	steps := fs.Int("steps", 200, "steps per schedule")
+	fs.Parse(args)
+	p, err := loadSource(*file, *expr)
+	if err != nil {
+		return err
+	}
+	for s := int64(0); s < int64(*seeds); s++ {
+		if err := p.CheckTheorem1(s, *steps); err != nil {
+			return fmt.Errorf("seed %d: %w", s, err)
+		}
+	}
+	fmt.Printf("Theorem 1 invariant holds along %d schedules x %d steps\n", *seeds, *steps)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	file, expr := sourceFlags(fs)
+	k := fs.Int("k", 0, "abstraction depth (0 = default)")
+	fs.Parse(args)
+	p, err := loadSource(*file, *expr)
+	if err != nil {
+		return err
+	}
+	res := p.Analyze(*k)
+	fmt.Printf("fixpoint in %d iterations\n", res.Iterations)
+	for _, br := range res.Branches {
+		verdict := "live"
+		if !br.Live {
+			verdict = "DEAD"
+		}
+		fmt.Printf("%-4s %s: channel %s branch %d pattern [%s]", verdict,
+			br.Principal, br.Channel, br.Branch, br.Pattern)
+		if br.Live {
+			fmt.Printf("  witness %s", br.Witness)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	pat := fs.String("pat", "", "pattern (e.g. 'c!any;any')")
+	prov := fs.String("prov", "", "provenance literal (e.g. 'b?();a!()')")
+	fs.Parse(args)
+	if *pat == "" {
+		return fmt.Errorf("-pat is required")
+	}
+	p, err := parser.ParsePattern(*pat)
+	if err != nil {
+		return fmt.Errorf("pattern: %w", err)
+	}
+	k, err := parser.ParseProv(*prov)
+	if err != nil {
+		return fmt.Errorf("provenance: %w", err)
+	}
+	fmt.Printf("%s |= %s : %v\n", k, p, p.Matches(k))
+	return nil
+}

@@ -1,0 +1,167 @@
+// Command provlog works with logs and the information order of §3 of the
+// paper: it compares logs under ≼, computes the Definition-2 denotation of
+// annotated values, and checks a value's provenance against a log
+// (Definition 3 correctness).
+//
+// Usage:
+//
+//	provlog le      -l LOG -r LOG              decide  l ≼ r
+//	provlog denote  -v NAME -prov PROVENANCE   print ⟦v:κ⟧
+//	provlog correct -v NAME -prov PROVENANCE -log LOG
+//	provlog audit   -v NAME -prov PROVENANCE [-rate p=0.x ...]
+//
+// Logs use the surface syntax  a.snd(m, v); (b.rcv(m, v) | 0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/denote"
+	"repro/internal/logs"
+	"repro/internal/parser"
+	"repro/internal/syntax"
+	"repro/internal/trust"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	case "le":
+		err = cmdLe(args)
+	case "denote":
+		err = cmdDenote(args)
+	case "correct":
+		err = cmdCorrect(args)
+	case "audit":
+		err = cmdAudit(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "provlog: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "provlog:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: provlog <command> [flags]
+
+commands:
+  le       decide the information order l ≼ r between two logs
+  denote   print the Definition-2 denotation of an annotated value
+  correct  check ⟦v:κ⟧ ≼ log (Definition 3)
+  audit    trust-score and blame report for an annotated value`)
+}
+
+func cmdLe(args []string) error {
+	fs := flag.NewFlagSet("le", flag.ExitOnError)
+	l := fs.String("l", "", "left log")
+	r := fs.String("r", "", "right log")
+	fs.Parse(args)
+	lh, err := parser.ParseLog(*l)
+	if err != nil {
+		return fmt.Errorf("left: %w", err)
+	}
+	rh, err := parser.ParseLog(*r)
+	if err != nil {
+		return fmt.Errorf("right: %w", err)
+	}
+	fmt.Printf("l <= r : %v\n", logs.Le(lh, rh))
+	fmt.Printf("r <= l : %v\n", logs.Le(rh, lh))
+	return nil
+}
+
+func parseValue(name, prov string) (syntax.AnnotatedValue, error) {
+	k, err := parser.ParseProv(prov)
+	if err != nil {
+		return syntax.AnnotatedValue{}, fmt.Errorf("provenance: %w", err)
+	}
+	return syntax.Annot(syntax.Chan(name), k), nil
+}
+
+func cmdDenote(args []string) error {
+	fs := flag.NewFlagSet("denote", flag.ExitOnError)
+	v := fs.String("v", "v", "plain value name")
+	prov := fs.String("prov", "", "provenance literal")
+	fs.Parse(args)
+	av, err := parseValue(*v, *prov)
+	if err != nil {
+		return err
+	}
+	fmt.Println(denote.Denote(av))
+	return nil
+}
+
+func cmdCorrect(args []string) error {
+	fs := flag.NewFlagSet("correct", flag.ExitOnError)
+	v := fs.String("v", "v", "plain value name")
+	prov := fs.String("prov", "", "provenance literal")
+	logSrc := fs.String("log", "0", "global log")
+	fs.Parse(args)
+	av, err := parseValue(*v, *prov)
+	if err != nil {
+		return err
+	}
+	l, err := parser.ParseLog(*logSrc)
+	if err != nil {
+		return fmt.Errorf("log: %w", err)
+	}
+	phi := denote.Denote(av)
+	fmt.Println("denotation:", phi)
+	if logs.Le(phi, l) {
+		fmt.Println("correct: the log justifies this provenance")
+	} else {
+		fmt.Println("INCORRECT: the log does not justify this provenance")
+	}
+	return nil
+}
+
+// rateFlags collects repeated -rate principal=x flags.
+type rateFlags map[string]float64
+
+func (r rateFlags) String() string { return fmt.Sprint(map[string]float64(r)) }
+
+func (r rateFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want principal=rating, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	r[name] = f
+	return nil
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	v := fs.String("v", "v", "plain value name")
+	prov := fs.String("prov", "", "provenance literal")
+	rates := rateFlags{}
+	fs.Var(rates, "rate", "principal=rating (repeatable)")
+	fs.Parse(args)
+	av, err := parseValue(*v, *prov)
+	if err != nil {
+		return err
+	}
+	pol := trust.NewPolicy()
+	for p, f := range rates {
+		pol.Rate(p, f)
+	}
+	fmt.Print(core.Audit(av, pol))
+	return nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/semantics"
+	"repro/internal/syntax"
+	"repro/internal/trust"
+)
+
+const auditSrc = `
+	a[m!(v)] ||
+	s[m?(any as x).n1!(x)] ||
+	c[n1?(any as x).p!(x)] ||
+	b[n2?(any as x).0]
+`
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(`a[`); err == nil {
+		t.Errorf("malformed program should fail to load")
+	}
+	if _, err := Load(auditSrc); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p := MustLoad(auditSrc)
+	r1 := p.Run(Options{Seed: 5})
+	r2 := p.Run(Options{Seed: 5})
+	if len(r1.Steps) != len(r2.Steps) {
+		t.Fatalf("same seed, different runs")
+	}
+	for i := range r1.Steps {
+		if r1.Steps[i].String() != r2.Steps[i].String() {
+			t.Errorf("step %d differs", i)
+		}
+	}
+}
+
+func TestRunReportFields(t *testing.T) {
+	p := MustLoad(auditSrc)
+	rep := p.Run(Options{Deterministic: true})
+	if !rep.Quiescent {
+		t.Errorf("audit pipeline should quiesce")
+	}
+	if !rep.Correct {
+		t.Errorf("Theorem 1: final state should be correct; witness %s", rep.Witness)
+	}
+	if logs.Size(rep.Log) != len(rep.Steps) {
+		t.Errorf("log size %d != steps %d (all actions monadic here)",
+			logs.Size(rep.Log), len(rep.Steps))
+	}
+	// The misrouted value ends up in transit on p with the audit chain.
+	k, ok := ProvenanceOf(rep.Final, "v")
+	if !ok {
+		t.Fatalf("value v not found in final state %s", rep.Final)
+	}
+	if !strings.Contains(k.String(), "s?()") || !strings.Contains(k.String(), "a!()") {
+		t.Errorf("audit chain missing hops: %s", k)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	p := MustLoad(auditSrc)
+	trace := p.RunTrace(Options{Deterministic: true})
+	if len(trace) < 2 {
+		t.Fatalf("trace too short")
+	}
+	if logs.Size(trace[0].Log) != 0 {
+		t.Errorf("initial log must be empty")
+	}
+	for i := 1; i < len(trace); i++ {
+		if logs.Size(trace[i].Log) <= logs.Size(trace[i-1].Log) {
+			t.Errorf("log must grow at step %d", i)
+		}
+	}
+}
+
+func TestCheckTheorem1(t *testing.T) {
+	p := MustLoad(auditSrc)
+	for seed := int64(0); seed < 5; seed++ {
+		if err := p.CheckTheorem1(seed, 50); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestExploreFacade(t *testing.T) {
+	p := MustLoad(`a[m!(v1)] || b[m!(v2)] || c[m?(any as x).0]`)
+	res := p.Explore(500, 20)
+	if res.Truncated {
+		t.Fatalf("unexpected truncation")
+	}
+	if len(res.States) < 4 {
+		t.Errorf("too few states: %d", len(res.States))
+	}
+}
+
+func TestAnalyzeFacade(t *testing.T) {
+	p := MustLoad(`a[m!(v)] || b[m?(c!any;any as x).0]`)
+	res := p.Analyze(0)
+	if len(res.DeadBranches()) != 1 {
+		t.Errorf("expected one dead branch, got %v", res.DeadBranches())
+	}
+}
+
+func TestMessagesHelper(t *testing.T) {
+	p := MustLoad(`a[m!(v)] || a[l!(w)]`)
+	rep := p.Run(Options{Deterministic: true})
+	msgs := Messages(rep.Final)
+	if len(msgs["m"]) != 1 || len(msgs["l"]) != 1 {
+		t.Errorf("messages = %v", msgs)
+	}
+}
+
+func TestAuditReport(t *testing.T) {
+	pol := trust.NewPolicy().Rate("s", 0.4).Rate("a", 0.9).Rate("c", 1.0)
+	v := syntax.Annot(syntax.Chan("v"), syntax.Seq(
+		syntax.InEvent("c", nil), syntax.OutEvent("s", nil),
+		syntax.InEvent("s", nil), syntax.OutEvent("a", nil),
+	))
+	rep := Audit(v, pol)
+	for _, want := range []string{"chain", "c? <- s! <- s? <- a!", "score", "blame", "s"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("audit report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestFromSystem(t *testing.T) {
+	s := syntax.Loc("a", syntax.Out(syntax.IdentVal(syntax.Chan("m"), nil),
+		syntax.IdentVal(syntax.Chan("v"), nil)))
+	p := FromSystem(s)
+	rep := p.Run(Options{Deterministic: true})
+	if len(rep.Steps) != 1 || rep.Steps[0].Kind != semantics.ActSend {
+		t.Errorf("steps = %v", rep.Steps)
+	}
+}
+
+func TestMaxStepsBound(t *testing.T) {
+	// A ping-pong loop never quiesces; MaxSteps must bound it.
+	p := MustLoad(`
+		a[m!(v)] ||
+		f[*(m?(any as x).m!(x))]
+	`)
+	rep := p.Run(Options{MaxSteps: 17, Deterministic: true})
+	if rep.Quiescent {
+		t.Errorf("loop should not quiesce")
+	}
+	if len(rep.Steps) != 17 {
+		t.Errorf("steps = %d, want 17", len(rep.Steps))
+	}
+	if !rep.Correct {
+		t.Errorf("looped value must stay correct (Theorem 1): %s", rep.Witness)
+	}
+}

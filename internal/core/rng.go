@@ -1,0 +1,7 @@
+package core
+
+import "math/rand"
+
+// newRng returns the deterministic PRNG used to resolve reduction
+// nondeterminism.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,66 @@
+// Package denote implements the denotation of provenance (Definition 2 of
+// the paper): the function ⟦−⟧ mapping an annotated value V:κ to a log
+// representing the assertions κ makes about the past of V,
+//
+//	⟦V : ε⟧     = ∅
+//	⟦V : a!κ';κ⟧ = a.snd(x, V); (⟦V:κ⟧ | ⟦x:κ'⟧)
+//	⟦V : a?κ';κ⟧ = a.rcv(x, V); (⟦V:κ⟧ | ⟦x:κ'⟧)
+//
+// where x is a fresh variable standing for the unknown channel used in the
+// event. The resulting log is a partial record: it lacks channel
+// identities and imposes no order between the events of κ and those of the
+// channel provenances κ'.
+package denote
+
+import (
+	"strconv"
+
+	"repro/internal/logs"
+	"repro/internal/syntax"
+)
+
+// fresher coins deterministic fresh channel variables ch0, ch1, ... in the
+// preorder of the denotation, so that denoting the same annotated value
+// twice produces literally identical logs (alpha-equality for free).
+type fresher struct{ n int }
+
+func (f *fresher) next() string {
+	name := "ch" + strconv.Itoa(f.n)
+	f.n++
+	return name
+}
+
+// Denote computes ⟦V:κ⟧ for an annotated value.
+func Denote(v syntax.AnnotatedValue) logs.Log {
+	f := &fresher{}
+	return denote(logs.NameT(v.V.Name), v.K, f)
+}
+
+// DenoteTerm computes ⟦V:κ⟧ where V is an arbitrary element of Dx
+// (a plain value, a variable, or the unknown-channel symbol ?). This is
+// the form needed by the correctness checker, whose values(−) function
+// substitutes ? for restricted channel names.
+func DenoteTerm(v logs.Term, k syntax.Prov) logs.Log {
+	f := &fresher{}
+	return denote(v, k, f)
+}
+
+func denote(v logs.Term, k syntax.Prov, f *fresher) logs.Log {
+	if len(k) == 0 {
+		return logs.Nil() // ⟦V : ε⟧ = ∅
+	}
+	e := k.Head()
+	x := logs.VarT(f.next())
+	var act logs.Action
+	if e.Dir == syntax.Send {
+		act = logs.SndAct(e.Principal, x, v)
+	} else {
+		act = logs.RcvAct(e.Principal, x, v)
+	}
+	// The event's own past: the rest of κ concerns V, while the channel
+	// provenance κ' concerns the unknown channel x; their relative order
+	// is not recorded, hence the composition.
+	rest := denote(v, k.Tail(), f)
+	chanPast := denote(x, e.ChanProv, f)
+	return logs.Prefix(act, logs.Compose(rest, chanPast))
+}

@@ -1,0 +1,148 @@
+package denote
+
+import (
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/syntax"
+)
+
+func TestDenoteEmpty(t *testing.T) {
+	// ⟦V : ε⟧ = ∅: a value that originated here asserts nothing.
+	got := Denote(syntax.Fresh(syntax.Chan("v")))
+	if !logs.Equal(got, logs.Nil()) {
+		t.Errorf("⟦v:ε⟧ = %s, want ∅", got)
+	}
+}
+
+func TestDenoteSingleSend(t *testing.T) {
+	// ⟦v : a!ε⟧ = a.snd(x, v); (∅|∅) = a.snd(x, v).
+	v := syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("a", nil)))
+	got := Denote(v)
+	want := logs.Prefix(logs.SndAct("a", logs.VarT("ch0"), logs.NameT("v")), logs.Nil())
+	if !logs.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestDenoteSingleRecv(t *testing.T) {
+	v := syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.InEvent("b", nil)))
+	got := Denote(v)
+	want := logs.Prefix(logs.RcvAct("b", logs.VarT("ch0"), logs.NameT("v")), logs.Nil())
+	if !logs.Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestDenoteSequence(t *testing.T) {
+	// ⟦v : b?ε; a!ε⟧ = b.rcv(x, v); a.snd(y, v).
+	v := syntax.Annot(syntax.Chan("v"), syntax.Seq(
+		syntax.InEvent("b", nil),
+		syntax.OutEvent("a", nil),
+	))
+	got := Denote(v)
+	acts := logs.Actions(got)
+	if len(acts) != 2 {
+		t.Fatalf("actions = %d, want 2", len(acts))
+	}
+	if acts[0].Kind != logs.Rcv || acts[0].Principal != "b" {
+		t.Errorf("most recent action = %v, want b.rcv", acts[0])
+	}
+	if acts[1].Kind != logs.Snd || acts[1].Principal != "a" {
+		t.Errorf("older action = %v, want a.snd", acts[1])
+	}
+	// The two channel variables must be distinct.
+	if acts[0].A == acts[1].A {
+		t.Errorf("channel variables must be fresh per event: %v vs %v", acts[0].A, acts[1].A)
+	}
+}
+
+func TestDenoteChannelProvenanceBranch(t *testing.T) {
+	// ⟦v : a!(c?ε)⟧ = a.snd(x, v); (∅ | c.rcv(y, x)): the channel's own
+	// past concerns x, composed (unordered) with the value's older past.
+	km := syntax.Seq(syntax.InEvent("c", nil))
+	v := syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("a", km)))
+	got := Denote(v)
+	pre, ok := got.(*logs.Pre)
+	if !ok {
+		t.Fatalf("expected prefix, got %T", got)
+	}
+	if pre.Act.Kind != logs.Snd || pre.Act.Principal != "a" {
+		t.Errorf("head action = %v", pre.Act)
+	}
+	x := pre.Act.A
+	if !x.IsVar() {
+		t.Fatalf("channel position should be a variable, got %v", x)
+	}
+	inner := logs.Actions(pre.Rest)
+	if len(inner) != 1 {
+		t.Fatalf("inner actions = %d, want 1", len(inner))
+	}
+	if inner[0].Kind != logs.Rcv || inner[0].Principal != "c" {
+		t.Errorf("inner action = %v, want c.rcv", inner[0])
+	}
+	// The channel-past action's value is the bound channel variable x.
+	if inner[0].B != x {
+		t.Errorf("channel past should be about %v, got %v", x, inner[0].B)
+	}
+	// The whole denotation is closed: x is bound by the snd action.
+	if !logs.IsClosed(got) {
+		t.Errorf("denotation should be closed, free vars: %v", logs.FreeVars(got))
+	}
+}
+
+func TestDenoteDeterministic(t *testing.T) {
+	v := syntax.Annot(syntax.Chan("v"), syntax.Seq(
+		syntax.InEvent("c", syntax.Seq(syntax.OutEvent("o", nil))),
+		syntax.OutEvent("s", nil),
+		syntax.InEvent("s", nil),
+		syntax.OutEvent("a", nil),
+	))
+	if logs.Canon(Denote(v)) != logs.Canon(Denote(v)) {
+		t.Errorf("denotation must be deterministic")
+	}
+}
+
+func TestDenoteTermUnknown(t *testing.T) {
+	// ⟦? : a!ε⟧: assertions about a private channel unknown to the log.
+	got := DenoteTerm(logs.UnknownT(), syntax.Seq(syntax.OutEvent("a", nil)))
+	acts := logs.Actions(got)
+	if len(acts) != 1 || acts[0].B.Kind != logs.TUnknown {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestDenoteSizeLinear(t *testing.T) {
+	// One log action per event, including nested channel provenances.
+	k := syntax.Seq(
+		syntax.InEvent("c", syntax.Seq(syntax.OutEvent("o", syntax.Seq(syntax.InEvent("q", nil))))),
+		syntax.OutEvent("a", nil),
+	)
+	got := Denote(syntax.Annot(syntax.Chan("v"), k))
+	if n := logs.Size(got); n != k.Size() {
+		t.Errorf("log size = %d, want %d (one action per event)", n, k.Size())
+	}
+}
+
+func TestDenoteAuditProvenance(t *testing.T) {
+	// The auditing example's final provenance c?ε;s!ε;s?ε;a!ε denotes a
+	// chain of four actions in recency order c.rcv, s.snd, s.rcv, a.snd.
+	k := syntax.Seq(
+		syntax.InEvent("c", nil),
+		syntax.OutEvent("s", nil),
+		syntax.InEvent("s", nil),
+		syntax.OutEvent("a", nil),
+	)
+	got := Denote(syntax.Annot(syntax.Chan("v"), k))
+	acts := logs.Actions(got)
+	wantKinds := []logs.ActKind{logs.Rcv, logs.Snd, logs.Rcv, logs.Snd}
+	wantPrincipals := []string{"c", "s", "s", "a"}
+	if len(acts) != 4 {
+		t.Fatalf("actions = %d, want 4", len(acts))
+	}
+	for i := range acts {
+		if acts[i].Kind != wantKinds[i] || acts[i].Principal != wantPrincipals[i] {
+			t.Errorf("action %d = %v", i, acts[i])
+		}
+	}
+}

@@ -1,0 +1,480 @@
+// Package flow is the static provenance-flow analysis the paper proposes
+// as future work in §5: "analyse the flow of data between principals and
+// make sure that principals would only receive data with provenance that
+// matches their expectations", alleviating the need for dynamic tracking.
+//
+// The analysis abstractly interprets a system. Abstract provenance keeps
+// the principal and direction of up to K most-recent events and drops
+// channel provenances; longer histories end in a ⊤ tail ("anything older").
+// Channel contents are join-semilattice sets of abstract annotated values,
+// iterated to a fixpoint. Everything is a may-analysis: abstract matching
+// over-approximates κ ⊨ π, so a branch reported dead can never fire
+// dynamically, while a branch reported live may or may not.
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+// DefaultDepth is the default abstraction depth K.
+const DefaultDepth = 6
+
+// AbsEvent abstracts a provenance event to its principal and direction
+// (the channel provenance is dropped).
+type AbsEvent struct {
+	Principal string
+	Dir       syntax.Dir
+}
+
+func (e AbsEvent) String() string { return e.Principal + e.Dir.String() }
+
+// AbsProv abstracts a provenance sequence: up to K most-recent events,
+// with Truncated set when older events were discarded.
+type AbsProv struct {
+	Events    []AbsEvent
+	Truncated bool
+}
+
+func (a AbsProv) String() string {
+	parts := make([]string, 0, len(a.Events)+1)
+	for _, e := range a.Events {
+		parts = append(parts, e.String())
+	}
+	if a.Truncated {
+		parts = append(parts, "...")
+	}
+	if len(parts) == 0 {
+		return "eps"
+	}
+	return strings.Join(parts, ";")
+}
+
+// key returns a canonical map key.
+func (a AbsProv) key() string { return a.String() }
+
+// push prepends an event, truncating to depth K.
+func (a AbsProv) push(e AbsEvent, k int) AbsProv {
+	events := make([]AbsEvent, 0, len(a.Events)+1)
+	events = append(events, e)
+	events = append(events, a.Events...)
+	trunc := a.Truncated
+	if len(events) > k {
+		events = events[:k]
+		trunc = true
+	}
+	return AbsProv{Events: events, Truncated: trunc}
+}
+
+// Abstract abstracts a concrete provenance sequence at depth k.
+func Abstract(p syntax.Prov, k int) AbsProv {
+	out := AbsProv{}
+	for i, e := range p {
+		if i >= k {
+			out.Truncated = true
+			break
+		}
+		out.Events = append(out.Events, AbsEvent{Principal: e.Principal, Dir: e.Dir})
+	}
+	return out
+}
+
+// AbsValue is an abstract annotated value: the plain value name ("" for
+// unknown) and its abstract provenance.
+type AbsValue struct {
+	Name string // "" means unknown (⊤)
+	Prov AbsProv
+}
+
+func (v AbsValue) key() string {
+	name := v.Name
+	if name == "" {
+		name = "<any>"
+	}
+	return name + ":" + v.Prov.key()
+}
+
+func (v AbsValue) String() string { return v.key() }
+
+// MayMatch over-approximates κ ⊨ π for every κ ∈ γ(a): if it returns
+// false, no concretisation of a satisfies π. Event-pattern arguments (the
+// channel provenance) are treated as unknown and assumed satisfiable, and
+// a truncated tail may match anything.
+func MayMatch(p syntax.Pattern, a AbsProv) bool {
+	return mayMatch(p, a.Events, a.Truncated)
+}
+
+// mayMatch decides whether some concrete sequence with the given known
+// prefix (followed by an arbitrary suffix if open) may satisfy p.
+func mayMatch(p syntax.Pattern, events []AbsEvent, open bool) bool {
+	switch p := p.(type) {
+	case pattern.Empty:
+		// ε requires the whole sequence empty; an open tail may be empty.
+		return len(events) == 0
+	case pattern.Any:
+		return true
+	case pattern.EventPat:
+		if len(events) == 0 {
+			// Only an open tail can supply the event.
+			return open
+		}
+		if len(events) > 1 {
+			// A single-event pattern cannot absorb two known events.
+			return false
+		}
+		e := events[0]
+		// The event's channel provenance is unknown: assume the argument
+		// pattern is satisfiable (may-analysis).
+		return e.Dir == p.Dir && p.G.Contains(e.Principal)
+	case pattern.Cat:
+		for mid := 0; mid <= len(events); mid++ {
+			// The split point carves the known prefix; the open tail
+			// belongs to the right part.
+			if mayMatch(p.L, events[:mid], false) && mayMatch(p.R, events[mid:], open) {
+				return true
+			}
+		}
+		// With an open tail, the left part may also extend into it,
+		// consuming all known events and more; then the right part sees
+		// only unknown suffix.
+		if open && mayMatch(p.L, events, true) && mayMatchUnknown(p.R) {
+			return true
+		}
+		return false
+	case pattern.Alt:
+		return mayMatch(p.L, events, open) || mayMatch(p.R, events, open)
+	case pattern.Star:
+		if len(events) == 0 {
+			return true // zero iterations (an open tail may be empty)
+		}
+		for mid := 1; mid <= len(events); mid++ {
+			if mayMatch(p.P, events[:mid], false) && mayMatch(p, events[mid:], open) {
+				return true
+			}
+		}
+		if open && mayMatch(p.P, events, true) {
+			return true
+		}
+		return false
+	default:
+		// Unknown pattern implementations (e.g. syntax.WildcardPattern):
+		// stay conservative.
+		return true
+	}
+}
+
+// mayMatchUnknown reports whether p may match some completely unknown
+// sequence — true unless p is unsatisfiable, and every pattern of the
+// sample language is satisfiable, so this is constant true kept for
+// clarity.
+func mayMatchUnknown(syntax.Pattern) bool { return true }
+
+// BranchReport is the verdict for one input branch.
+type BranchReport struct {
+	Principal string
+	Channel   string
+	Branch    int
+	Pattern   string
+	// Live reports whether some abstract value flowing on the channel may
+	// match; a false here is a sound dead-branch verdict.
+	Live bool
+	// Witness is an abstract value that may match (when Live).
+	Witness string
+}
+
+// Result is the analysis outcome.
+type Result struct {
+	// Channels maps each channel name to the abstract values that may
+	// flow on it. The special name "*" accumulates values sent on
+	// statically unknown channels (e.g. received ones).
+	Channels map[string][]AbsValue
+	// Branches holds one report per input branch of the system.
+	Branches []BranchReport
+	// Iterations is the number of fixpoint rounds.
+	Iterations int
+}
+
+// DeadBranches lists the branches that can never fire.
+func (r *Result) DeadBranches() []BranchReport {
+	var out []BranchReport
+	for _, b := range r.Branches {
+		if !b.Live {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// analyzer carries the fixpoint state.
+type analyzer struct {
+	depth int
+	// chans: channel name -> key -> value. "*" is the unknown channel.
+	chans   map[string]map[string]AbsValue
+	changed bool
+}
+
+func (an *analyzer) add(ch string, v AbsValue) {
+	m, ok := an.chans[ch]
+	if !ok {
+		m = make(map[string]AbsValue)
+		an.chans[ch] = m
+	}
+	k := v.key()
+	if _, dup := m[k]; !dup {
+		m[k] = v
+		an.changed = true
+	}
+}
+
+// valuesOn returns the abstract values that may arrive on a channel:
+// those sent on it plus everything sent on unknown channels.
+func (an *analyzer) valuesOn(ch string) []AbsValue {
+	var out []AbsValue
+	for _, v := range an.chans[ch] {
+		out = append(out, v)
+	}
+	if ch != "*" {
+		for _, v := range an.chans["*"] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// env binds process variables to their abstract value sets.
+type env map[string][]AbsValue
+
+func (e env) extend(name string, vals []AbsValue) env {
+	out := make(env, len(e)+1)
+	for k, v := range e {
+		out[k] = v
+	}
+	out[name] = vals
+	return out
+}
+
+// Analyze runs the flow analysis on a closed system at the given
+// abstraction depth (0 means DefaultDepth).
+func Analyze(s syntax.System, depth int) *Result {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	an := &analyzer{depth: depth, chans: map[string]map[string]AbsValue{}}
+
+	var located []*syntax.Located
+	var collect func(syntax.System)
+	collect = func(s syntax.System) {
+		switch s := s.(type) {
+		case *syntax.Located:
+			located = append(located, s)
+		case *syntax.Message:
+			for _, v := range s.Payload {
+				an.add(s.Chan, AbsValue{Name: v.V.Name, Prov: Abstract(v.K, depth)})
+			}
+		case *syntax.SysRestrict:
+			collect(s.Body)
+		case *syntax.SysPar:
+			collect(s.L)
+			collect(s.R)
+		}
+	}
+	collect(s)
+
+	res := &Result{Channels: map[string][]AbsValue{}}
+	// Fixpoint: re-walk every located process until no channel set grows.
+	const maxRounds = 64
+	round := 0
+	for ; round < maxRounds; round++ {
+		an.changed = false
+		for _, loc := range located {
+			an.walk(loc.Principal, loc.Proc, env{})
+		}
+		if !an.changed {
+			break
+		}
+	}
+	res.Iterations = round + 1
+
+	for ch := range an.chans {
+		res.Channels[ch] = an.valuesOn(ch)
+	}
+	// Final branch reports.
+	for _, loc := range located {
+		an.report(loc.Principal, loc.Proc, env{}, res)
+	}
+	return res
+}
+
+// identValues resolves the abstract values an identifier may denote.
+func (an *analyzer) identValues(w syntax.Ident, e env) []AbsValue {
+	if w.IsVar {
+		return e[w.Var]
+	}
+	return []AbsValue{{Name: w.Val.V.Name, Prov: Abstract(w.Val.K, an.depth)}}
+}
+
+// chanTargets resolves the channel names an identifier may denote as a
+// send/receive subject; unknown (received) channels map to "*".
+func (an *analyzer) chanTargets(w syntax.Ident, e env) []string {
+	if !w.IsVar {
+		if w.Val.V.Kind != syntax.KindChannel {
+			return nil // principal subject: stuck, nothing flows
+		}
+		return []string{w.Val.V.Name}
+	}
+	vals := e[w.Var]
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range vals {
+		name := v.Name
+		if name == "" {
+			name = "*"
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"*"}
+	}
+	return out
+}
+
+// walk simulates one pass of a process, feeding sends into channel sets
+// and propagating receives into continuations.
+func (an *analyzer) walk(principal string, p syntax.Process, e env) {
+	switch p := p.(type) {
+	case *syntax.Output:
+		ev := AbsEvent{Principal: principal, Dir: syntax.Send}
+		for _, ch := range an.chanTargets(p.Chan, e) {
+			for _, arg := range p.Args {
+				for _, v := range an.identValues(arg, e) {
+					an.add(ch, AbsValue{Name: v.Name, Prov: v.Prov.push(ev, an.depth)})
+				}
+			}
+		}
+	case *syntax.InputSum:
+		if p.IsStop() {
+			return
+		}
+		ev := AbsEvent{Principal: principal, Dir: syntax.Recv}
+		for _, ch := range an.chanTargets(p.Chan, e) {
+			incoming := an.valuesOn(ch)
+			for _, b := range p.Branches {
+				// Polyadic approximation: any incoming value may occupy any
+				// position whose pattern it may match.
+				matched := make([][]AbsValue, len(b.Vars))
+				for i, pat := range b.Pats {
+					for _, v := range incoming {
+						if MayMatch(pat, v.Prov) {
+							matched[i] = append(matched[i], AbsValue{Name: v.Name, Prov: v.Prov.push(ev, an.depth)})
+						}
+					}
+				}
+				live := true
+				for i := range matched {
+					if len(matched[i]) == 0 {
+						live = false
+					}
+				}
+				if !live {
+					continue
+				}
+				inner := e
+				for i, x := range b.Vars {
+					inner = inner.extend(x, matched[i])
+				}
+				an.walk(principal, b.Body, inner)
+			}
+		}
+	case *syntax.If:
+		an.walk(principal, p.Then, e)
+		an.walk(principal, p.Else, e)
+	case *syntax.Restrict:
+		an.walk(principal, p.Body, e)
+	case *syntax.Par:
+		an.walk(principal, p.L, e)
+		an.walk(principal, p.R, e)
+	case *syntax.Repl:
+		an.walk(principal, p.Body, e)
+	default:
+		panic(fmt.Sprintf("flow: walk: unknown process %T", p))
+	}
+}
+
+// report emits branch verdicts against the final fixpoint.
+func (an *analyzer) report(principal string, p syntax.Process, e env, res *Result) {
+	switch p := p.(type) {
+	case *syntax.Output:
+	case *syntax.InputSum:
+		if p.IsStop() {
+			return
+		}
+		ev := AbsEvent{Principal: principal, Dir: syntax.Recv}
+		chs := an.chanTargets(p.Chan, e)
+		chName := "*"
+		if !p.Chan.IsVar {
+			chName = p.Chan.Val.V.Name
+		}
+		for bi, b := range p.Branches {
+			br := BranchReport{
+				Principal: principal,
+				Channel:   chName,
+				Branch:    bi,
+				Pattern:   patsString(b.Pats),
+			}
+			matched := make([][]AbsValue, len(b.Vars))
+			for _, ch := range chs {
+				for i, pat := range b.Pats {
+					for _, v := range an.valuesOn(ch) {
+						if MayMatch(pat, v.Prov) {
+							matched[i] = append(matched[i], AbsValue{Name: v.Name, Prov: v.Prov.push(ev, an.depth)})
+						}
+					}
+				}
+			}
+			live := true
+			for i := range matched {
+				if len(matched[i]) == 0 {
+					live = false
+				}
+			}
+			br.Live = live
+			if live && len(matched) > 0 && len(matched[0]) > 0 {
+				br.Witness = matched[0][0].String()
+			}
+			res.Branches = append(res.Branches, br)
+			if live {
+				inner := e
+				for i, x := range b.Vars {
+					inner = inner.extend(x, matched[i])
+				}
+				an.report(principal, b.Body, inner, res)
+			}
+		}
+	case *syntax.If:
+		an.report(principal, p.Then, e, res)
+		an.report(principal, p.Else, e, res)
+	case *syntax.Restrict:
+		an.report(principal, p.Body, e, res)
+	case *syntax.Par:
+		an.report(principal, p.L, e, res)
+		an.report(principal, p.R, e, res)
+	case *syntax.Repl:
+		an.report(principal, p.Body, e, res)
+	}
+}
+
+func patsString(pats []syntax.Pattern) string {
+	parts := make([]string, len(pats))
+	for i, p := range pats {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ", ")
+}

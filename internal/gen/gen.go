@@ -1,0 +1,302 @@
+// Package gen generates random but well-formed terms of the provenance
+// calculus — provenance sequences, patterns, logs, processes and closed
+// systems — for property-based testing of the meta-theory (Propositions
+// 1-3 and Theorem 1 of the paper). All generation is driven by a caller-
+// supplied PRNG so failures reproduce from a seed.
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/logs"
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+// Config bounds the shape of generated terms.
+type Config struct {
+	// Principals and Channels are the name pools.
+	Principals []string
+	Channels   []string
+	// MaxProvLen bounds top-level provenance length; MaxProvDepth bounds
+	// event nesting.
+	MaxProvLen   int
+	MaxProvDepth int
+	// MaxPatDepth bounds pattern AST depth.
+	MaxPatDepth int
+	// MaxProcDepth bounds process AST depth.
+	MaxProcDepth int
+	// MaxComponents bounds the number of parallel components of a system.
+	MaxComponents int
+	// MaxLogLen bounds generated log spine length.
+	MaxLogLen int
+}
+
+// Default returns a configuration producing small, interaction-rich terms.
+func Default() Config {
+	return Config{
+		Principals:    []string{"a", "b", "c", "d"},
+		Channels:      []string{"m", "n", "l", "k"},
+		MaxProvLen:    4,
+		MaxProvDepth:  2,
+		MaxPatDepth:   3,
+		MaxProcDepth:  3,
+		MaxComponents: 4,
+		MaxLogLen:     6,
+	}
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+// Prov generates a random provenance sequence.
+func (c Config) Prov(rng *rand.Rand) syntax.Prov {
+	return c.prov(rng, c.MaxProvDepth)
+}
+
+func (c Config) prov(rng *rand.Rand, depth int) syntax.Prov {
+	n := rng.Intn(c.MaxProvLen + 1)
+	k := make(syntax.Prov, 0, n)
+	for i := 0; i < n; i++ {
+		k = append(k, c.event(rng, depth))
+	}
+	return k
+}
+
+func (c Config) event(rng *rand.Rand, depth int) syntax.Event {
+	var inner syntax.Prov
+	if depth > 0 && rng.Intn(3) == 0 {
+		inner = c.prov(rng, depth-1)
+	}
+	p := pick(rng, c.Principals)
+	if rng.Intn(2) == 0 {
+		return syntax.OutEvent(p, inner)
+	}
+	return syntax.InEvent(p, inner)
+}
+
+// Group generates a random group expression.
+func (c Config) Group(rng *rand.Rand, depth int) pattern.Group {
+	if depth <= 0 || rng.Intn(2) == 0 {
+		if rng.Intn(4) == 0 {
+			return pattern.All()
+		}
+		return pattern.Name(pick(rng, c.Principals))
+	}
+	l := c.Group(rng, depth-1)
+	r := c.Group(rng, depth-1)
+	if rng.Intn(2) == 0 {
+		return pattern.Union(l, r)
+	}
+	return pattern.Diff(l, r)
+}
+
+// Pattern generates a random pattern of the sample language.
+func (c Config) Pattern(rng *rand.Rand) pattern.Pattern {
+	return c.pat(rng, c.MaxPatDepth)
+}
+
+func (c Config) pat(rng *rand.Rand, depth int) pattern.Pattern {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return pattern.Eps()
+		case 1:
+			return pattern.AnyP()
+		default:
+			return c.eventPat(rng, 0)
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return pattern.Eps()
+	case 1:
+		return pattern.AnyP()
+	case 2:
+		return c.eventPat(rng, depth)
+	case 3:
+		return pattern.SeqP(c.pat(rng, depth-1), c.pat(rng, depth-1))
+	case 4:
+		return pattern.AltP(c.pat(rng, depth-1), c.pat(rng, depth-1))
+	default:
+		return pattern.StarP(c.pat(rng, depth-1))
+	}
+}
+
+func (c Config) eventPat(rng *rand.Rand, depth int) pattern.Pattern {
+	g := c.Group(rng, 1)
+	var arg pattern.Pattern = pattern.AnyP()
+	if depth > 0 && rng.Intn(3) == 0 {
+		arg = c.pat(rng, depth-1)
+	} else if rng.Intn(3) == 0 {
+		arg = pattern.Eps()
+	}
+	if rng.Intn(2) == 0 {
+		return pattern.Out(g, arg)
+	}
+	return pattern.In(g, arg)
+}
+
+// Log generates a random closed log (actions over the name pools, no
+// variables).
+func (c Config) Log(rng *rand.Rand) logs.Log {
+	return c.log(rng, c.MaxLogLen)
+}
+
+func (c Config) log(rng *rand.Rand, size int) logs.Log {
+	if size <= 0 || rng.Intn(5) == 0 {
+		return logs.Nil()
+	}
+	if rng.Intn(4) == 0 {
+		half := size / 2
+		return logs.Compose(c.log(rng, half), c.log(rng, size-half))
+	}
+	return logs.Prefix(c.Action(rng), c.log(rng, size-1))
+}
+
+// Action generates a random closed log action.
+func (c Config) Action(rng *rand.Rand) logs.Action {
+	p := pick(rng, c.Principals)
+	chn := logs.NameT(pick(rng, c.Channels))
+	val := logs.NameT(pick(rng, append(c.Channels, c.Principals...)))
+	switch rng.Intn(4) {
+	case 0:
+		return logs.SndAct(p, chn, val)
+	case 1:
+		return logs.RcvAct(p, chn, val)
+	case 2:
+		return logs.IftAct(p, val, val)
+	default:
+		return logs.IffAct(p, chn, val)
+	}
+}
+
+// Weaken produces a log φ' with φ' ≼ φ by applying one information-
+// reducing transformation: dropping the head action (inverse of Log-Pre2),
+// duplicating the log (inverse of Log-Comp1's nonlinearity, φ|φ ≼ φ),
+// forgetting the order of the first two spine actions (α;β;ρ ⇒ (α|β);ρ is
+// not well-formed, so we produce α;ρ | β;ρ), or replacing a concrete
+// channel with a fresh bound variable. Used to exercise ≼ and its
+// transitivity on generated inputs.
+func (c Config) Weaken(rng *rand.Rand, l logs.Log, freshID *int) logs.Log {
+	switch rng.Intn(4) {
+	case 0: // drop head action
+		if p, ok := l.(*logs.Pre); ok {
+			return p.Rest
+		}
+		return l
+	case 1: // duplicate: φ|φ ≼ φ
+		return &logs.Comp{L: l, R: l}
+	case 2: // forget order of the two most recent actions
+		if p, ok := l.(*logs.Pre); ok {
+			if q, ok := p.Rest.(*logs.Pre); ok {
+				return logs.Compose(
+					logs.Prefix(p.Act, q.Rest),
+					logs.Prefix(q.Act, q.Rest),
+				)
+			}
+		}
+		return l
+	default: // abstract the head action's channel into a bound variable
+		if p, ok := l.(*logs.Pre); ok {
+			if (p.Act.Kind == logs.Snd || p.Act.Kind == logs.Rcv) && p.Act.A.Kind == logs.TName {
+				*freshID++
+				x := "w" + strconv.Itoa(*freshID)
+				act := p.Act
+				act.A = logs.VarT(x)
+				// The variable binds nothing below (the original name may
+				// still occur, which is fine: less information).
+				return logs.Prefix(act, p.Rest)
+			}
+		}
+		return l
+	}
+}
+
+// scope tracks the variables in scope while generating a process body.
+type scope []string
+
+// Process generates a random process for the given principal with the
+// given variables in scope. All value annotations are ε (so that generated
+// initial systems trivially have correct provenance).
+func (c Config) Process(rng *rand.Rand, sc []string) syntax.Process {
+	return c.proc(rng, scope(sc), c.MaxProcDepth)
+}
+
+func (c Config) ident(rng *rand.Rand, sc scope, wantChan bool) syntax.Ident {
+	// Prefer variables sometimes, so received values flow onward.
+	if len(sc) > 0 && rng.Intn(3) == 0 {
+		return syntax.Var(sc[rng.Intn(len(sc))])
+	}
+	if wantChan || rng.Intn(4) != 0 {
+		return syntax.IdentVal(syntax.Chan(pick(rng, c.Channels)), nil)
+	}
+	return syntax.IdentVal(syntax.Principal(pick(rng, c.Principals)), nil)
+}
+
+func (c Config) proc(rng *rand.Rand, sc scope, depth int) syntax.Process {
+	if depth <= 0 {
+		if rng.Intn(2) == 0 {
+			return syntax.Stop()
+		}
+		return syntax.Out(c.ident(rng, sc, true), c.ident(rng, sc, false))
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return syntax.Stop()
+	case 1, 2:
+		return syntax.Out(c.ident(rng, sc, true), c.ident(rng, sc, false))
+	case 3, 4:
+		// Input with 1-2 branches; mostly permissive patterns so that
+		// communication actually happens in generated systems.
+		chn := c.ident(rng, sc, true)
+		nb := 1 + rng.Intn(2)
+		branches := make([]*syntax.Branch, 0, nb)
+		for i := 0; i < nb; i++ {
+			x := "x" + strconv.Itoa(len(sc)) + "_" + strconv.Itoa(i)
+			var pat syntax.Pattern = pattern.AnyP()
+			if rng.Intn(3) == 0 {
+				pat = c.Pattern(rng)
+			}
+			body := c.proc(rng, append(sc, x), depth-1)
+			branches = append(branches, &syntax.Branch{
+				Pats: []syntax.Pattern{pat}, Vars: []string{x}, Body: body,
+			})
+		}
+		return &syntax.InputSum{Chan: chn, Branches: branches}
+	case 5:
+		return &syntax.If{
+			L:    c.ident(rng, sc, false),
+			R:    c.ident(rng, sc, false),
+			Then: c.proc(rng, sc, depth-1),
+			Else: c.proc(rng, sc, depth-1),
+		}
+	case 6:
+		return &syntax.Par{L: c.proc(rng, sc, depth-1), R: c.proc(rng, sc, depth-1)}
+	default:
+		return &syntax.Restrict{Name: "r" + strconv.Itoa(rng.Intn(3)), Body: c.proc(rng, sc, depth-1)}
+	}
+}
+
+// System generates a random closed system: a parallel composition of
+// located processes, messages with ε-annotated payloads, and occasional
+// system-level restrictions.
+func (c Config) System(rng *rand.Rand) syntax.System {
+	nc := 1 + rng.Intn(c.MaxComponents)
+	parts := make([]syntax.System, 0, nc)
+	for i := 0; i < nc; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			parts = append(parts, syntax.Msg(pick(rng, c.Channels),
+				syntax.Fresh(syntax.Chan(pick(rng, c.Channels)))))
+		default:
+			p := pick(rng, c.Principals)
+			parts = append(parts, syntax.Loc(p, c.Process(rng, nil)))
+		}
+	}
+	s := syntax.SysParAll(parts...)
+	if rng.Intn(4) == 0 {
+		s = &syntax.SysRestrict{Name: pick(rng, c.Channels), Body: s}
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/semantics"
+	"repro/internal/syntax"
+)
+
+func TestGeneratedSystemsAreClosed(t *testing.T) {
+	cfg := Default()
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := cfg.System(rng)
+		if !syntax.IsClosed(s) {
+			t.Errorf("seed %d: generated system has free variables: %s", seed, s)
+		}
+	}
+}
+
+func TestGeneratedSystemsNormalize(t *testing.T) {
+	cfg := Default()
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := cfg.System(rng)
+		n := semantics.Normalize(s)
+		// Round trip through the term representation.
+		n2 := semantics.Normalize(n.ToSystem())
+		if n.Canon() != n2.Canon() {
+			t.Errorf("seed %d: normal form not stable under round trip", seed)
+		}
+	}
+}
+
+func TestGeneratedSystemsReduce(t *testing.T) {
+	// Reduction must never panic on generated systems, and some generated
+	// systems must actually communicate (the generator is not degenerate).
+	cfg := Default()
+	communicated := 0
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := cfg.System(rng)
+		tr := semantics.Run(s, seed, 30)
+		for _, l := range tr.Labels {
+			if l.Kind == semantics.ActRecv {
+				communicated++
+				break
+			}
+		}
+	}
+	if communicated < 20 {
+		t.Errorf("only %d/200 generated systems communicated; generator too degenerate", communicated)
+	}
+}
+
+func TestGeneratedProvBounded(t *testing.T) {
+	cfg := Default()
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := cfg.Prov(rng)
+		if len(k) > cfg.MaxProvLen {
+			t.Errorf("prov too long: %d", len(k))
+		}
+		if k.Depth() > cfg.MaxProvDepth+1 {
+			t.Errorf("prov too deep: %d", k.Depth())
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Default()
+	s1 := cfg.System(rand.New(rand.NewSource(7)))
+	s2 := cfg.System(rand.New(rand.NewSource(7)))
+	if s1.String() != s2.String() {
+		t.Errorf("same seed must generate the same system")
+	}
+}
+
+func TestGeneratedLogsClosed(t *testing.T) {
+	cfg := Default()
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := cfg.Log(rng)
+		if fv := logs.FreeVars(l); len(fv) != 0 {
+			t.Errorf("seed %d: generated log has free variables %v", seed, fv)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package lexer tokenizes the surface syntax of the provenance calculus
+// used by the parser and the command-line tools. The surface language
+// covers systems, processes, patterns, provenance literals and logs; see
+// package parser for the grammar.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind is the lexical class of a token.
+type Kind int
+
+const (
+	// EOF marks the end of input.
+	EOF Kind = iota
+	// Name is an identifier: a letter followed by letters, digits, _ or '.
+	Name
+	// Zero is the literal 0 (the inert process / empty log).
+	Zero
+	// Punctuation and operators.
+	LBrack  // [
+	RBrack  // ]
+	SumSep  // [] (between input-sum branches)
+	LParen  // (
+	RParen  // )
+	LBrace  // {
+	RBrace  // }
+	LAngle2 // <<
+	RAngle2 // >>
+	Bang    // !
+	Query   // ?
+	Dot     // .
+	Comma   // ,
+	Semi    // ;
+	Colon   // :
+	Eq      // =
+	Bar     // |
+	Bar2    // ||
+	Star    // *
+	Slash   // / (pattern alternation)
+	Plus    // + (group union)
+	Minus   // - (group difference)
+	Tilde   // ~ (the universal group)
+	At      // @ (principal-kind marker in value position)
+	Dollar  // $ (log variable marker)
+	// Keywords.
+	KwNew  // new
+	KwIf   // if
+	KwThen // then
+	KwElse // else
+	KwAs   // as
+	KwEps  // eps
+	KwAny  // any
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", Name: "name", Zero: "0",
+	LBrack: "[", RBrack: "]", SumSep: "[]", LParen: "(", RParen: ")",
+	LBrace: "{", RBrace: "}", LAngle2: "<<", RAngle2: ">>",
+	Bang: "!", Query: "?", Dot: ".", Comma: ",", Semi: ";", Colon: ":",
+	Eq: "=", Bar: "|", Bar2: "||", Star: "*", Slash: "/",
+	Plus: "+", Minus: "-", Tilde: "~", At: "@", Dollar: "$",
+	KwNew: "new", KwIf: "if", KwThen: "then", KwElse: "else", KwAs: "as",
+	KwEps: "eps", KwAny: "any",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"new": KwNew, "if": KwIf, "then": KwThen, "else": KwElse,
+	"as": KwAs, "eps": KwEps, "any": KwAny,
+}
+
+// Token is a lexed token with its source position (byte offset, 1-based
+// line and column).
+type Token struct {
+	Kind Kind
+	Text string
+	Off  int
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == Name {
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes src. Comments run from // to end of line. It returns the
+// token stream terminated by an EOF token.
+func Lex(src string) ([]Token, error) {
+	var out []Token
+	line, col := 1, 1
+	i := 0
+	emit := func(kind Kind, text string) {
+		out = append(out, Token{Kind: kind, Text: text, Off: i, Line: line, Col: col})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+			continue
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		case isLetter(c):
+			j := i
+			for j < len(src) && isNameChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if strings.ContainsRune(word, '~') {
+				return nil, &Error{line, col, fmt.Sprintf("name %q contains the reserved character '~'", word)}
+			}
+			if kw, ok := keywords[word]; ok {
+				emit(kw, word)
+			} else {
+				emit(Name, word)
+			}
+			col += j - i
+			i = j
+			continue
+		case c == '0' && (i+1 >= len(src) || !isNameChar(src[i+1])):
+			emit(Zero, "0")
+			i++
+			col++
+			continue
+		case c >= '0' && c <= '9':
+			return nil, &Error{line, col, fmt.Sprintf("names must start with a letter, got %q", c)}
+		}
+		two := ""
+		if i+1 < len(src) {
+			two = src[i : i+2]
+		}
+		switch two {
+		case "[]":
+			emit(SumSep, two)
+			i += 2
+			col += 2
+			continue
+		case "<<":
+			emit(LAngle2, two)
+			i += 2
+			col += 2
+			continue
+		case ">>":
+			emit(RAngle2, two)
+			i += 2
+			col += 2
+			continue
+		case "||":
+			emit(Bar2, two)
+			i += 2
+			col += 2
+			continue
+		}
+		var k Kind
+		switch c {
+		case '[':
+			k = LBrack
+		case ']':
+			k = RBrack
+		case '(':
+			k = LParen
+		case ')':
+			k = RParen
+		case '{':
+			k = LBrace
+		case '}':
+			k = RBrace
+		case '!':
+			k = Bang
+		case '?':
+			k = Query
+		case '.':
+			k = Dot
+		case ',':
+			k = Comma
+		case ';':
+			k = Semi
+		case ':':
+			k = Colon
+		case '=':
+			k = Eq
+		case '|':
+			k = Bar
+		case '*':
+			k = Star
+		case '/':
+			k = Slash
+		case '+':
+			k = Plus
+		case '-':
+			k = Minus
+		case '~':
+			k = Tilde
+		case '@':
+			k = At
+		case '$':
+			k = Dollar
+		default:
+			return nil, &Error{line, col, fmt.Sprintf("unexpected character %q", c)}
+		}
+		emit(k, string(c))
+		i++
+		col++
+	}
+	out = append(out, Token{Kind: EOF, Off: i, Line: line, Col: col})
+	return out, nil
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isLetter(c) || c >= '0' && c <= '9' || c == '\'' || c == '~'
+}

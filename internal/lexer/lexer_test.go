@@ -1,0 +1,180 @@
+package lexer
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	out := make([]Kind, 0, len(toks))
+	for _, tok := range toks {
+		out = append(out, tok.Kind)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, `a[m!(v)]`)
+	want := []Kind{Name, LBrack, Name, Bang, LParen, Name, RParen, RBrack, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMaximalMunch(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Kind
+	}{
+		{"<<", LAngle2},
+		{">>", RAngle2},
+		{"||", Bar2},
+		{"[]", SumSep},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", c.src, err)
+		}
+		if toks[0].Kind != c.want || toks[1].Kind != EOF {
+			t.Errorf("Lex(%q) = %v, want single %v", c.src, toks, c.want)
+		}
+	}
+	// Single-char fallbacks.
+	toks, _ := Lex("|")
+	if toks[0].Kind != Bar {
+		t.Errorf("single | should be Bar")
+	}
+}
+
+func TestSumSepVsBrackets(t *testing.T) {
+	// a[0] must lex as LBrack Zero RBrack, not SumSep.
+	got := kinds(t, "a[0]")
+	want := []Kind{Name, LBrack, Zero, RBrack, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Adjacent [] is a sum separator.
+	got = kinds(t, "[]")
+	if got[0] != SumSep {
+		t.Errorf("adjacent [] should be SumSep: %v", got)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	got := kinds(t, "new if then else as eps any")
+	want := []Kind{KwNew, KwIf, KwThen, KwElse, KwAs, KwEps, KwAny, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Prefixes of keywords are names.
+	toks, _ := Lex("anybody news")
+	if toks[0].Kind != Name || toks[1].Kind != Name {
+		t.Errorf("keyword prefixes must lex as names: %v", toks)
+	}
+}
+
+func TestNamesWithDigitsAndPrimes(t *testing.T) {
+	toks, err := Lex("c1 j2 n' x_y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"c1", "j2", "n'", "x_y"}
+	for i, want := range wantTexts {
+		if toks[i].Kind != Name || toks[i].Text != want {
+			t.Errorf("token %d = %v %q, want name %q", i, toks[i].Kind, toks[i].Text, want)
+		}
+	}
+}
+
+func TestZeroToken(t *testing.T) {
+	toks, _ := Lex("0")
+	if toks[0].Kind != Zero {
+		t.Errorf("0 should lex as Zero")
+	}
+	if _, err := Lex("0abc"); err == nil {
+		t.Errorf("0abc should be rejected (names start with letters)")
+	}
+	if _, err := Lex("123"); err == nil {
+		t.Errorf("bare numbers are not in the language")
+	}
+}
+
+func TestReservedTilde(t *testing.T) {
+	// '~' alone is the universal group; inside a name it is reserved for
+	// generated fresh names and must be rejected.
+	toks, err := Lex("~")
+	if err != nil || toks[0].Kind != Tilde {
+		t.Errorf("~ should lex as Tilde: %v %v", toks, err)
+	}
+	if _, err := Lex("n~1"); err == nil {
+		t.Errorf("names containing ~ must be rejected")
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // comment with [ ] ! tokens\nb")
+	want := []Kind{Name, Name, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("b at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Lex("abc\n  #")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Line != 2 || le.Col != 3 {
+		t.Errorf("error at %d:%d, want 2:3", le.Line, le.Col)
+	}
+}
+
+func TestAllPunctuation(t *testing.T) {
+	src := "( ) { } ! ? . , ; : = * / + - @ $"
+	want := []Kind{LParen, RParen, LBrace, RBrace, Bang, Query, Dot, Comma,
+		Semi, Colon, Eq, Star, Slash, Plus, Minus, At, Dollar, EOF}
+	got := kinds(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	toks, err := Lex("")
+	if err != nil || len(toks) != 1 || toks[0].Kind != EOF {
+		t.Errorf("empty input should lex to EOF only: %v %v", toks, err)
+	}
+}

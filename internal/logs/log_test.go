@@ -1,0 +1,140 @@
+package logs
+
+import "testing"
+
+func n(s string) Term { return NameT(s) }
+func v(s string) Term { return VarT(s) }
+
+func TestActionString(t *testing.T) {
+	cases := []struct {
+		a    Action
+		want string
+	}{
+		{SndAct("a", n("m"), n("v")), "a.snd(m, v)"},
+		{RcvAct("b", v("x"), n("v")), "b.rcv($x, v)"},
+		{IftAct("c", n("m"), n("m")), "c.ift(m, m)"},
+		{IffAct("d", UnknownT(), n("n")), "d.iff(?, n)"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBinder(t *testing.T) {
+	if x, ok := SndAct("a", v("x"), n("v")).Binder(); !ok || x != "x" {
+		t.Errorf("snd with var channel should bind")
+	}
+	if _, ok := SndAct("a", n("m"), v("y")).Binder(); ok {
+		t.Errorf("value-position variable must not bind")
+	}
+	if _, ok := IftAct("a", v("x"), n("v")).Binder(); ok {
+		t.Errorf("ift never binds")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	// a.snd(x, v); a.rcv(n, x): x is bound by the snd action.
+	phi := Prefix(SndAct("a", v("x"), n("v")), Prefix(RcvAct("a", n("n"), v("x")), Nil()))
+	if fv := FreeVars(phi); len(fv) != 0 {
+		t.Errorf("free vars = %v, want none", fv)
+	}
+	// a.rcv(n, x) alone: x free (value position does not bind).
+	psi := Prefix(RcvAct("a", n("n"), v("x")), Nil())
+	if fv := FreeVars(psi); !fv["x"] || len(fv) != 1 {
+		t.Errorf("free vars = %v, want {x}", fv)
+	}
+	// Composition: bound in one branch does not bind the sibling.
+	comp := Compose(
+		Prefix(SndAct("a", v("x"), n("v")), Nil()),
+		Prefix(IftAct("b", v("x"), n("w")), Nil()),
+	)
+	if fv := FreeVars(comp); !fv["x"] {
+		t.Errorf("sibling occurrence of x should be free: %v", fv)
+	}
+}
+
+func TestIsClosed(t *testing.T) {
+	if !IsClosed(Prefix(SndAct("a", v("x"), n("v")), Prefix(RcvAct("a", n("n"), v("x")), Nil()))) {
+		t.Errorf("binder-closed log should be closed")
+	}
+	if IsClosed(Prefix(IftAct("a", v("z"), n("v")), Nil())) {
+		t.Errorf("ift variable is free")
+	}
+}
+
+func TestApplySubstRespectsShadowing(t *testing.T) {
+	// (a.snd(x,v); a.rcv(m,x)) with σ = {x→w}: x is bound by the snd
+	// binder throughout, so the substitution changes nothing.
+	phi := Prefix(SndAct("a", v("x"), n("v")), Prefix(RcvAct("a", n("m"), v("x")), Nil()))
+	got := ApplySubst(phi, Subst{"x": n("w")})
+	if !Equal(got, phi) {
+		t.Errorf("got %s, want unchanged %s", got, phi)
+	}
+	// A free occurrence in a sibling branch IS substituted.
+	comp := Compose(phi, Prefix(IftAct("b", v("x"), n("u")), Nil()))
+	got2 := ApplySubst(comp, Subst{"x": n("w")})
+	want2 := Compose(phi, Prefix(IftAct("b", n("w"), n("u")), Nil()))
+	if !Equal(got2, want2) {
+		t.Errorf("got %s, want %s", got2, want2)
+	}
+}
+
+func TestApplySubstInnerBinderShadows(t *testing.T) {
+	// σ = {x→w} applied to a.rcv(m,x); (a.snd(x,u); a.ift(x,x)):
+	// the free occurrence changes; the snd re-binds x so the ift stays.
+	phi := Prefix(RcvAct("a", n("m"), v("x")),
+		Prefix(SndAct("a", v("x"), n("u")),
+			Prefix(IftAct("a", v("x"), v("x")), Nil())))
+	got := ApplySubst(phi, Subst{"x": n("w")})
+	want := Prefix(RcvAct("a", n("m"), n("w")),
+		Prefix(SndAct("a", v("x"), n("u")),
+			Prefix(IftAct("a", v("x"), v("x")), Nil())))
+	if !Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestComposeDropsEmpty(t *testing.T) {
+	phi := Prefix(SndAct("a", n("m"), n("v")), Nil())
+	if got := Compose(Nil(), phi, Nil()); !Equal(got, phi) {
+		t.Errorf("Compose with units = %s", got)
+	}
+	if _, ok := Compose().(Empty); !ok {
+		t.Errorf("Compose() should be ∅")
+	}
+}
+
+func TestCanonCommutative(t *testing.T) {
+	a := Prefix(SndAct("a", n("m"), n("v")), Nil())
+	b := Prefix(RcvAct("b", n("m"), n("v")), Nil())
+	if Canon(&Comp{L: a, R: b}) != Canon(&Comp{L: b, R: a}) {
+		t.Errorf("| should be commutative under Canon")
+	}
+	// Associativity.
+	c := Prefix(IftAct("c", n("x"), n("x")), Nil())
+	l1 := &Comp{L: a, R: &Comp{L: b, R: c}}
+	l2 := &Comp{L: &Comp{L: a, R: b}, R: c}
+	if Canon(l1) != Canon(l2) {
+		t.Errorf("| should be associative under Canon")
+	}
+}
+
+func TestActionsPreorder(t *testing.T) {
+	phi := Prefix(SndAct("a", n("m"), n("v")),
+		&Comp{
+			L: Prefix(RcvAct("b", n("m"), n("v")), Nil()),
+			R: Prefix(IftAct("c", n("x"), n("y")), Nil()),
+		})
+	acts := Actions(phi)
+	if len(acts) != 3 {
+		t.Fatalf("actions = %d, want 3", len(acts))
+	}
+	if acts[0].Kind != Snd || acts[1].Kind != Rcv || acts[2].Kind != IfT {
+		t.Errorf("wrong order: %v", acts)
+	}
+	if Size(phi) != 3 {
+		t.Errorf("Size = %d", Size(phi))
+	}
+}

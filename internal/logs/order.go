@@ -1,0 +1,118 @@
+package logs
+
+import "fmt"
+
+// Le decides the information order φ ≼ ψ of §3.1 ("ψ tells us at least as
+// much about the past as φ"), defined as the smallest relation on closed
+// logs satisfying
+//
+//	Log-Nil    ∅ ≼ φ
+//	Log-Pre1   α ≾ α'  ∧  φσ ≼ ψσ'   ⟹  α;φ ≼ α';ψ
+//	Log-Pre2   φ ≼ ψ                  ⟹  φ ≼ α;ψ
+//	Log-Comp1  φ ≼ ψ  ∧  φ' ≼ ψ       ⟹  φ|φ' ≼ ψ
+//	Log-Comp2  φ ≼ ψ                  ⟹  φ ≼ ψ|ψ'   (and symmetrically)
+//
+// where α ≾ α' means α' = ασ for some substitution σ of values for
+// variables, and σ, σ' are closing substitutions for the continuations.
+//
+// The decision procedure is a structural search: left compositions split
+// (Log-Comp1 takes a nonlinear interpretation, so both components may
+// reference the same right-log actions), left prefixes either match a
+// right prefix (Log-Pre1, with the substitutions computed by one-way
+// unification rather than guessed) or skip into the right log (Log-Pre2,
+// Log-Comp2). Every recursive call consumes left or right structure, so
+// the search terminates.
+func Le(phi, psi Log) bool {
+	return le(phi, psi)
+}
+
+func le(phi, psi Log) bool {
+	switch l := phi.(type) {
+	case Empty:
+		return true // Log-Nil
+	case *Comp:
+		// Log-Comp1: both components must be justified by ψ (nonlinear:
+		// they may share right-log actions).
+		return le(l.L, psi) && le(l.R, psi)
+	case *Pre:
+		return lePre(l, psi)
+	default:
+		panic(fmt.Sprintf("logs: Le: unknown log %T", phi))
+	}
+}
+
+// lePre handles a left prefix α;φ against an arbitrary right log.
+func lePre(l *Pre, psi Log) bool {
+	switch r := psi.(type) {
+	case Empty:
+		return false // no rule concludes α;φ ≼ ∅
+	case *Comp:
+		// Log-Comp2 (both orientations).
+		return lePre(l, r.L) || lePre(l, r.R)
+	case *Pre:
+		// Log-Pre1: match the two actions.
+		if sigmaL, sigmaR, ok := matchActions(l.Act, r.Act); ok {
+			if le(ApplySubst(l.Rest, sigmaL), ApplySubst(r.Rest, sigmaR)) {
+				return true
+			}
+		}
+		// Log-Pre2: skip the right action.
+		return lePre(l, r.Rest)
+	default:
+		panic(fmt.Sprintf("logs: lePre: unknown log %T", psi))
+	}
+}
+
+// matchActions implements α ≾ α' of Log-Pre1: it returns σL, the bindings
+// for the left action's variables witnessing α' = α σL. The instantiation
+// is strictly one-way — a substitution replaces variables with values — so
+// right-side variables are rigid: a right variable matches only the
+// identical left variable (up to the shared name; the paper identifies
+// logs up to alpha-conversion, and our denotation uses a deterministic
+// fresh-variable discipline so matching by name is sound). σR is returned
+// for symmetry of the call site and is currently always empty.
+func matchActions(al, ar Action) (Subst, Subst, bool) {
+	if al.Principal != ar.Principal || al.Kind != ar.Kind {
+		return nil, nil, false
+	}
+	sigmaL := Subst{}
+	if !instantiate(al.A, ar.A, sigmaL) {
+		return nil, nil, false
+	}
+	if !instantiate(al.B, ar.B, sigmaL) {
+		return nil, nil, false
+	}
+	return sigmaL, Subst{}, true
+}
+
+// instantiate checks that tr is tl under some extension of σL (left
+// variables map to right values, ? or — for alpha-matching — the identical
+// right variable).
+func instantiate(tl, tr Term, sigmaL Subst) bool {
+	if tl.Kind == TVar {
+		if b, ok := sigmaL[tl.Name]; ok {
+			// Consistency: a left variable bound earlier in this action
+			// must map to the same thing.
+			return b == tr
+		}
+		if tr.Kind == TVar {
+			// α' = ασ with σ mapping variables to values only: a right
+			// variable can only be the left variable left untouched.
+			return tl.Name == tr.Name
+		}
+		sigmaL[tl.Name] = tr
+		return true
+	}
+	return tl == tr
+}
+
+// Incomparable reports that neither φ ≼ ψ nor ψ ≼ φ.
+func Incomparable(phi, psi Log) bool {
+	return !Le(phi, psi) && !Le(psi, phi)
+}
+
+// EquivLe reports φ ≼ ψ and ψ ≼ φ: the two logs convey the same
+// information.
+func EquivLe(phi, psi Log) bool {
+	return Le(phi, psi) && Le(psi, phi)
+}

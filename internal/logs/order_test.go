@@ -1,0 +1,216 @@
+package logs
+
+import (
+	"testing"
+)
+
+func snd(p, ch, val string) Action { return SndAct(p, NameT(ch), NameT(val)) }
+func rcv(p, ch, val string) Action { return RcvAct(p, NameT(ch), NameT(val)) }
+
+func TestLogNil(t *testing.T) {
+	phi := Prefix(snd("a", "m", "v"), Nil())
+	if !Le(Nil(), Nil()) || !Le(Nil(), phi) {
+		t.Errorf("∅ ≼ φ must hold for every φ")
+	}
+	if Le(phi, Nil()) {
+		t.Errorf("α;φ ≼ ∅ must not hold")
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// φ ≜ a.snd(x,v); a.rcv(n,x) and ψ ≜ a.snd(m,v); a.rcv(n,m): φ ≼ ψ
+	// (§3.1 worked example), and not conversely.
+	phi := Prefix(SndAct("a", VarT("x"), NameT("v")),
+		Prefix(RcvAct("a", NameT("n"), VarT("x")), Nil()))
+	psi := Prefix(snd("a", "m", "v"), Prefix(rcv("a", "n", "m"), Nil()))
+	if !Le(phi, psi) {
+		t.Errorf("φ ≼ ψ should hold")
+	}
+	if Le(psi, phi) {
+		t.Errorf("ψ ≼ φ should not hold (ψ is strictly more informative)")
+	}
+}
+
+func TestReflexivity(t *testing.T) {
+	cases := []Log{
+		Nil(),
+		Prefix(snd("a", "m", "v"), Nil()),
+		Prefix(snd("a", "m", "v"), Prefix(rcv("b", "m", "v"), Nil())),
+		Compose(Prefix(snd("a", "m", "v"), Nil()), Prefix(rcv("b", "n", "w"), Nil())),
+		Prefix(SndAct("a", VarT("x"), NameT("v")), Prefix(RcvAct("a", NameT("n"), VarT("x")), Nil())),
+	}
+	for _, phi := range cases {
+		if !Le(phi, phi) {
+			t.Errorf("φ ≼ φ fails for %s", phi)
+		}
+	}
+}
+
+func TestPre2Skip(t *testing.T) {
+	// φ ≼ α;φ: prepending information preserves ≼.
+	phi := Prefix(rcv("b", "m", "v"), Nil())
+	psi := Prefix(snd("a", "m", "v"), phi)
+	if !Le(phi, psi) {
+		t.Errorf("φ ≼ α;φ should hold")
+	}
+	if Le(psi, phi) {
+		t.Errorf("α;φ ≼ φ should not hold")
+	}
+}
+
+func TestComp1NonlinearSharing(t *testing.T) {
+	// φ|φ ≼ φ: both components may reference the same actions (the
+	// nonlinear interpretation required because values can be copied).
+	phi := Prefix(snd("a", "m", "v"), Nil())
+	if !Le(&Comp{L: phi, R: phi}, phi) {
+		t.Errorf("φ|φ ≼ φ should hold (nonlinear interpretation)")
+	}
+}
+
+func TestComp2Choice(t *testing.T) {
+	phi := Prefix(snd("a", "m", "v"), Nil())
+	other := Prefix(rcv("b", "n", "w"), Nil())
+	if !Le(phi, &Comp{L: other, R: phi}) {
+		t.Errorf("φ ≼ ψ|φ should hold")
+	}
+	if !Le(phi, &Comp{L: phi, R: other}) {
+		t.Errorf("φ ≼ φ|ψ should hold")
+	}
+}
+
+func TestOrderingWithinSpineMatters(t *testing.T) {
+	// α;β ⋠ β;α — prefixes record temporal order.
+	ab := Prefix(snd("a", "m", "v"), Prefix(rcv("b", "m", "v"), Nil()))
+	ba := Prefix(rcv("b", "m", "v"), Prefix(snd("a", "m", "v"), Nil()))
+	if Le(ab, ba) || Le(ba, ab) {
+		t.Errorf("differently ordered spines should be incomparable")
+	}
+	if !Incomparable(ab, ba) {
+		t.Errorf("Incomparable should report true")
+	}
+}
+
+func TestSiblingsAreUnordered(t *testing.T) {
+	// α|β ≼ α;β and α|β ≼ β;α: a composition imposes no order, so any
+	// interleaving refines it.
+	comp := Compose(Prefix(snd("a", "m", "v"), Nil()), Prefix(rcv("b", "m", "v"), Nil()))
+	seq1 := Prefix(snd("a", "m", "v"), Prefix(rcv("b", "m", "v"), Nil()))
+	seq2 := Prefix(rcv("b", "m", "v"), Prefix(snd("a", "m", "v"), Nil()))
+	if !Le(comp, seq1) || !Le(comp, seq2) {
+		t.Errorf("α|β should be below both interleavings")
+	}
+	if Le(seq1, comp) {
+		t.Errorf("a sequence is strictly above the unordered pair")
+	}
+}
+
+func TestNestedOrderPreserved(t *testing.T) {
+	// α;(β;γ) requires β before... after α and γ after β on the same path;
+	// the right log must respect the path order.
+	phi := Prefix(snd("a", "m", "v"),
+		Prefix(rcv("b", "m", "v"),
+			Prefix(snd("b", "n", "v"), Nil())))
+	// Same actions, middle one missing: not enough information.
+	psi := Prefix(snd("a", "m", "v"), Prefix(snd("b", "n", "v"), Nil()))
+	if Le(phi, psi) {
+		t.Errorf("missing action should break ≼")
+	}
+	// Extra interleaved actions are fine.
+	rich := Prefix(snd("a", "m", "v"),
+		Prefix(rcv("z", "q", "u"),
+			Prefix(rcv("b", "m", "v"),
+				Prefix(snd("z", "q", "u"),
+					Prefix(snd("b", "n", "v"), Nil())))))
+	if !Le(phi, rich) {
+		t.Errorf("interleaved extra actions should not break ≼")
+	}
+}
+
+func TestVariableBindingConsistency(t *testing.T) {
+	// a.snd(x,v); a.rcv(n,x): the two x's must be instantiated to the SAME
+	// channel.
+	phi := Prefix(SndAct("a", VarT("x"), NameT("v")),
+		Prefix(RcvAct("a", NameT("n"), VarT("x")), Nil()))
+	// Consistent: m then m.
+	good := Prefix(snd("a", "m", "v"), Prefix(rcv("a", "n", "m"), Nil()))
+	// Inconsistent: snd on m but rcv of value l.
+	bad := Prefix(snd("a", "m", "v"), Prefix(rcv("a", "n", "l"), Nil()))
+	if !Le(phi, good) {
+		t.Errorf("consistent instantiation should match")
+	}
+	if Le(phi, bad) {
+		t.Errorf("inconsistent instantiation must not match")
+	}
+}
+
+func TestVariableBacktracking(t *testing.T) {
+	// The first potential match for a.snd(x,v) binds x badly; the checker
+	// must backtrack and use the later action.
+	phi := Prefix(SndAct("a", VarT("x"), NameT("v")),
+		Prefix(RcvAct("a", NameT("n"), VarT("x")), Nil()))
+	psi := Prefix(snd("a", "WRONG", "v"), // candidate 1: binds x=WRONG, then fails
+		Prefix(snd("a", "m", "v"), // candidate 2: binds x=m
+			Prefix(rcv("a", "n", "m"), Nil())))
+	if !Le(phi, psi) {
+		t.Errorf("checker must backtrack over Pre1/Pre2 choices")
+	}
+}
+
+func TestUnknownMatchesOnlyUnknown(t *testing.T) {
+	phiQ := Prefix(SndAct("a", NameT("m"), UnknownT()), Nil())
+	psiQ := Prefix(SndAct("a", NameT("m"), UnknownT()), Nil())
+	psiN := Prefix(snd("a", "m", "n"), Nil())
+	if !Le(phiQ, psiQ) {
+		t.Errorf("? should match ?")
+	}
+	if Le(phiQ, psiN) {
+		t.Errorf("? is not a variable: it must not match a concrete name")
+	}
+	// But a variable matches ?.
+	phiV := Prefix(SndAct("a", NameT("m"), VarT("y")), Nil())
+	if !Le(phiV, psiQ) {
+		t.Errorf("a variable should match ? (σ may map variables to ?)")
+	}
+}
+
+func TestDifferentPrincipalsNoMatch(t *testing.T) {
+	if Le(Prefix(snd("a", "m", "v"), Nil()), Prefix(snd("b", "m", "v"), Nil())) {
+		t.Errorf("actions of different principals must not match")
+	}
+	if Le(Prefix(snd("a", "m", "v"), Nil()), Prefix(rcv("a", "m", "v"), Nil())) {
+		t.Errorf("actions of different kinds must not match")
+	}
+}
+
+func TestTransitivityWitness(t *testing.T) {
+	// A concrete chain: var-log ≼ partially-concrete ≼ fully interleaved.
+	phi := Prefix(SndAct("a", VarT("x"), NameT("v")), Nil())
+	mid := Prefix(snd("a", "m", "v"), Nil())
+	top := Prefix(rcv("z", "q", "u"), Prefix(snd("a", "m", "v"), Nil()))
+	if !Le(phi, mid) || !Le(mid, top) || !Le(phi, top) {
+		t.Errorf("transitivity chain broken")
+	}
+}
+
+func TestEquivLe(t *testing.T) {
+	a := Prefix(snd("a", "m", "v"), Nil())
+	b := Prefix(snd("a", "m", "v"), Nil())
+	if !EquivLe(a, b) {
+		t.Errorf("identical logs should be ≼-equivalent")
+	}
+	// φ|φ ≈ φ under the nonlinear interpretation.
+	if !EquivLe(&Comp{L: a, R: a}, a) {
+		t.Errorf("φ|φ and φ should be ≼-equivalent")
+	}
+}
+
+func TestIftActionsInOrder(t *testing.T) {
+	phi := Prefix(IftAct("a", NameT("m"), NameT("m")), Nil())
+	psi := Prefix(IftAct("a", NameT("m"), NameT("m")), Prefix(snd("b", "n", "w"), Nil()))
+	if !Le(phi, psi) {
+		t.Errorf("ift should match ift")
+	}
+	if Le(phi, Prefix(IffAct("a", NameT("m"), NameT("m")), Nil())) {
+		t.Errorf("ift must not match iff")
+	}
+}

@@ -1,0 +1,180 @@
+package logs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Local generators for closed logs (the gen package depends on logs, so the
+// property tests here keep their own).
+
+func genAction(rng *rand.Rand) Action {
+	principals := []string{"a", "b", "c"}
+	chans := []string{"m", "n", "l"}
+	vals := []string{"v", "w", "m", "n"}
+	p := principals[rng.Intn(len(principals))]
+	ch := NameT(chans[rng.Intn(len(chans))])
+	val := NameT(vals[rng.Intn(len(vals))])
+	switch rng.Intn(4) {
+	case 0:
+		return SndAct(p, ch, val)
+	case 1:
+		return RcvAct(p, ch, val)
+	case 2:
+		return IftAct(p, ch, val)
+	default:
+		return IffAct(p, ch, val)
+	}
+}
+
+func genLog(rng *rand.Rand, size int) Log {
+	if size <= 0 || rng.Intn(5) == 0 {
+		return Nil()
+	}
+	if rng.Intn(4) == 0 {
+		half := size / 2
+		return Compose(genLog(rng, half), genLog(rng, size-half))
+	}
+	return Prefix(genAction(rng), genLog(rng, size-1))
+}
+
+// weaken produces φ' ≼ φ by one information-reducing transformation.
+func weaken(rng *rand.Rand, l Log, freshID *int) Log {
+	switch rng.Intn(4) {
+	case 0: // drop the head action (inverse Log-Pre2)
+		if p, ok := l.(*Pre); ok {
+			return p.Rest
+		}
+		return l
+	case 1: // duplicate (nonlinear Log-Comp1): φ|φ ≼ φ
+		return &Comp{L: l, R: l}
+	case 2: // forget relative order of the two head actions
+		if p, ok := l.(*Pre); ok {
+			if q, ok := p.Rest.(*Pre); ok {
+				return Compose(Prefix(p.Act, q.Rest), Prefix(q.Act, q.Rest))
+			}
+		}
+		return l
+	default: // abstract a concrete channel into a variable
+		if p, ok := l.(*Pre); ok {
+			if (p.Act.Kind == Snd || p.Act.Kind == Rcv) && p.Act.A.Kind == TName {
+				*freshID++
+				act := p.Act
+				act.A = VarT("w" + string(rune('0'+*freshID%10)) + "x")
+				return Prefix(act, p.Rest)
+			}
+		}
+		return l
+	}
+}
+
+// TestProposition1Reflexive: φ ≼ φ on random logs.
+func TestProposition1Reflexive(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		phi := genLog(rng, 6)
+		if !Le(phi, phi) {
+			t.Fatalf("seed %d: φ ≼ φ fails for %s", seed, phi)
+		}
+	}
+}
+
+// TestWeakenSound: every weakening transformation produces φ' ≼ φ.
+func TestWeakenSound(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		phi := genLog(rng, 6)
+		fresh := 0
+		weak := weaken(rng, phi, &fresh)
+		if !Le(weak, phi) {
+			t.Fatalf("seed %d: weakened %s not ≼ original %s", seed, weak, phi)
+		}
+	}
+}
+
+// TestProposition1TransitiveChains: φ” ≼ φ' ≼ φ via repeated weakening
+// implies φ” ≼ φ (transitivity witnessed on generated chains).
+func TestProposition1TransitiveChains(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		phi := genLog(rng, 6)
+		fresh := 0
+		w1 := weaken(rng, phi, &fresh)
+		w2 := weaken(rng, w1, &fresh)
+		if !Le(w1, phi) || !Le(w2, w1) {
+			t.Fatalf("seed %d: weakening not sound", seed)
+		}
+		if !Le(w2, phi) {
+			t.Fatalf("seed %d: transitivity broken: %s ≼ %s ≼ %s but not ≼",
+				seed, w2, w1, phi)
+		}
+	}
+}
+
+// TestProposition1AntisymmetryUpToCanon: mutual ≼ between randomly related
+// logs coincides with information equality in practice: if φ ≼ ψ and ψ ≼ φ
+// then the two logs have the same action multiset reachable... we check the
+// weaker, still falsifiable statement that Canon-equal logs are mutually ≼
+// and that strict weakenings that lose an action are not mutually ≼.
+func TestProposition1AntisymmetryUpToCanon(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		phi := genLog(rng, 5)
+		if p, ok := phi.(*Pre); ok {
+			// Dropping a real action strictly loses information.
+			if Le(phi, p.Rest) {
+				t.Fatalf("seed %d: %s ≼ its own tail %s", seed, phi, p.Rest)
+			}
+		}
+	}
+}
+
+// TestLeMonotoneUnderPrefix: φ ≼ ψ implies φ ≼ α;ψ and α;φ... the former
+// is Log-Pre2; check it holds through the implementation on random pairs.
+func TestLeMonotoneUnderPrefix(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		phi := genLog(rng, 4)
+		fresh := 0
+		weak := weaken(rng, phi, &fresh)
+		alpha := genAction(rng)
+		if !Le(weak, Prefix(alpha, phi)) {
+			t.Fatalf("seed %d: Log-Pre2 monotonicity broken", seed)
+		}
+		// And under composition on the right (Log-Comp2).
+		other := genLog(rng, 3)
+		if !Le(weak, &Comp{L: other, R: phi}) || !Le(weak, &Comp{L: phi, R: other}) {
+			t.Fatalf("seed %d: Log-Comp2 monotonicity broken", seed)
+		}
+	}
+}
+
+// TestLeCompLeftSplit: φ|φ' ≼ ψ iff both halves ≼ ψ (Log-Comp1 exactness).
+func TestLeCompLeftSplit(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		psi := genLog(rng, 5)
+		fresh := 0
+		a := weaken(rng, psi, &fresh)
+		b := weaken(rng, psi, &fresh)
+		comp := &Comp{L: a, R: b}
+		if Le(comp, psi) != (Le(a, psi) && Le(b, psi)) {
+			t.Fatalf("seed %d: Comp1 split mismatch", seed)
+		}
+	}
+}
+
+// TestLeDecidesQuickly guards against exponential blowups on the sizes the
+// correctness checker uses.
+func TestLeDecidesQuickly(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	big := genLog(rng, 40)
+	fresh := 0
+	weak := big
+	for i := 0; i < 8; i++ {
+		weak = weaken(rng, weak, &fresh)
+	}
+	if !Le(weak, big) {
+		t.Fatalf("8-fold weakening should stay below the original")
+	}
+}

@@ -1,0 +1,93 @@
+package logs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// name maps an arbitrary generated string into a nonempty name.
+func name(s string) string {
+	out := []byte("n")
+	for _, c := range []byte(s) {
+		if c >= 'a' && c <= 'z' {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// TestQuickComposeMonoid: Compose is associative and has ∅ as identity
+// under Canon.
+func TestQuickComposeMonoid(t *testing.T) {
+	mk := func(p, ch, val string) Log {
+		return Prefix(SndAct(name(p), NameT(name(ch)), NameT(name(val))), Nil())
+	}
+	assoc := func(p1, p2, p3 string) bool {
+		a, b, c := mk(p1, "m", "v"), mk(p2, "n", "w"), mk(p3, "l", "u")
+		l := Compose(Compose(a, b), c)
+		r := Compose(a, Compose(b, c))
+		return Canon(l) == Canon(r)
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	unit := func(p string) bool {
+		a := mk(p, "m", "v")
+		return Canon(Compose(a, Nil())) == Canon(a) && Canon(Compose(Nil(), a)) == Canon(a)
+	}
+	if err := quick.Check(unit, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	comm := func(p1, p2 string) bool {
+		a, b := mk(p1, "m", "v"), mk(p2, "n", "w")
+		return Canon(Compose(a, b)) == Canon(Compose(b, a))
+	}
+	if err := quick.Check(comm, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLeReflexiveOnSpines: any single-spine log is ≼-reflexive.
+func TestQuickLeReflexiveOnSpines(t *testing.T) {
+	f := func(ps []string) bool {
+		l := Nil()
+		for _, p := range ps {
+			l = Prefix(RcvAct(name(p), NameT("m"), NameT("v")), l)
+		}
+		return Le(l, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrefixMonotone: for any spine φ and action α, φ ≼ α;φ and the
+// converse fails when φ lacks α's information (α;φ ⋠ φ unless α occurs).
+func TestQuickPrefixMonotone(t *testing.T) {
+	f := func(ps []string, extra string) bool {
+		l := Nil()
+		for _, p := range ps {
+			l = Prefix(RcvAct(name(p), NameT("m"), NameT("v")), l)
+		}
+		alpha := SndAct(name(extra), NameT("q"), NameT("u"))
+		return Le(l, Prefix(alpha, l))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubstClosedIsIdentity: substitution leaves closed logs alone.
+func TestQuickSubstClosedIsIdentity(t *testing.T) {
+	f := func(ps []string, v string) bool {
+		l := Nil()
+		for _, p := range ps {
+			l = Prefix(SndAct(name(p), NameT("m"), NameT("w")), l)
+		}
+		got := ApplySubst(l, Subst{name(v): NameT("z")})
+		return Canon(got) == Canon(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

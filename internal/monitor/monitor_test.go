@@ -1,0 +1,304 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/denote"
+	"repro/internal/logs"
+	"repro/internal/pattern"
+	"repro/internal/semantics"
+	"repro/internal/syntax"
+)
+
+func ch(name string) syntax.Ident { return syntax.IdentVal(syntax.Chan(name), nil) }
+
+func out(chName string, args ...syntax.Ident) *syntax.Output {
+	return syntax.Out(ch(chName), args...)
+}
+
+func in1(chName, v string, body syntax.Process) *syntax.InputSum {
+	return syntax.In1(ch(chName), pattern.AnyP(), v, body)
+}
+
+// sendRecvSystem is the Proposition 3 system: ∅ ▷ a[m⟨v⟩] ∥ b[m(x).0].
+func sendRecvSystem() syntax.System {
+	return syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("b", in1("m", "x", syntax.Stop())),
+	)
+}
+
+func TestErasureCorrespondence(t *testing.T) {
+	// Proposition 2: the monitored steps are exactly the plain steps of the
+	// erasure, with the same labels and erased successors.
+	m := New(sendRecvSystem())
+	msteps := Steps(m)
+	psteps := semantics.Steps(m.Erase())
+	if len(msteps) != len(psteps) {
+		t.Fatalf("monitored %d vs plain %d steps", len(msteps), len(psteps))
+	}
+	for i := range msteps {
+		if msteps[i].Label.String() != psteps[i].Label.String() {
+			t.Errorf("label %d: %v vs %v", i, msteps[i].Label, psteps[i].Label)
+		}
+		if msteps[i].Next.Erase().Canon() != psteps[i].Next.Canon() {
+			t.Errorf("successor %d erases differently", i)
+		}
+	}
+}
+
+func TestLogGrowsPerStep(t *testing.T) {
+	m := New(sendRecvSystem())
+	if logs.Size(m.Log) != 0 {
+		t.Fatalf("initial log not empty")
+	}
+	m1 := Steps(m)[0].Next
+	if logs.Size(m1.Log) != 1 {
+		t.Errorf("after send: log size = %d, want 1", logs.Size(m1.Log))
+	}
+	acts := logs.Actions(m1.Log)
+	want := logs.SndAct("a", logs.NameT("m"), logs.NameT("v"))
+	if acts[0] != want {
+		t.Errorf("logged %v, want %v", acts[0], want)
+	}
+	m2 := Steps(m1)[0].Next
+	acts = logs.Actions(m2.Log)
+	if len(acts) != 2 || acts[0].Kind != logs.Rcv || acts[0].Principal != "b" {
+		t.Errorf("after recv: log = %s", m2.Log)
+	}
+}
+
+func TestValuesOfMessageAndThreads(t *testing.T) {
+	m := New(sendRecvSystem())
+	vals := Values(m)
+	// a's output channel m:ε and argument v:ε; b's input channel m:ε.
+	if len(vals) != 3 {
+		t.Fatalf("values = %v, want 3 entries", vals)
+	}
+}
+
+func TestValuesUnknownSubstitution(t *testing.T) {
+	// a[m(x).(νn)(n⟨v:ε⟩)]: under the prefix, the restricted n is unknown
+	// to the log, so values contains ?:ε for the channel position.
+	body := &syntax.Restrict{Name: "n", Body: out("n", ch("v"))}
+	s := syntax.Loc("a", in1("m", "x", body))
+	m := New(s)
+	vals := Values(m)
+	sawUnknown := false
+	for _, v := range vals {
+		if v.V.Kind == logs.TUnknown {
+			sawUnknown = true
+		}
+	}
+	if !sawUnknown {
+		t.Errorf("restricted channel should appear as ?: %v", vals)
+	}
+}
+
+func TestTopLevelRestrictionKnownToLog(t *testing.T) {
+	// (νn)(a[n⟨v⟩]): the active restriction is lifted to the monitor level,
+	// so n (fresh-renamed) appears by name, not as ?.
+	s := &syntax.SysRestrict{Name: "n", Body: syntax.Loc("a", out("n", ch("v")))}
+	m := New(s)
+	for _, v := range Values(m) {
+		if v.V.Kind == logs.TUnknown {
+			t.Errorf("top-level restricted name must not be ?: %v", v)
+		}
+	}
+	// And after the send, the logged action names the fresh channel.
+	m1 := Steps(m)[0].Next
+	acts := logs.Actions(m1.Log)
+	if len(acts) != 1 || acts[0].A.Kind != logs.TName {
+		t.Errorf("log = %s", m1.Log)
+	}
+}
+
+func TestInitialCorrectness(t *testing.T) {
+	// All-ε systems are correct under the empty log: ⟦V:ε⟧ = ∅ ≼ ∅.
+	if !HasCorrectProvenance(New(sendRecvSystem())) {
+		t.Errorf("initial system should have correct provenance")
+	}
+}
+
+func TestCorrectnessAfterSend(t *testing.T) {
+	m := New(sendRecvSystem())
+	m1 := Steps(m)[0].Next
+	// The message payload v:a!ε denotes a.snd(x,v), justified by the
+	// logged a.snd(m,v).
+	if v, bad := FirstIncorrectValue(m1); bad {
+		t.Errorf("after send, value %v is incorrect under log %s", v, m1.Log)
+	}
+}
+
+func TestCorrectnessFullCommunication(t *testing.T) {
+	m := New(sendRecvSystem())
+	for i := 0; ; i++ {
+		if v, bad := FirstIncorrectValue(m); bad {
+			t.Fatalf("state %d: incorrect value %v under log %s", i, v, m.Log)
+		}
+		steps := Steps(m)
+		if len(steps) == 0 {
+			break
+		}
+		m = steps[0].Next
+	}
+}
+
+func TestForgedProvenanceDetected(t *testing.T) {
+	// A message claiming to have been sent by c, with an empty log: the
+	// claim is unjustified, so correctness fails.
+	s := syntax.Msg("m", syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("c", nil))))
+	m := New(s)
+	if HasCorrectProvenance(m) {
+		t.Errorf("forged provenance should be detected")
+	}
+	v, bad := FirstIncorrectValue(m)
+	if !bad || v.V.Name != "v" {
+		t.Errorf("witness = %v", v)
+	}
+}
+
+func TestWrongPrincipalDetected(t *testing.T) {
+	// Log says a sent v; provenance claims b sent it.
+	m := &Monitored{
+		Log: logs.Prefix(logs.SndAct("a", logs.NameT("m"), logs.NameT("v")), logs.Nil()),
+		Sys: semantics.Normalize(syntax.Msg("m",
+			syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("b", nil))))),
+	}
+	if HasCorrectProvenance(m) {
+		t.Errorf("wrong-principal provenance should be detected")
+	}
+}
+
+func TestTheorem1AuditingExample(t *testing.T) {
+	// Correctness is preserved along the whole auditing run.
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("s", in1("m", "x", syntax.Out(ch("n1"), syntax.Var("x")))),
+		syntax.Loc("c", in1("n1", "x", syntax.Out(ch("p"), syntax.Var("x")))),
+		syntax.Loc("b", in1("n2", "x", syntax.Stop())),
+	)
+	if i, v, ok := CheckCorrectnessPreservation(s, 7, 50); !ok {
+		t.Errorf("Theorem 1 violated at state %d by %v", i, v)
+	}
+}
+
+func TestTheorem1WithChannelPassing(t *testing.T) {
+	// A channel is itself communicated and then used for input: the input
+	// stamp records the received channel's provenance, which must remain
+	// justified by the log.
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("secret"))),
+		syntax.Loc("b", in1("m", "x",
+			syntax.In1(syntax.Var("x"), pattern.AnyP(), "y", syntax.Stop()))),
+		syntax.Loc("c", out("secret", ch("v"))),
+	)
+	for seed := int64(0); seed < 5; seed++ {
+		if i, v, ok := CheckCorrectnessPreservation(s, seed, 50); !ok {
+			t.Errorf("seed %d: Theorem 1 violated at state %d by %v", seed, i, v)
+		}
+	}
+}
+
+func TestTheorem1WithIf(t *testing.T) {
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("b", in1("m", "x",
+			&syntax.If{L: syntax.Var("x"), R: ch("v"),
+				Then: out("yes", syntax.Var("x")),
+				Else: out("no", syntax.Var("x"))})),
+	)
+	if i, v, ok := CheckCorrectnessPreservation(s, 3, 50); !ok {
+		t.Errorf("Theorem 1 violated at state %d by %v", i, v)
+	}
+}
+
+func TestProposition3Counterexample(t *testing.T) {
+	// M ≜ ∅ ▷ a[m:ε⟨v:ε⟩] ∥ b[m:ε(x).P] is complete; after the send,
+	// M' is not (m:ε tells us nothing about the logged a.snd(m,v)).
+	m := New(sendRecvSystem())
+	if !HasCompleteProvenance(m) {
+		t.Fatalf("initial system should have complete provenance")
+	}
+	m1 := Steps(m)[0].Next
+	if HasCompleteProvenance(m1) {
+		t.Errorf("Proposition 3: completeness should fail after the send")
+	}
+	// Correctness still holds (Theorem 1).
+	if !HasCorrectProvenance(m1) {
+		t.Errorf("correctness should still hold")
+	}
+}
+
+func TestForgottenValueIncompleteness(t *testing.T) {
+	// §3.5: a value received into a discarding continuation is forgotten;
+	// the log still records it, so no value's provenance can be complete.
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("b", in1("m", "x", syntax.Stop())),
+		syntax.Loc("z", out("other", ch("w"))), // a surviving value
+	)
+	m := New(s)
+	for {
+		steps := Steps(m)
+		if len(steps) == 0 {
+			break
+		}
+		m = steps[0].Next
+	}
+	if HasCompleteProvenance(m) {
+		t.Errorf("after the value is forgotten, completeness must fail")
+	}
+}
+
+func TestPolyadicLogging(t *testing.T) {
+	// Polyadic send logs one action per component, and each component's
+	// provenance stays correct.
+	s := syntax.SysParAll(
+		syntax.Loc("j", syntax.Out(ch("res"), ch("e1"), ch("r1"))),
+		syntax.Loc("o", syntax.In(ch("res"),
+			[]syntax.Pattern{pattern.AnyP(), pattern.AnyP()}, []string{"y", "z"}, syntax.Stop())),
+	)
+	m := New(s)
+	m1 := Steps(m)[0].Next
+	if got := logs.Size(m1.Log); got != 2 {
+		t.Fatalf("log size after dyadic send = %d, want 2", got)
+	}
+	if v, bad := FirstIncorrectValue(m1); bad {
+		t.Errorf("incorrect value %v", v)
+	}
+	m2 := Steps(m1)[0].Next
+	if got := logs.Size(m2.Log); got != 4 {
+		t.Fatalf("log size after dyadic recv = %d, want 4", got)
+	}
+	if v, bad := FirstIncorrectValue(m2); bad {
+		t.Errorf("incorrect value %v under %s", v, m2.Log)
+	}
+}
+
+func TestDenoteAgainstGrowingLog(t *testing.T) {
+	// Sanity: denotation of the final audited value is ≼ the final log.
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("s", in1("m", "x", syntax.Out(ch("n1"), syntax.Var("x")))),
+		syntax.Loc("c", in1("n1", "x", syntax.Stop())),
+	)
+	m := New(s)
+	for {
+		steps := Steps(m)
+		if len(steps) == 0 {
+			break
+		}
+		m = steps[0].Next
+	}
+	k := syntax.Seq(
+		syntax.InEvent("c", nil),
+		syntax.OutEvent("s", nil),
+		syntax.InEvent("s", nil),
+		syntax.OutEvent("a", nil),
+	)
+	phi := denote.DenoteTerm(logs.NameT("v"), k)
+	if !logs.Le(phi, m.Log) {
+		t.Errorf("final audit denotation %s not ≼ log %s", phi, m.Log)
+	}
+}

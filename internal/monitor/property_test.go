@@ -1,0 +1,125 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logs"
+	"repro/internal/semantics"
+)
+
+// TestTheorem1RandomSystems is the machine-checked Theorem 1: starting
+// from generated systems with correct (ε) provenance, every reachable
+// monitored state along random runs has correct provenance.
+func TestTheorem1RandomSystems(t *testing.T) {
+	cfg := gen.Default()
+	systems := 150
+	if testing.Short() {
+		systems = 30
+	}
+	for seed := int64(0); seed < int64(systems); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := cfg.System(rng)
+		m := New(s)
+		if v, bad := FirstIncorrectValue(m); bad {
+			t.Fatalf("seed %d: initial generated system already incorrect: %v", seed, v)
+		}
+		for step := 0; step < 25; step++ {
+			steps := Steps(m)
+			if len(steps) == 0 {
+				break
+			}
+			m = steps[rng.Intn(len(steps))].Next
+			if v, bad := FirstIncorrectValue(m); bad {
+				t.Fatalf("seed %d step %d: Theorem 1 violated by %v under log %s\nsystem: %s",
+					seed, step, v, m.Log, m.Sys)
+			}
+		}
+	}
+}
+
+// TestProposition2RandomSystems: monitored and plain reduction correspond
+// step-for-step on generated systems.
+func TestProposition2RandomSystems(t *testing.T) {
+	cfg := gen.Default()
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := cfg.System(rng)
+		m := New(s)
+		for step := 0; step < 10; step++ {
+			msteps := Steps(m)
+			psteps := semantics.Steps(m.Erase())
+			if len(msteps) != len(psteps) {
+				t.Fatalf("seed %d step %d: %d monitored vs %d plain steps",
+					seed, step, len(msteps), len(psteps))
+			}
+			if len(msteps) == 0 {
+				break
+			}
+			i := rng.Intn(len(msteps))
+			if msteps[i].Next.Erase().Canon() != psteps[i].Next.Canon() {
+				t.Fatalf("seed %d step %d: erasure mismatch", seed, step)
+			}
+			m = msteps[i].Next
+		}
+	}
+}
+
+// TestProposition3Generic hunts for completeness violations on random
+// systems: completeness must break for essentially every system that
+// performs at least one step and retains at least one value (the property
+// is not preserved by reduction).
+func TestProposition3Generic(t *testing.T) {
+	cfg := gen.Default()
+	violations := 0
+	attempts := 0
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := cfg.System(rng)
+		m := New(s)
+		if !HasCompleteProvenance(m) {
+			continue // initial values may be absent; skip degenerate cases
+		}
+		steps := Steps(m)
+		if len(steps) == 0 {
+			continue
+		}
+		next := steps[0].Next
+		if len(Values(next)) == 0 {
+			continue
+		}
+		attempts++
+		if !HasCompleteProvenance(next) {
+			violations++
+		}
+	}
+	if attempts == 0 {
+		t.Fatalf("no generated system exercised the completeness check")
+	}
+	if violations == 0 {
+		t.Errorf("expected completeness violations after reduction (Prop 3), found none in %d attempts", attempts)
+	}
+}
+
+// TestLogMonotone: the global log only ever grows (each step prepends).
+func TestLogMonotone(t *testing.T) {
+	cfg := gen.Default()
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := New(cfg.System(rng))
+		prev := 0
+		for step := 0; step < 15; step++ {
+			steps := Steps(m)
+			if len(steps) == 0 {
+				break
+			}
+			m = steps[rng.Intn(len(steps))].Next
+			cur := logs.Size(m.Log)
+			if cur <= prev {
+				t.Fatalf("seed %d step %d: log did not grow (%d -> %d)", seed, step, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}

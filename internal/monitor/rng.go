@@ -1,0 +1,7 @@
+package monitor
+
+import "math/rand"
+
+// newRng returns a deterministic PRNG for resolving reduction
+// nondeterminism; factored out so every entry point seeds identically.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

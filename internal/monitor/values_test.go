@@ -1,0 +1,110 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+func TestValuesUnderReplication(t *testing.T) {
+	// Values inside a replication body are part of values(M).
+	s := syntax.Loc("a", &syntax.Repl{Body: out("m", ch("v"))})
+	vals := Values(New(s))
+	names := map[string]int{}
+	for _, v := range vals {
+		names[v.V.String()]++
+	}
+	if names["m"] == 0 || names["v"] == 0 {
+		t.Errorf("replication body values missing: %v", vals)
+	}
+}
+
+func TestValuesIfOperands(t *testing.T) {
+	s := syntax.Loc("a", &syntax.If{
+		L:    syntax.IdentVal(syntax.Chan("m"), syntax.Seq(syntax.OutEvent("z", nil))),
+		R:    ch("n"),
+		Then: syntax.Stop(),
+		Else: syntax.Stop(),
+	})
+	vals := Values(New(s))
+	found := false
+	for _, v := range vals {
+		if v.V.Name == "m" && len(v.K) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("if-operand value with annotation missing: %v", vals)
+	}
+}
+
+func TestValuesNestedRestrictionsDistinct(t *testing.T) {
+	// Two nested process restrictions: both names map to ?, but unrelated
+	// names survive.
+	body := &syntax.Restrict{Name: "p", Body: &syntax.Restrict{Name: "q",
+		Body: syntax.ParAll(out("p", ch("v")), out("q", ch("w")))}}
+	s := syntax.Loc("a", in1("trigger", "x", body))
+	vals := Values(New(s))
+	unknowns, known := 0, 0
+	for _, v := range vals {
+		switch v.V.Kind {
+		case logs.TUnknown:
+			unknowns++
+		case logs.TName:
+			known++
+		}
+	}
+	if unknowns != 2 {
+		t.Errorf("expected 2 ?-values (p and q as channels), got %d in %v", unknowns, vals)
+	}
+	if known < 3 {
+		t.Errorf("expected v, w and trigger to stay named, got %d in %v", known, vals)
+	}
+}
+
+func TestValuesShadowedRestriction(t *testing.T) {
+	// A restriction under a prefix shadows an outer free name: only the
+	// inner occurrences become ?.
+	inner := &syntax.Restrict{Name: "m", Body: out("m", ch("v"))}
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("w"))), // free m: stays named
+		syntax.Loc("b", in1("t", "x", inner)),
+	)
+	vals := Values(New(s))
+	namedM, unknownM := 0, 0
+	for _, v := range vals {
+		if v.V.Kind == logs.TName && v.V.Name == "m" {
+			namedM++
+		}
+		if v.V.Kind == logs.TUnknown {
+			unknownM++
+		}
+	}
+	if namedM != 1 || unknownM != 1 {
+		t.Errorf("named m = %d (want 1), ? = %d (want 1): %v", namedM, unknownM, vals)
+	}
+}
+
+func TestCorrectnessChecksValuesUnderPrefixes(t *testing.T) {
+	// A bogus annotation hidden under an un-fired prefix must still fail
+	// Definition 3 (values(−) scans continuations).
+	bogus := syntax.Out(ch("out"),
+		syntax.IdentVal(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("ghost", nil))))
+	s := syntax.Loc("a", syntax.In1(ch("m"), pattern.AnyP(), "x", bogus))
+	m := New(s)
+	if HasCorrectProvenance(m) {
+		t.Errorf("bogus annotation under a prefix must be detected")
+	}
+}
+
+func TestEmptySystemTriviallyCorrectAndComplete(t *testing.T) {
+	m := New(syntax.Loc("a", syntax.Stop()))
+	if !HasCorrectProvenance(m) || !HasCompleteProvenance(m) {
+		t.Errorf("the inert system has no values: both properties hold vacuously")
+	}
+	if len(Values(m)) != 0 {
+		t.Errorf("values of a[0] should be empty")
+	}
+}

@@ -1,0 +1,108 @@
+package parser_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+func TestParseCapturePattern(t *testing.T) {
+	p, err := parser.ParsePattern(`capture(y, s!any;any)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := p.(pattern.Capture)
+	if !ok {
+		t.Fatalf("parsed %T, want Capture", p)
+	}
+	if c.Var != "y" {
+		t.Errorf("var = %q", c.Var)
+	}
+	// Round trip.
+	back, err := parser.ParsePattern(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !pattern.Equal(p, back) {
+		t.Errorf("round trip changed %s -> %s", p, back)
+	}
+}
+
+func TestParseCaptureScopesVariable(t *testing.T) {
+	src := `b[m?(capture(y, any) as x).reply!(y, x)]`
+	s, err := parser.ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.(*syntax.Located).Proc.(*syntax.InputSum)
+	body := sum.Branches[0].Body.(*syntax.Output)
+	if !body.Args[0].IsVar || body.Args[0].Var != "y" {
+		t.Errorf("y should resolve to the capture variable: %v", body.Args[0])
+	}
+	if !syntax.IsClosed(s) {
+		t.Errorf("capture variable must close the system")
+	}
+}
+
+func TestParseCaptureNestedRejected(t *testing.T) {
+	for _, src := range []string{
+		`b[m?(capture(y, any);any as x).0]`,
+		`b[m?((capture(y, any))* as x).0]`,
+		`b[m?(a!(capture(y, any)) as x).0]`,
+	} {
+		if _, err := parser.ParseSystem(src); err == nil {
+			t.Errorf("nested capture should be rejected: %s", src)
+		}
+	}
+}
+
+func TestParseCaptureCollisionRejected(t *testing.T) {
+	if _, err := parser.ParseSystem(`b[m?(capture(x, any) as x).0]`); err == nil {
+		t.Errorf("capture variable colliding with the payload binder should be rejected")
+	}
+}
+
+func TestCaptureNameStillUsableElsewhere(t *testing.T) {
+	// "capture" is only reserved in pattern position before '('; it is an
+	// ordinary name elsewhere.
+	if _, err := parser.ParseSystem(`a[capture!(v)]`); err != nil {
+		t.Errorf("capture as a channel name should parse: %v", err)
+	}
+}
+
+func TestCaptureReplyToEndToEnd(t *testing.T) {
+	// The reply-to idiom: a server captures the most recent handler of the
+	// request and branches on it — b cannot spoof being a.
+	src := `
+		a[req!(job)] ||
+		server[req?(capture(who, any) as x).
+			if who = @a then fromA!(x) else fromOther!(x)]
+	`
+	prog, err := core.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prog.Run(core.Options{Deterministic: true})
+	if !rep.Correct {
+		t.Fatalf("correctness violated: %s", rep.Witness)
+	}
+	msgs := core.Messages(rep.Final)
+	if len(msgs["fromA"]) != 1 || len(msgs["fromOther"]) != 0 {
+		t.Errorf("capture routing failed: %v", msgs)
+	}
+	// Same server, different client: the else branch fires.
+	src2 := `
+		mallory[req!(job)] ||
+		server[req?(capture(who, any) as x).
+			if who = @a then fromA!(x) else fromOther!(x)]
+	`
+	prog2 := core.MustLoad(src2)
+	rep2 := prog2.Run(core.Options{Deterministic: true})
+	msgs2 := core.Messages(rep2.Final)
+	if len(msgs2["fromOther"]) != 1 || len(msgs2["fromA"]) != 0 {
+		t.Errorf("spoofed sender not detected: %v", msgs2)
+	}
+}

@@ -1,0 +1,120 @@
+package parser
+
+import (
+	"repro/internal/lexer"
+	"repro/internal/logs"
+)
+
+// log parses a log term: compositions of action spines.
+func (p *parser) log() (logs.Log, error) {
+	first, err := p.logAtom()
+	if err != nil {
+		return nil, err
+	}
+	parts := []logs.Log{first}
+	for p.accept(lexer.Bar) {
+		next, err := p.logAtom()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	out := parts[len(parts)-1]
+	for i := len(parts) - 2; i >= 0; i-- {
+		out = &logs.Comp{L: parts[i], R: out}
+	}
+	return out, nil
+}
+
+func (p *parser) logAtom() (logs.Log, error) {
+	switch {
+	case p.accept(lexer.Zero):
+		return logs.Nil(), nil
+	case p.accept(lexer.LParen):
+		l, err := p.log()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	act, err := p.logAction()
+	if err != nil {
+		return nil, err
+	}
+	rest := logs.Nil()
+	if p.accept(lexer.Semi) {
+		rest, err = p.logAtom()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return logs.Prefix(act, rest), nil
+}
+
+func (p *parser) logAction() (logs.Action, error) {
+	principal, err := p.expect(lexer.Name)
+	if err != nil {
+		return logs.Action{}, err
+	}
+	if _, err := p.expect(lexer.Dot); err != nil {
+		return logs.Action{}, err
+	}
+	kindTok, err := p.expect(lexer.Name)
+	if err != nil {
+		return logs.Action{}, err
+	}
+	var kind logs.ActKind
+	switch kindTok.Text {
+	case "snd":
+		kind = logs.Snd
+	case "rcv":
+		kind = logs.Rcv
+	case "ift":
+		kind = logs.IfT
+	case "iff":
+		kind = logs.IfF
+	default:
+		return logs.Action{}, p.errf("unknown action kind %q (want snd, rcv, ift or iff)", kindTok.Text)
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return logs.Action{}, err
+	}
+	a, err := p.logTerm()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	if _, err := p.expect(lexer.Comma); err != nil {
+		return logs.Action{}, err
+	}
+	b, err := p.logTerm()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return logs.Action{}, err
+	}
+	return logs.Action{Principal: principal.Text, Kind: kind, A: a, B: b}, nil
+}
+
+func (p *parser) logTerm() (logs.Term, error) {
+	switch {
+	case p.accept(lexer.Query):
+		return logs.UnknownT(), nil
+	case p.accept(lexer.Dollar):
+		name, err := p.expect(lexer.Name)
+		if err != nil {
+			return logs.Term{}, err
+		}
+		return logs.VarT(name.Text), nil
+	case p.at(lexer.Name):
+		return logs.NameT(p.advance().Text), nil
+	default:
+		return logs.Term{}, p.errf("expected log term (name, $var or ?), got %s", p.cur())
+	}
+}

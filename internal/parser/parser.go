@@ -1,0 +1,603 @@
+// Package parser parses the surface syntax of the provenance calculus.
+//
+// Grammar (EBNF; // comments and whitespace are insignificant):
+//
+//	sys      = "new" name {"," name} "." sys | sysatom {"||" sysatom} .
+//	sysatom  = name "[" proc "]"                      (located process)
+//	         | name "<<" annot {"," annot} ">>"       (message)
+//	         | "(" sys ")" .
+//	proc     = "new" name {"," name} "." proc | prefix {"|" prefix} .
+//	prefix   = "*" prefix                              (replication)
+//	         | "0"                                     (inert)
+//	         | "(" proc ")" | "{" proc "}"
+//	         | "if" ident "=" ident "then" prefix "else" prefix
+//	         | ident "!" "(" [ident {"," ident}] ")"   (output)
+//	         | ident "?" branch                        (input)
+//	         | ident "?" "{" branch {"[]" branch} "}"  (input-guarded sum)
+//	branch   = "(" patbind {"," patbind} ")" ["." prefix] .
+//	patbind  = pat "as" name .
+//	ident    = ["@"] name [":" "(" prov ")"] .
+//	prov     = [event {";" event}] .
+//	event    = name ("!"|"?") "(" prov ")" .
+//
+//	pat      = cat {"/" cat} .                         (alternation π∨π)
+//	cat      = rep {";" rep} .                         (concatenation π;π)
+//	rep      = patatom {"*"} .                         (repetition π*)
+//	patatom  = "eps" | "any"
+//	         | group ("!"|"?") patarg                  (event patterns G!π, G?π)
+//	         | "(" pat ")" .
+//	patarg   = "eps" | "any" | "(" pat ")" .
+//	group    = gatom {("+"|"-") gatom} .
+//	gatom    = name | "~" | "(" group ")" .
+//
+//	log      = "0" | logatom {"|" logatom} .
+//	logatom  = "0" | act [";" logatom] | "(" log ")" .
+//	act      = name "." ("snd"|"rcv"|"ift"|"iff") "(" term "," term ")" .
+//	term     = name | "$" name | "?" .
+//
+// Name resolution: a bare name in identifier position denotes the variable
+// bound by an enclosing input if one is in scope, otherwise a channel-name
+// value annotated ε. The "@" marker forces a principal-name value (needed
+// to send principal names as data). Names in located-process, provenance-
+// event and group positions are principals by construction. A ":" suffix
+// attaches an explicit provenance literal.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/lexer"
+	"repro/internal/logs"
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+// SyntaxError is a parse error with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks  []lexer.Token
+	pos   int
+	scope []string // bound variables, innermost last
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) cur() lexer.Token  { return p.toks[p.pos] }
+func (p *parser) peek() lexer.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) at(k lexer.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) advance() lexer.Token {
+	t := p.cur()
+	if t.Kind != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k lexer.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if !p.at(k) {
+		return lexer.Token{}, p.errf("expected %s, got %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) inScope(name string) bool {
+	for _, v := range p.scope {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) eof() error {
+	if !p.at(lexer.EOF) {
+		return p.errf("unexpected trailing input: %s", p.cur())
+	}
+	return nil
+}
+
+// ParseSystem parses a closed system term.
+func ParseSystem(src string) (syntax.System, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	s, err := p.system()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eof(); err != nil {
+		return nil, err
+	}
+	if !syntax.IsClosed(s) {
+		return nil, fmt.Errorf("system has free variables: %v",
+			syntax.SortedNames(syntax.SystemFreeVars(s)))
+	}
+	return s, nil
+}
+
+// ParseProcess parses a process term (it may reference no free variables).
+func ParseProcess(src string) (syntax.Process, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := p.process()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eof(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// ParsePattern parses a pattern of the sample language.
+func ParsePattern(src string) (pattern.Pattern, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := p.pattern()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eof(); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+// ParseProv parses a provenance literal (without the surrounding
+// parentheses): e.g. "b?();a!()" or "" for ε.
+func ParseProv(src string) (syntax.Prov, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	k, err := p.prov(lexer.EOF)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eof(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// ParseLog parses a log term.
+func ParseLog(src string) (logs.Log, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	l, err := p.log()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eof(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// --- systems ---
+
+func (p *parser) system() (syntax.System, error) {
+	if p.accept(lexer.KwNew) {
+		names, err := p.nameList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Dot); err != nil {
+			return nil, err
+		}
+		body, err := p.system()
+		if err != nil {
+			return nil, err
+		}
+		for i := len(names) - 1; i >= 0; i-- {
+			body = &syntax.SysRestrict{Name: names[i], Body: body}
+		}
+		return body, nil
+	}
+	first, err := p.sysAtom()
+	if err != nil {
+		return nil, err
+	}
+	parts := []syntax.System{first}
+	for p.accept(lexer.Bar2) {
+		next, err := p.sysAtom()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	return syntax.SysParAll(parts...), nil
+}
+
+func (p *parser) sysAtom() (syntax.System, error) {
+	if p.accept(lexer.LParen) {
+		s, err := p.system()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	name, err := p.expect(lexer.Name)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(lexer.LBrack):
+		proc, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RBrack); err != nil {
+			return nil, err
+		}
+		return syntax.Loc(name.Text, proc), nil
+	case p.accept(lexer.LAngle2):
+		var payload []syntax.AnnotatedValue
+		for {
+			v, err := p.annotValue()
+			if err != nil {
+				return nil, err
+			}
+			payload = append(payload, v)
+			if !p.accept(lexer.Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(lexer.RAngle2); err != nil {
+			return nil, err
+		}
+		return syntax.Msg(name.Text, payload...), nil
+	default:
+		return nil, p.errf("expected '[' or '<<' after %q", name.Text)
+	}
+}
+
+func (p *parser) nameList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.expect(lexer.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.Text)
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+	return out, nil
+}
+
+// --- processes ---
+
+func (p *parser) process() (syntax.Process, error) {
+	if p.accept(lexer.KwNew) {
+		names, err := p.nameList()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Dot); err != nil {
+			return nil, err
+		}
+		body, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		for i := len(names) - 1; i >= 0; i-- {
+			body = &syntax.Restrict{Name: names[i], Body: body}
+		}
+		return body, nil
+	}
+	first, err := p.prefix()
+	if err != nil {
+		return nil, err
+	}
+	parts := []syntax.Process{first}
+	for p.accept(lexer.Bar) {
+		next, err := p.prefix()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	return syntax.ParAll(parts...), nil
+}
+
+func (p *parser) prefix() (syntax.Process, error) {
+	switch {
+	case p.accept(lexer.Star):
+		body, err := p.prefix()
+		if err != nil {
+			return nil, err
+		}
+		return &syntax.Repl{Body: body}, nil
+	case p.accept(lexer.Zero):
+		return syntax.Stop(), nil
+	case p.accept(lexer.LParen):
+		pr, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return pr, nil
+	case p.accept(lexer.LBrace):
+		pr, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RBrace); err != nil {
+			return nil, err
+		}
+		return pr, nil
+	case p.accept(lexer.KwIf):
+		l, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Eq); err != nil {
+			return nil, err
+		}
+		r, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.KwThen); err != nil {
+			return nil, err
+		}
+		thenP, err := p.prefix()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.KwElse); err != nil {
+			return nil, err
+		}
+		elseP, err := p.prefix()
+		if err != nil {
+			return nil, err
+		}
+		return &syntax.If{L: l, R: r, Then: thenP, Else: elseP}, nil
+	}
+	subject, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(lexer.Bang):
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		var args []syntax.Ident
+		if !p.at(lexer.RParen) {
+			for {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(lexer.Comma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return &syntax.Output{Chan: subject, Args: args}, nil
+	case p.accept(lexer.Query):
+		if p.accept(lexer.LBrace) {
+			var branches []*syntax.Branch
+			for {
+				b, err := p.branch()
+				if err != nil {
+					return nil, err
+				}
+				branches = append(branches, b)
+				if !p.accept(lexer.SumSep) {
+					break
+				}
+			}
+			if _, err := p.expect(lexer.RBrace); err != nil {
+				return nil, err
+			}
+			return &syntax.InputSum{Chan: subject, Branches: branches}, nil
+		}
+		b, err := p.branch()
+		if err != nil {
+			return nil, err
+		}
+		return &syntax.InputSum{Chan: subject, Branches: []*syntax.Branch{b}}, nil
+	default:
+		return nil, p.errf("expected '!' or '?' after identifier")
+	}
+}
+
+func (p *parser) branch() (*syntax.Branch, error) {
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	var pats []syntax.Pattern
+	var vars []string
+	var captureVars []string
+	for {
+		pat, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if pattern.ContainsNestedCapture(pat) {
+			return nil, p.errf("capture(...) is only allowed at the top level of an input position")
+		}
+		captureVars = append(captureVars, pattern.CaptureVars(pat)...)
+		if _, err := p.expect(lexer.KwAs); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(lexer.Name)
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, pat)
+		vars = append(vars, v.Text)
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	for _, cv := range captureVars {
+		for _, v := range vars {
+			if cv == v {
+				return nil, p.errf("capture variable %q collides with a payload binder", cv)
+			}
+		}
+	}
+	body := syntax.Process(syntax.Stop())
+	if p.accept(lexer.Dot) {
+		depth := len(p.scope)
+		p.scope = append(p.scope, vars...)
+		p.scope = append(p.scope, captureVars...)
+		b, err := p.prefix()
+		p.scope = p.scope[:depth]
+		if err != nil {
+			return nil, err
+		}
+		body = b
+	}
+	return &syntax.Branch{Pats: pats, Vars: vars, Body: body}, nil
+}
+
+// --- identifiers, values, provenance ---
+
+func (p *parser) ident() (syntax.Ident, error) {
+	isPrincipal := p.accept(lexer.At)
+	name, err := p.expect(lexer.Name)
+	if err != nil {
+		return syntax.Ident{}, err
+	}
+	hasProv := p.at(lexer.Colon)
+	if !isPrincipal && !hasProv && p.inScope(name.Text) {
+		return syntax.Var(name.Text), nil
+	}
+	var k syntax.Prov
+	if p.accept(lexer.Colon) {
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return syntax.Ident{}, err
+		}
+		k, err = p.prov(lexer.RParen)
+		if err != nil {
+			return syntax.Ident{}, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return syntax.Ident{}, err
+		}
+	}
+	v := syntax.Chan(name.Text)
+	if isPrincipal {
+		v = syntax.Principal(name.Text)
+	}
+	return syntax.IdentVal(v, k), nil
+}
+
+func (p *parser) annotValue() (syntax.AnnotatedValue, error) {
+	w, err := p.ident()
+	if err != nil {
+		return syntax.AnnotatedValue{}, err
+	}
+	if w.IsVar {
+		return syntax.AnnotatedValue{}, p.errf("message payloads must be values, got variable %q", w.Var)
+	}
+	return w.Val, nil
+}
+
+// prov parses a possibly empty event sequence terminated by the given
+// token kind (not consumed).
+func (p *parser) prov(terminator lexer.Kind) (syntax.Prov, error) {
+	if p.at(terminator) {
+		return nil, nil
+	}
+	var k syntax.Prov
+	for {
+		e, err := p.event()
+		if err != nil {
+			return nil, err
+		}
+		k = append(k, e)
+		if !p.accept(lexer.Semi) {
+			break
+		}
+	}
+	return k, nil
+}
+
+func (p *parser) event() (syntax.Event, error) {
+	name, err := p.expect(lexer.Name)
+	if err != nil {
+		return syntax.Event{}, err
+	}
+	var dir syntax.Dir
+	switch {
+	case p.accept(lexer.Bang):
+		dir = syntax.Send
+	case p.accept(lexer.Query):
+		dir = syntax.Recv
+	default:
+		return syntax.Event{}, p.errf("expected '!' or '?' in provenance event")
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return syntax.Event{}, err
+	}
+	inner, err := p.prov(lexer.RParen)
+	if err != nil {
+		return syntax.Event{}, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return syntax.Event{}, err
+	}
+	return syntax.Event{Principal: name.Text, Dir: dir, ChanProv: inner}, nil
+}

@@ -1,0 +1,411 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logs"
+	"repro/internal/pattern"
+	"repro/internal/semantics"
+	"repro/internal/syntax"
+)
+
+func TestParseSimpleSystem(t *testing.T) {
+	s, err := ParseSystem(`a[m!(v)] || b[m?(any as x).done!(x)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, ok := s.(*syntax.SysPar)
+	if !ok {
+		t.Fatalf("expected SysPar, got %T", s)
+	}
+	loc := par.L.(*syntax.Located)
+	if loc.Principal != "a" {
+		t.Errorf("principal = %q", loc.Principal)
+	}
+	out := loc.Proc.(*syntax.Output)
+	if out.Chan.Val.V.Name != "m" || out.Chan.Val.V.Kind != syntax.KindChannel {
+		t.Errorf("channel = %v", out.Chan)
+	}
+	if len(out.Args) != 1 || out.Args[0].Val.V.Name != "v" {
+		t.Errorf("args = %v", out.Args)
+	}
+}
+
+func TestParseVariableScoping(t *testing.T) {
+	s, err := ParseSystem(`b[m?(any as x).n!(x)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := s.(*syntax.Located)
+	sum := loc.Proc.(*syntax.InputSum)
+	body := sum.Branches[0].Body.(*syntax.Output)
+	if !body.Args[0].IsVar || body.Args[0].Var != "x" {
+		t.Errorf("x should resolve to a variable, got %v", body.Args[0])
+	}
+	// Outside the binder's scope, x is a channel name.
+	s2, err := ParseSystem(`b[x!(v)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s2.(*syntax.Located).Proc.(*syntax.Output)
+	if out.Chan.IsVar {
+		t.Errorf("unbound x should be a channel value")
+	}
+}
+
+func TestParseAnnotatedNameIsValue(t *testing.T) {
+	if _, err := ParseSystem(`b[m!(x:(a!()))]`); err != nil {
+		t.Fatalf("explicitly annotated x is a value, should parse: %v", err)
+	}
+	// Even under a binder for x, an annotated x:(…) denotes the channel
+	// value x, not the variable (variables carry no annotation).
+	s, err := ParseSystem(`b[m?(any as x).n!(x:(a!()))]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.(*syntax.Located).Proc.(*syntax.InputSum)
+	arg := sum.Branches[0].Body.(*syntax.Output).Args[0]
+	if arg.IsVar {
+		t.Errorf("annotated x should be a value, got variable")
+	}
+}
+
+func TestParsePrincipalMarker(t *testing.T) {
+	s, err := ParseSystem(`a[m!(@b)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.(*syntax.Located).Proc.(*syntax.Output)
+	if out.Args[0].Val.V.Kind != syntax.KindPrincipal {
+		t.Errorf("@b should be a principal value")
+	}
+}
+
+func TestParseProvenanceLiteral(t *testing.T) {
+	s, err := ParseSystem(`m<<v:(b?();a!())>>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := s.(*syntax.Message)
+	k := msg.Payload[0].K
+	want := syntax.Seq(syntax.InEvent("b", nil), syntax.OutEvent("a", nil))
+	if !k.Equal(want) {
+		t.Errorf("prov = %s, want %s", k, want)
+	}
+}
+
+func TestParseNestedProvenance(t *testing.T) {
+	k, err := ParseProv(`a!(c?());b?()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k) != 2 || k[0].ChanProv.String() != "c?()" {
+		t.Errorf("prov = %s", k)
+	}
+}
+
+func TestParseInputSum(t *testing.T) {
+	src := `c[m?{ (c1!any;any as x).p!(x) [] (c2!any;any as x).q!(x) }]`
+	s, err := ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.(*syntax.Located).Proc.(*syntax.InputSum)
+	if len(sum.Branches) != 2 {
+		t.Fatalf("branches = %d", len(sum.Branches))
+	}
+	if sum.Branches[0].Pats[0].String() != "c1!any;any" {
+		t.Errorf("pattern = %s", sum.Branches[0].Pats[0])
+	}
+}
+
+func TestParsePolyadic(t *testing.T) {
+	src := `o[res?(any as y, any as z).pub!(y, z)]`
+	s, err := ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.(*syntax.Located).Proc.(*syntax.InputSum)
+	if len(sum.Branches[0].Vars) != 2 {
+		t.Fatalf("arity = %d", len(sum.Branches[0].Vars))
+	}
+	body := sum.Branches[0].Body.(*syntax.Output)
+	if len(body.Args) != 2 || !body.Args[0].IsVar || !body.Args[1].IsVar {
+		t.Errorf("body args = %v", body.Args)
+	}
+}
+
+func TestParseIf(t *testing.T) {
+	src := `a[m?(any as x).if x = v then yes!(x) else no!(x)]`
+	s, err := ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.(*syntax.Located).Proc.(*syntax.InputSum)
+	ifp := sum.Branches[0].Body.(*syntax.If)
+	if !ifp.L.IsVar || ifp.R.IsVar {
+		t.Errorf("if operands: %v = %v", ifp.L, ifp.R)
+	}
+}
+
+func TestParseRestrictionAndReplication(t *testing.T) {
+	src := `new n. (a[*(n?(any as x).fwd!(x))] || b[n!(v)])`
+	s, err := ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := s.(*syntax.SysRestrict)
+	if !ok {
+		t.Fatalf("expected SysRestrict, got %T", s)
+	}
+	par := res.Body.(*syntax.SysPar)
+	if _, ok := par.L.(*syntax.Located).Proc.(*syntax.Repl); !ok {
+		t.Errorf("expected replication")
+	}
+}
+
+func TestParseMultiNameRestriction(t *testing.T) {
+	s, err := ParseSystem(`new n, l. a[n!(l)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := s.(*syntax.SysRestrict)
+	r2, ok := r1.Body.(*syntax.SysRestrict)
+	if !ok || r1.Name != "n" || r2.Name != "l" {
+		t.Errorf("nested restrictions wrong: %s", s)
+	}
+}
+
+func TestParseProcessRestrictionScope(t *testing.T) {
+	// (new n. X) | Y — the printed form of a restricted left component
+	// must not capture Y.
+	src := `a[(new n. n!(v)) | m!(w)]`
+	s, err := ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := s.(*syntax.Located).Proc.(*syntax.Par)
+	if _, ok := par.L.(*syntax.Restrict); !ok {
+		t.Fatalf("left should be a restriction, got %T", par.L)
+	}
+	if _, ok := par.R.(*syntax.Output); !ok {
+		t.Fatalf("right should be an output, got %T", par.R)
+	}
+}
+
+func TestParsePatterns(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"any", "any"},
+		{"eps", "eps"},
+		{"c!any", "c!any"},
+		{"c!any;any", "c!any;any"},
+		{"any;d!any", "any;d!any"},
+		{"(c1+c3)!any;any", "(c1+c3)!any;any"},
+		{"~!any*", "~!any*"},
+		{"(~-a)?eps", "(~-a)?eps"},
+		{"eps / any", "eps / any"},
+		{"(a!any / b!any);any", "(a!any / b!any);any"},
+		{"a!(b?any)", "a!(b?any)"},
+		{"(a!any;b?any)*", "(a!any;b?any)*"},
+	}
+	for _, c := range cases {
+		p, err := ParsePattern(c.src)
+		if err != nil {
+			t.Errorf("ParsePattern(%q): %v", c.src, err)
+			continue
+		}
+		if got := p.String(); got != c.want {
+			t.Errorf("ParsePattern(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	for _, src := range []string{"", "c!", "!any", "a!any;", "(a", "a!any / ", "a!!any"} {
+		if _, err := ParsePattern(src); err == nil {
+			t.Errorf("ParsePattern(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSystemErrors(t *testing.T) {
+	for _, src := range []string{
+		"a[",
+		"a[m!(v)",
+		"a[m!v]",
+		"m<<>>",
+		"a[m?(any as x).x!(y:(bad))]", // bad provenance literal
+		"new . a[0]",
+		"a[0] |",
+	} {
+		if _, err := ParseSystem(src); err == nil {
+			t.Errorf("ParseSystem(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseLogs(t *testing.T) {
+	l, err := ParseLog(`a.snd(m, v); (b.rcv(m, v) | c.ift(x, x))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := logs.Actions(l)
+	if len(acts) != 3 {
+		t.Fatalf("actions = %d", len(acts))
+	}
+	if acts[0] != logs.SndAct("a", logs.NameT("m"), logs.NameT("v")) {
+		t.Errorf("first action = %v", acts[0])
+	}
+	// Variables and unknowns.
+	l2, err := ParseLog(`a.snd($x, v); a.rcv(n, $x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logs.IsClosed(l2) {
+		t.Errorf("binder-closed log should be closed")
+	}
+	l3, err := ParseLog(`a.snd(m, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logs.Actions(l3)[0].B.Kind != logs.TUnknown {
+		t.Errorf("? should parse as unknown")
+	}
+}
+
+func TestParseLogZero(t *testing.T) {
+	l, err := ParseLog(`0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.(logs.Empty); !ok {
+		t.Errorf("0 should be the empty log")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+	// the sender
+	a[m!(v)] ||
+	// the receiver
+	b[m?(any as x).0]
+	`
+	if _, err := ParseSystem(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripHandwritten(t *testing.T) {
+	sources := []string{
+		`a[m!(v)]`,
+		`a[m!(v)] || b[m?(any as x).done!(x)]`,
+		`m<<v:(b?();a!())>>`,
+		`a[if v = w then yes!() else no!()]`,
+		`a[*(m?(any as x).(new r. r!(x)))]`,
+		`new n. (a[n!(@b)] || b[n?(c!any;any as x).0])`,
+		`o[sub?{ ((c1+c3)!any;any as x).in1!(x) [] (c2!any;any as x).in2!(x) }]`,
+	}
+	for _, src := range sources {
+		s1, err := ParseSystem(src)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		s2, err := ParseSystem(s1.String())
+		if err != nil {
+			t.Errorf("reparse of %q -> %q: %v", src, s1.String(), err)
+			continue
+		}
+		if !syntax.SystemEqual(s1, s2) {
+			t.Errorf("round trip changed term:\n%s\nvs\n%s", s1, s2)
+		}
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	// T1: parse∘print is the identity on generated systems (up to
+	// structural congruence, via the semantics normal form).
+	cfg := gen.Default()
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := cfg.System(rng)
+		printed := s.String()
+		back, err := ParseSystem(printed)
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v\nsource: %s", seed, err, printed)
+		}
+		if semantics.Normalize(s).Canon() != semantics.Normalize(back).Canon() {
+			t.Fatalf("seed %d: round trip changed system\nbefore: %s\nafter:  %s",
+				seed, s, back)
+		}
+	}
+}
+
+func TestRoundTripGeneratedPatterns(t *testing.T) {
+	cfg := gen.Default()
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := cfg.Pattern(rng)
+		back, err := ParsePattern(p.String())
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v\nsource: %s", seed, err, p)
+		}
+		if !pattern.Equal(p, back) {
+			t.Fatalf("seed %d: round trip changed pattern %s -> %s", seed, p, back)
+		}
+	}
+}
+
+func TestRoundTripGeneratedProv(t *testing.T) {
+	cfg := gen.Default()
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := cfg.Prov(rng)
+		back, err := ParseProv(k.String())
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v\nsource: %q", seed, err, k.String())
+		}
+		if !k.Equal(back) {
+			t.Fatalf("seed %d: round trip changed provenance %s -> %s", seed, k, back)
+		}
+	}
+}
+
+func TestRoundTripGeneratedLogs(t *testing.T) {
+	cfg := gen.Default()
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := cfg.Log(rng)
+		back, err := ParseLog(l.String())
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v\nsource: %q", seed, err, l.String())
+		}
+		if !logs.Equal(l, back) {
+			t.Fatalf("seed %d: round trip changed log %s -> %s", seed, l, back)
+		}
+	}
+}
+
+func TestParsedSystemRuns(t *testing.T) {
+	// End to end: parse the auditing system and run it.
+	src := strings.TrimSpace(`
+		a[m!(v)] ||
+		s[m?(any as x).n1!(x)] ||
+		c[n1?(any as x).audit?(any as y).p!(x)] ||
+		b[n2?(any as x).0]
+	`)
+	s, err := ParseSystem(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := semantics.RunToQuiescence(s, 20)
+	if tr.Len() < 4 {
+		t.Errorf("expected at least 4 steps, got %d", tr.Len())
+	}
+}

@@ -1,0 +1,199 @@
+package parser
+
+import (
+	"repro/internal/lexer"
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+// pattern parses an alternation-level pattern.
+func (p *parser) pattern() (pattern.Pattern, error) {
+	first, err := p.patCat()
+	if err != nil {
+		return nil, err
+	}
+	parts := []pattern.Pattern{first}
+	for p.accept(lexer.Slash) {
+		next, err := p.patCat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	return pattern.AltP(parts...), nil
+}
+
+func (p *parser) patCat() (pattern.Pattern, error) {
+	first, err := p.patRep()
+	if err != nil {
+		return nil, err
+	}
+	parts := []pattern.Pattern{first}
+	for p.accept(lexer.Semi) {
+		next, err := p.patRep()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	return pattern.SeqP(parts...), nil
+}
+
+func (p *parser) patRep() (pattern.Pattern, error) {
+	atom, err := p.patAtom()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(lexer.Star) {
+		atom = pattern.StarP(atom)
+	}
+	return atom, nil
+}
+
+func (p *parser) patAtom() (pattern.Pattern, error) {
+	switch {
+	case p.accept(lexer.KwEps):
+		return pattern.Eps(), nil
+	case p.accept(lexer.KwAny):
+		return pattern.AnyP(), nil
+	case p.at(lexer.Name) && p.cur().Text == "capture" && p.peek().Kind == lexer.LParen:
+		// capture(y, π): the §5 binding-pattern extension. "capture" is
+		// reserved in pattern position when followed by '('.
+		p.advance()
+		p.advance()
+		v, err := p.expect(lexer.Name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Comma); err != nil {
+			return nil, err
+		}
+		inner, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return pattern.Capture{Var: v.Text, P: inner}, nil
+	case p.at(lexer.Name), p.at(lexer.Tilde):
+		return p.eventPattern()
+	case p.at(lexer.LParen):
+		// Ambiguous: "(c1+c3)!any" is a parenthesised group heading an
+		// event pattern, "(eps/any)" is a parenthesised pattern. Try the
+		// group reading first and backtrack on failure.
+		save := p.pos
+		if g, err := p.group(); err == nil && (p.at(lexer.Bang) || p.at(lexer.Query)) {
+			return p.eventPatternWith(g)
+		}
+		p.pos = save
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		inner, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, p.errf("expected pattern, got %s", p.cur())
+	}
+}
+
+func (p *parser) eventPattern() (pattern.Pattern, error) {
+	g, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	return p.eventPatternWith(g)
+}
+
+func (p *parser) eventPatternWith(g pattern.Group) (pattern.Pattern, error) {
+	var dir syntax.Dir
+	switch {
+	case p.accept(lexer.Bang):
+		dir = syntax.Send
+	case p.accept(lexer.Query):
+		dir = syntax.Recv
+	default:
+		return nil, p.errf("expected '!' or '?' after group expression")
+	}
+	arg, err := p.patArg()
+	if err != nil {
+		return nil, err
+	}
+	if dir == syntax.Send {
+		return pattern.Out(g, arg), nil
+	}
+	return pattern.In(g, arg), nil
+}
+
+func (p *parser) patArg() (pattern.Pattern, error) {
+	switch {
+	case p.accept(lexer.KwEps):
+		return pattern.Eps(), nil
+	case p.accept(lexer.KwAny):
+		return pattern.AnyP(), nil
+	case p.accept(lexer.LParen):
+		inner, err := p.pattern()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, p.errf("event-pattern argument must be eps, any or a parenthesised pattern")
+	}
+}
+
+func (p *parser) group() (pattern.Group, error) {
+	first, err := p.groupAtom()
+	if err != nil {
+		return nil, err
+	}
+	g := first
+	for {
+		switch {
+		case p.accept(lexer.Plus):
+			r, err := p.groupAtom()
+			if err != nil {
+				return nil, err
+			}
+			g = pattern.Union(g, r)
+		case p.accept(lexer.Minus):
+			r, err := p.groupAtom()
+			if err != nil {
+				return nil, err
+			}
+			g = pattern.Diff(g, r)
+		default:
+			return g, nil
+		}
+	}
+}
+
+func (p *parser) groupAtom() (pattern.Group, error) {
+	switch {
+	case p.at(lexer.Name):
+		t := p.advance()
+		return pattern.Name(t.Text), nil
+	case p.accept(lexer.Tilde):
+		return pattern.All(), nil
+	case p.accept(lexer.LParen):
+		g, err := p.group()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return g, nil
+	default:
+		return nil, p.errf("expected group expression, got %s", p.cur())
+	}
+}

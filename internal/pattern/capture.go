@@ -1,0 +1,105 @@
+package pattern
+
+import "repro/internal/syntax"
+
+// Capture is the binding-pattern extension the paper lists first among its
+// planned extensions (§5): "principals cannot use dynamic information for
+// their provenance tests nor can they extract part (or all) of the
+// provenance sequence and use it as data. This is one of the first
+// extensions we aim to make to the calculus."
+//
+// capture(y, π) matches exactly when π matches a non-empty provenance, and
+// additionally binds y — in the receiving continuation — to the principal
+// of the most recent event: the identity of the agent that last handled
+// the value. The binding is performed by the reduction semantics (rule
+// R-Recv consults CaptureBindings); the captured identity enters the
+// continuation as a principal value with ε provenance, which is trivially
+// correct under Definition 3 (⟦p:ε⟧ = ∅ ≼ every log).
+//
+// The classic use is reply-to: a server captures who last forwarded a
+// request and routes the response accordingly, without trusting any
+// payload-level sender field (which rule R-Send would expose as forgeable).
+type Capture struct {
+	// Var is the variable bound to the most recent handler's principal.
+	Var string
+	// P is the pattern the provenance must satisfy.
+	P Pattern
+}
+
+func (Capture) isPattern() {}
+
+// Matches requires a non-empty provenance satisfying the inner pattern
+// (an empty provenance has no most-recent handler to capture).
+func (c Capture) Matches(k syntax.Prov) bool {
+	return len(k) > 0 && c.P.Matches(k)
+}
+
+func (c Capture) String() string {
+	return "capture(" + c.Var + ", " + c.P.String() + ")"
+}
+
+// CaptureVars returns the variables bound by top-level captures of a
+// pattern (captures are only interpreted at the top level of an input
+// position; nesting one under concatenation or repetition is a static
+// error the parser rejects).
+func CaptureVars(p syntax.Pattern) []string {
+	if c, ok := p.(Capture); ok {
+		return append(CaptureVars(c.P), c.Var)
+	}
+	return nil
+}
+
+// Bindings implements syntax.CapturingPattern: the capture variable (and
+// those of directly nested captures) maps to the principal of κ's most
+// recent event, annotated ε.
+func (c Capture) Bindings(k syntax.Prov) map[string]syntax.AnnotatedValue {
+	sigma := make(map[string]syntax.AnnotatedValue, 1)
+	var walk func(p Pattern)
+	walk = func(p Pattern) {
+		cc, ok := p.(Capture)
+		if !ok {
+			return
+		}
+		if len(k) > 0 {
+			sigma[cc.Var] = syntax.Fresh(syntax.Principal(k.Head().Principal))
+		}
+		walk(cc.P)
+	}
+	walk(c)
+	return sigma
+}
+
+// BoundVars implements syntax.CapturingPattern.
+func (c Capture) BoundVars() []string { return CaptureVars(c) }
+
+// ContainsNestedCapture reports whether a Capture node occurs anywhere
+// below the top-level capture chain — a static error, since bindings are
+// only interpreted at the top level of an input position.
+func ContainsNestedCapture(p Pattern) bool {
+	// Skip the legal top-level chain.
+	for {
+		c, ok := p.(Capture)
+		if !ok {
+			break
+		}
+		p = c.P
+	}
+	return hasCapture(p)
+}
+
+func hasCapture(p Pattern) bool {
+	switch p := p.(type) {
+	case Capture:
+		return true
+	case Cat:
+		return hasCapture(p.L) || hasCapture(p.R)
+	case Alt:
+		return hasCapture(p.L) || hasCapture(p.R)
+	case Star:
+		return hasCapture(p.P)
+	case EventPat:
+		return hasCapture(p.Arg)
+	default:
+		return false
+	}
+}

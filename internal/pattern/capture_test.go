@@ -1,0 +1,100 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+func TestCaptureMatches(t *testing.T) {
+	c := Capture{Var: "y", P: AnyP()}
+	if c.Matches(nil) {
+		t.Errorf("capture needs a most-recent event: must reject ε")
+	}
+	if !c.Matches(prov("a!", "b?")) {
+		t.Errorf("capture(y, any) should match non-empty sequences")
+	}
+	// The inner pattern still vets.
+	c2 := Capture{Var: "y", P: SeqP(Out(Name("a"), AnyP()), AnyP())}
+	if !c2.Matches(prov("a!")) || c2.Matches(prov("b!")) {
+		t.Errorf("inner pattern must be enforced")
+	}
+}
+
+func TestCaptureBindings(t *testing.T) {
+	c := Capture{Var: "y", P: AnyP()}
+	k := prov("s!", "a!")
+	sigma := c.Bindings(k)
+	v, ok := sigma["y"]
+	if !ok {
+		t.Fatalf("no binding for y")
+	}
+	if v.V.Name != "s" || v.V.Kind != syntax.KindPrincipal {
+		t.Errorf("y should bind the most recent handler s as a principal, got %v", v)
+	}
+	if !v.K.IsEmpty() {
+		t.Errorf("captured identity must carry ε provenance")
+	}
+}
+
+func TestCaptureChainBindsBoth(t *testing.T) {
+	c := Capture{Var: "y", P: Capture{Var: "z", P: AnyP()}}
+	sigma := c.Bindings(prov("a!"))
+	if sigma["y"].V.Name != "a" || sigma["z"].V.Name != "a" {
+		t.Errorf("chained captures bind the same head: %v", sigma)
+	}
+}
+
+func TestCaptureVars(t *testing.T) {
+	c := Capture{Var: "y", P: Capture{Var: "z", P: AnyP()}}
+	vars := CaptureVars(c)
+	if len(vars) != 2 {
+		t.Fatalf("vars = %v", vars)
+	}
+	if len(CaptureVars(AnyP())) != 0 {
+		t.Errorf("plain patterns bind nothing")
+	}
+}
+
+func TestContainsNestedCapture(t *testing.T) {
+	topLevel := Capture{Var: "y", P: AnyP()}
+	if ContainsNestedCapture(topLevel) {
+		t.Errorf("top-level capture is legal")
+	}
+	nested := SeqP(Capture{Var: "y", P: AnyP()}, AnyP())
+	if !ContainsNestedCapture(nested) {
+		t.Errorf("capture under concatenation must be flagged")
+	}
+	underStar := StarP(Capture{Var: "y", P: AnyP()})
+	if !ContainsNestedCapture(underStar) {
+		t.Errorf("capture under repetition must be flagged")
+	}
+	insideArg := Out(Name("a"), Capture{Var: "y", P: AnyP()})
+	if !ContainsNestedCapture(insideArg) {
+		t.Errorf("capture inside an event argument must be flagged")
+	}
+}
+
+func TestCaptureMatcherPaths(t *testing.T) {
+	// Compiled, naive and Nullable all agree on captures.
+	c := Capture{Var: "y", P: StarP(Out(All(), AnyP()))}
+	m := Compile(c)
+	for _, k := range []syntax.Prov{nil, prov("a!"), prov("a!", "b!"), prov("a?")} {
+		if m.Match(k) != MatchNaive(c, k) {
+			t.Errorf("matchers disagree on %q", k.String())
+		}
+	}
+	if Nullable(c) {
+		t.Errorf("captures are never nullable")
+	}
+	if Size(c) < 2 {
+		t.Errorf("Size should count the capture node")
+	}
+}
+
+func TestCaptureString(t *testing.T) {
+	c := Capture{Var: "y", P: SeqP(Out(Name("s"), AnyP()), AnyP())}
+	if got := c.String(); got != "capture(y, s!any;any)" {
+		t.Errorf("String = %q", got)
+	}
+}

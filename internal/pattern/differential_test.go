@@ -1,0 +1,197 @@
+package pattern
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+// genProv and genPat are local generators (the gen package depends on this
+// one, so the differential test keeps its own small generators).
+
+func genProv(rng *rand.Rand, maxLen, depth int) syntax.Prov {
+	n := rng.Intn(maxLen + 1)
+	k := make(syntax.Prov, 0, n)
+	principals := []string{"a", "b", "c"}
+	for i := 0; i < n; i++ {
+		var inner syntax.Prov
+		if depth > 0 && rng.Intn(3) == 0 {
+			inner = genProv(rng, maxLen-1, depth-1)
+		}
+		p := principals[rng.Intn(len(principals))]
+		if rng.Intn(2) == 0 {
+			k = append(k, syntax.OutEvent(p, inner))
+		} else {
+			k = append(k, syntax.InEvent(p, inner))
+		}
+	}
+	return k
+}
+
+func genGroup(rng *rand.Rand, depth int) Group {
+	if depth <= 0 || rng.Intn(2) == 0 {
+		if rng.Intn(4) == 0 {
+			return All()
+		}
+		return Name([]string{"a", "b", "c"}[rng.Intn(3)])
+	}
+	if rng.Intn(2) == 0 {
+		return Union(genGroup(rng, depth-1), genGroup(rng, depth-1))
+	}
+	return Diff(genGroup(rng, depth-1), genGroup(rng, depth-1))
+}
+
+func genPat(rng *rand.Rand, depth int) Pattern {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Eps()
+		case 1:
+			return AnyP()
+		default:
+			return Out(genGroup(rng, 1), AnyP())
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		return Eps()
+	case 1:
+		return AnyP()
+	case 2:
+		if rng.Intn(2) == 0 {
+			return Out(genGroup(rng, 1), genPat(rng, depth-1))
+		}
+		return In(genGroup(rng, 1), genPat(rng, depth-1))
+	case 3, 4:
+		return Cat{L: genPat(rng, depth-1), R: genPat(rng, depth-1)}
+	case 5:
+		return Alt{L: genPat(rng, depth-1), R: genPat(rng, depth-1)}
+	default:
+		return Star{P: genPat(rng, depth-1)}
+	}
+}
+
+// TestDifferentialMemoVsNaive cross-checks the memoised matcher against the
+// naive rule-by-rule oracle on thousands of random (pattern, provenance)
+// pairs. This is ablation A1's correctness leg.
+func TestDifferentialMemoVsNaive(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPat(rng, 3)
+		m := Compile(p)
+		for i := 0; i < 10; i++ {
+			k := genProv(rng, 5, 2)
+			got := m.Match(k)
+			want := MatchNaive(p, k)
+			if got != want {
+				t.Fatalf("seed %d: pattern %s on %q: memo=%v naive=%v",
+					seed, p, k.String(), got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialTopLevelMatches checks that the Pattern.Matches methods
+// (which compile on the fly) agree with the naive oracle too.
+func TestDifferentialTopLevelMatches(t *testing.T) {
+	for seed := int64(400); seed < 600; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPat(rng, 3)
+		k := genProv(rng, 4, 2)
+		if got, want := p.Matches(k), MatchNaive(p, k); got != want {
+			t.Fatalf("seed %d: pattern %s on %q: Matches=%v naive=%v",
+				seed, p, k.String(), got, want)
+		}
+	}
+}
+
+// TestNullableAgreesWithMatcher: Nullable(π) iff π matches ε.
+func TestNullableAgreesWithMatcher(t *testing.T) {
+	for seed := int64(600); seed < 800; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPat(rng, 3)
+		if got, want := Nullable(p), p.Matches(nil); got != want {
+			t.Fatalf("seed %d: pattern %s: Nullable=%v Matches(ε)=%v", seed, p, got, want)
+		}
+	}
+}
+
+// TestStarIdempotent: (π*)* matches exactly what π* matches.
+func TestStarIdempotent(t *testing.T) {
+	for seed := int64(800); seed < 900; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := genPat(rng, 2)
+		star := StarP(p)
+		dstar := StarP(star)
+		for i := 0; i < 10; i++ {
+			k := genProv(rng, 4, 1)
+			if star.Matches(k) != dstar.Matches(k) {
+				t.Fatalf("seed %d: (π*)* disagrees with π* on %q for π=%s", seed, k.String(), p)
+			}
+		}
+	}
+}
+
+// TestAltCommutative: π∨π' and π'∨π match the same sequences.
+func TestAltCommutative(t *testing.T) {
+	for seed := int64(900); seed < 1000; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p1, p2 := genPat(rng, 2), genPat(rng, 2)
+		a := AltP(p1, p2)
+		b := AltP(p2, p1)
+		for i := 0; i < 10; i++ {
+			k := genProv(rng, 4, 1)
+			if a.Matches(k) != b.Matches(k) {
+				t.Fatalf("seed %d: alternation not commutative on %q", seed, k.String())
+			}
+		}
+	}
+}
+
+// TestCatAssociative: (π;π');π” ≡ π;(π';π”).
+func TestCatAssociative(t *testing.T) {
+	for seed := int64(1000); seed < 1100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p1, p2, p3 := genPat(rng, 1), genPat(rng, 1), genPat(rng, 1)
+		l := Cat{L: Cat{L: p1, R: p2}, R: p3}
+		r := Cat{L: p1, R: Cat{L: p2, R: p3}}
+		for i := 0; i < 10; i++ {
+			k := genProv(rng, 4, 1)
+			if l.Matches(k) != r.Matches(k) {
+				t.Fatalf("seed %d: concatenation not associative on %q", seed, k.String())
+			}
+		}
+	}
+}
+
+// TestGroupAlgebra checks the ⟦−⟧ set algebra on random groups and
+// principals, against a brute-force evaluation.
+func TestGroupAlgebra(t *testing.T) {
+	var eval func(g Group, p string) bool
+	eval = func(g Group, p string) bool {
+		switch g := g.(type) {
+		case GName:
+			return g.Name == p
+		case GAll:
+			return true
+		case GUnion:
+			return eval(g.L, p) || eval(g.R, p)
+		case GDiff:
+			return eval(g.L, p) && !eval(g.R, p)
+		default:
+			t.Fatalf("unknown group %T", g)
+			return false
+		}
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := genGroup(rng, 3)
+		for _, p := range []string{"a", "b", "c", "zzz" + strconv.Itoa(int(seed))} {
+			if g.Contains(p) != eval(g, p) {
+				t.Fatalf("seed %d: group %s on %s", seed, g, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/syntax"
+)
+
+// Matcher is a compiled pattern. Compilation assigns integer identities to
+// the pattern's nodes so that matching can memoise sub-results on
+// (node, start, end) triples; without memoisation the concatenation and
+// repetition rules (S-Cat, S-Rep) enumerate split points and backtracking
+// is exponential in the worst case.
+//
+// A Matcher is safe for concurrent use: each Match call allocates its own
+// memo table.
+type Matcher struct {
+	root  int
+	nodes []Pattern
+	kids  [][2]int // child node ids; -1 where absent
+}
+
+// Compile compiles a pattern into a reusable Matcher.
+func Compile(p Pattern) *Matcher {
+	m := &Matcher{}
+	m.root = m.compile(p)
+	return m
+}
+
+func (m *Matcher) compile(p Pattern) int {
+	id := len(m.nodes)
+	m.nodes = append(m.nodes, p)
+	m.kids = append(m.kids, [2]int{-1, -1})
+	switch p := p.(type) {
+	case Cat:
+		l := m.compile(p.L)
+		r := m.compile(p.R)
+		m.kids[id] = [2]int{l, r}
+	case Alt:
+		l := m.compile(p.L)
+		r := m.compile(p.R)
+		m.kids[id] = [2]int{l, r}
+	case Star:
+		c := m.compile(p.P)
+		m.kids[id] = [2]int{c, -1}
+	case Capture:
+		c := m.compile(p.P)
+		m.kids[id] = [2]int{c, -1}
+	case Empty, Any, EventPat:
+		// leaves
+	default:
+		panic(fmt.Sprintf("pattern: Compile: unknown pattern %T", p))
+	}
+	return id
+}
+
+type memoKey struct {
+	node, lo, hi int
+}
+
+type matchState struct {
+	m    *Matcher
+	k    syntax.Prov
+	memo map[memoKey]bool
+}
+
+// Match reports κ ⊨ π for the compiled pattern.
+func (m *Matcher) Match(k syntax.Prov) bool {
+	st := &matchState{m: m, k: k, memo: make(map[memoKey]bool)}
+	return st.match(m.root, 0, len(k))
+}
+
+func (st *matchState) match(node, lo, hi int) bool {
+	key := memoKey{node, lo, hi}
+	if v, ok := st.memo[key]; ok {
+		return v
+	}
+	// Seed false to cut cycles (Star over nullable bodies); the split-point
+	// restriction below makes true recursion well-founded regardless.
+	st.memo[key] = false
+	v := st.eval(node, lo, hi)
+	st.memo[key] = v
+	return v
+}
+
+func (st *matchState) eval(node, lo, hi int) bool {
+	switch p := st.m.nodes[node].(type) {
+	case Empty:
+		return lo == hi
+	case Any:
+		return true
+	case EventPat:
+		return hi == lo+1 && p.MatchesEvent(st.k[lo])
+	case Cat:
+		l, r := st.m.kids[node][0], st.m.kids[node][1]
+		for mid := lo; mid <= hi; mid++ {
+			if st.match(l, lo, mid) && st.match(r, mid, hi) {
+				return true
+			}
+		}
+		return false
+	case Alt:
+		return st.match(st.m.kids[node][0], lo, hi) || st.match(st.m.kids[node][1], lo, hi)
+	case Capture:
+		// The binding is interpreted by R-Recv; as a matcher, capture(y, π)
+		// is π restricted to non-empty sequences.
+		return hi > lo && st.match(st.m.kids[node][0], lo, hi)
+	case Star:
+		if lo == hi {
+			return true // zero repetitions
+		}
+		c := st.m.kids[node][0]
+		// Each repetition consumes at least one event: partitions with
+		// empty parts are equivalent to ones without them.
+		for mid := lo + 1; mid <= hi; mid++ {
+			if st.match(c, lo, mid) && st.match(node, mid, hi) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("pattern: eval: unknown pattern %T", st.m.nodes[node]))
+	}
+}
+
+// match is the uncompiled entry point used by the Matches methods of Cat
+// and Star; it compiles on the fly.
+func match(p Pattern, k syntax.Prov) bool { return Compile(p).Match(k) }
+
+// MatchNaive is a direct transcription of the satisfaction rules of
+// Table 3 with explicit enumeration of split points and no memoisation.
+// It is exponential in the worst case and exists solely as a differential-
+// testing oracle for the memoised matcher (ablation A1 in DESIGN.md).
+func MatchNaive(p Pattern, k syntax.Prov) bool {
+	switch p := p.(type) {
+	case Empty:
+		return len(k) == 0 // S-Empty
+	case Any:
+		return true // S-Any
+	case EventPat:
+		if len(k) != 1 {
+			return false
+		}
+		e := k[0]
+		// S-Send / S-Recv: a ∈ ⟦G⟧ and κ ⊨ π for the channel provenance.
+		return e.Dir == p.Dir && p.G.Contains(e.Principal) && MatchNaive(p.Arg, e.ChanProv)
+	case Cat:
+		// S-Cat: some split κ = κ₁;κ₂ with κ₁ ⊨ π and κ₂ ⊨ π'.
+		for mid := 0; mid <= len(k); mid++ {
+			if MatchNaive(p.L, k[:mid]) && MatchNaive(p.R, k[mid:]) {
+				return true
+			}
+		}
+		return false
+	case Alt:
+		// S-AltL / S-AltR.
+		return MatchNaive(p.L, k) || MatchNaive(p.R, k)
+	case Capture:
+		return len(k) > 0 && MatchNaive(p.P, k)
+	case Star:
+		// S-Rep: κ = κ₁;…;κₙ with every κᵢ ⊨ π (n = 0 allowed).
+		if len(k) == 0 {
+			return true
+		}
+		for mid := 1; mid <= len(k); mid++ {
+			if MatchNaive(p.P, k[:mid]) && MatchNaive(p, k[mid:]) {
+				return true
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("pattern: MatchNaive: unknown pattern %T", p))
+	}
+}
+
+// Nullable reports whether π matches the empty sequence ε. It is decided
+// syntactically, without running the matcher.
+func Nullable(p Pattern) bool {
+	switch p := p.(type) {
+	case Empty, Any, Star:
+		return true
+	case EventPat:
+		return false
+	case Cat:
+		return Nullable(p.L) && Nullable(p.R)
+	case Alt:
+		return Nullable(p.L) || Nullable(p.R)
+	case Capture:
+		return false // captures need a most-recent event
+	default:
+		panic(fmt.Sprintf("pattern: Nullable: unknown pattern %T", p))
+	}
+}

@@ -1,0 +1,264 @@
+// Package pattern implements the sample pattern-matching language of the
+// provenance calculus (Table 3 of the paper):
+//
+//	π ::= ε | α | π;π | π∨π | π* | Any
+//	α ::= G!π | G?π
+//	G ::= a | ∼ | G+G | G−G
+//
+// Patterns match provenance sequences; the satisfaction relation κ ⊨ π is
+// given by the rules S-Empty, S-Send, S-Recv, S-Cat, S-AltL/R, S-Rep and
+// S-Any. Group expressions denote sets of principals via ⟦−⟧.
+//
+// The language is a regular-expression language over (recursive) events, so
+// matching uses memoised backtracking over split points; a naive
+// exponential reference matcher is kept for differential testing.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/syntax"
+)
+
+// Pattern is a pattern π of the sample language. It implements
+// syntax.Pattern, the parametric pattern interface of the calculus.
+type Pattern interface {
+	syntax.Pattern
+	isPattern()
+}
+
+// Group is a group expression G denoting a set of principals.
+type Group interface {
+	// Contains reports a ∈ ⟦G⟧ given the universe of principals is
+	// irrelevant (membership is decidable pointwise for every G).
+	Contains(principal string) bool
+	String() string
+}
+
+// GName is the singleton group a with ⟦a⟧ = {a}.
+type GName struct{ Name string }
+
+// Contains reports whether the principal is exactly the named one.
+func (g GName) Contains(p string) bool { return p == g.Name }
+
+func (g GName) String() string { return g.Name }
+
+// GAll is the universal group ∼ with ⟦∼⟧ = A (all principals).
+type GAll struct{}
+
+// Contains always reports true.
+func (GAll) Contains(string) bool { return true }
+
+func (GAll) String() string { return "~" }
+
+// GUnion is the union group G+G' with ⟦G+G'⟧ = ⟦G⟧ ∪ ⟦G'⟧.
+type GUnion struct{ L, R Group }
+
+// Contains reports membership in either operand.
+func (g GUnion) Contains(p string) bool { return g.L.Contains(p) || g.R.Contains(p) }
+
+func (g GUnion) String() string { return "(" + g.L.String() + "+" + g.R.String() + ")" }
+
+// GDiff is the difference group G−G' with ⟦G−G'⟧ = ⟦G⟧ \ ⟦G'⟧.
+type GDiff struct{ L, R Group }
+
+// Contains reports membership in L but not R.
+func (g GDiff) Contains(p string) bool { return g.L.Contains(p) && !g.R.Contains(p) }
+
+func (g GDiff) String() string { return "(" + g.L.String() + "-" + g.R.String() + ")" }
+
+// Name returns the singleton group for a principal name.
+func Name(a string) Group { return GName{Name: a} }
+
+// All returns the universal group ∼.
+func All() Group { return GAll{} }
+
+// Union returns G+G'.
+func Union(l, r Group) Group { return GUnion{L: l, R: r} }
+
+// Diff returns G−G'.
+func Diff(l, r Group) Group { return GDiff{L: l, R: r} }
+
+// Empty is the pattern ε matching only the empty provenance sequence.
+type Empty struct{}
+
+func (Empty) isPattern() {}
+
+// Matches implements rule S-Empty.
+func (Empty) Matches(k syntax.Prov) bool { return len(k) == 0 }
+
+func (Empty) String() string { return "eps" }
+
+// EventPat is the event pattern α = G!π or G?π: it matches a provenance
+// sequence consisting of exactly one event whose principal is in ⟦G⟧,
+// whose direction matches, and whose channel provenance satisfies the
+// argument pattern (rules S-Send and S-Recv).
+type EventPat struct {
+	G   Group
+	Dir syntax.Dir
+	Arg Pattern
+}
+
+func (EventPat) isPattern() {}
+
+// MatchesEvent reports whether a single event satisfies the event pattern.
+func (p EventPat) MatchesEvent(e syntax.Event) bool {
+	return e.Dir == p.Dir && p.G.Contains(e.Principal) && p.Arg.Matches(e.ChanProv)
+}
+
+// Matches implements rules S-Send and S-Recv: the sequence must be the
+// single event e with e ⊨ α.
+func (p EventPat) Matches(k syntax.Prov) bool {
+	return len(k) == 1 && p.MatchesEvent(k[0])
+}
+
+func (p EventPat) String() string {
+	arg := p.Arg.String()
+	switch p.Arg.(type) {
+	case Empty, Any:
+		// atoms need no parentheses
+	default:
+		arg = "(" + arg + ")"
+	}
+	return p.G.String() + p.Dir.String() + arg
+}
+
+// Cat is the concatenation pattern π;π′ matching a sequence splittable into
+// a prefix matching π and a suffix matching π′ (rule S-Cat).
+type Cat struct{ L, R Pattern }
+
+func (Cat) isPattern() {}
+
+// Matches implements rule S-Cat via the package matcher.
+func (p Cat) Matches(k syntax.Prov) bool { return match(p, k) }
+
+func (p Cat) String() string {
+	return catOperand(p.L) + ";" + catOperand(p.R)
+}
+
+func catOperand(p Pattern) string {
+	if _, ok := p.(Alt); ok {
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}
+
+// Alt is the alternation pattern π∨π′ (rules S-AltL, S-AltR).
+type Alt struct{ L, R Pattern }
+
+func (Alt) isPattern() {}
+
+// Matches implements rules S-AltL and S-AltR.
+func (p Alt) Matches(k syntax.Prov) bool { return p.L.Matches(k) || p.R.Matches(k) }
+
+func (p Alt) String() string { return p.L.String() + " / " + p.R.String() }
+
+// Star is the repetition pattern π* matching any sequence that splits into
+// zero or more parts each matching π (rule S-Rep).
+type Star struct{ P Pattern }
+
+func (Star) isPattern() {}
+
+// Matches implements rule S-Rep via the package matcher.
+func (p Star) Matches(k syntax.Prov) bool { return match(p, k) }
+
+func (p Star) String() string {
+	switch p.P.(type) {
+	case Empty, Any, EventPat:
+		return p.P.String() + "*"
+	default:
+		return "(" + p.P.String() + ")*"
+	}
+}
+
+// Any is the pattern Any matching every provenance sequence (rule S-Any).
+type Any struct{}
+
+func (Any) isPattern() {}
+
+// Matches always reports true.
+func (Any) Matches(syntax.Prov) bool { return true }
+
+func (Any) String() string { return "any" }
+
+// Convenience constructors.
+
+// Eps returns the ε pattern.
+func Eps() Pattern { return Empty{} }
+
+// AnyP returns the Any pattern.
+func AnyP() Pattern { return Any{} }
+
+// Out returns the event pattern G!π.
+func Out(g Group, arg Pattern) Pattern { return EventPat{G: g, Dir: syntax.Send, Arg: arg} }
+
+// In returns the event pattern G?π.
+func In(g Group, arg Pattern) Pattern { return EventPat{G: g, Dir: syntax.Recv, Arg: arg} }
+
+// SeqP folds patterns into right-nested concatenations; SeqP() is ε.
+func SeqP(ps ...Pattern) Pattern {
+	switch len(ps) {
+	case 0:
+		return Empty{}
+	case 1:
+		return ps[0]
+	}
+	out := ps[len(ps)-1]
+	for i := len(ps) - 2; i >= 0; i-- {
+		out = Cat{L: ps[i], R: out}
+	}
+	return out
+}
+
+// AltP folds patterns into right-nested alternations. It panics on an empty
+// argument list (the language has no empty alternation).
+func AltP(ps ...Pattern) Pattern {
+	if len(ps) == 0 {
+		panic("pattern: AltP of no patterns")
+	}
+	out := ps[len(ps)-1]
+	for i := len(ps) - 2; i >= 0; i-- {
+		out = Alt{L: ps[i], R: out}
+	}
+	return out
+}
+
+// StarP returns π*.
+func StarP(p Pattern) Pattern { return Star{P: p} }
+
+// Size returns the number of AST nodes in a pattern, counting group
+// expressions as one node each.
+func Size(p Pattern) int {
+	switch p := p.(type) {
+	case Empty, Any:
+		return 1
+	case EventPat:
+		return 2 + Size(p.Arg)
+	case Cat:
+		return 1 + Size(p.L) + Size(p.R)
+	case Alt:
+		return 1 + Size(p.L) + Size(p.R)
+	case Star:
+		return 1 + Size(p.P)
+	case Capture:
+		return 1 + Size(p.P)
+	default:
+		panic(fmt.Sprintf("pattern: Size: unknown pattern %T", p))
+	}
+}
+
+// Equal reports structural pattern equality, comparing groups by their
+// canonical rendering.
+func Equal(p, q Pattern) bool { return p.String() == q.String() }
+
+// Describe renders a pattern with the paper's unicode notation, for
+// human-facing diagnostics.
+func Describe(p Pattern) string {
+	s := p.String()
+	s = strings.ReplaceAll(s, " / ", " ∨ ")
+	s = strings.ReplaceAll(s, "eps", "ε")
+	s = strings.ReplaceAll(s, "any", "Any")
+	s = strings.ReplaceAll(s, "~", "∼")
+	return s
+}

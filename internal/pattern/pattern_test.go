@@ -1,0 +1,280 @@
+package pattern
+
+import (
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+// prov builds a provenance sequence from shorthand strings like "a!", "b?";
+// nested channel provenance is empty.
+func prov(events ...string) syntax.Prov {
+	var k syntax.Prov
+	for _, s := range events {
+		name := s[:len(s)-1]
+		switch s[len(s)-1] {
+		case '!':
+			k = append(k, syntax.OutEvent(name, nil))
+		case '?':
+			k = append(k, syntax.InEvent(name, nil))
+		default:
+			panic("bad event shorthand " + s)
+		}
+	}
+	return k
+}
+
+func TestGroupDenotation(t *testing.T) {
+	cases := []struct {
+		g    Group
+		p    string
+		want bool
+	}{
+		{Name("a"), "a", true}, // ⟦a⟧ = {a}
+		{Name("a"), "b", false},
+		{All(), "anything", true}, // ⟦∼⟧ = A
+		{Union(Name("a"), Name("b")), "a", true},
+		{Union(Name("a"), Name("b")), "b", true},
+		{Union(Name("a"), Name("b")), "c", false},
+		{Diff(All(), Name("a")), "a", false}, // ∼ − a
+		{Diff(All(), Name("a")), "b", true},
+		{Diff(Name("a"), Name("a")), "a", false},
+		{Union(Diff(All(), Name("a")), Name("a")), "a", true},
+	}
+	for _, c := range cases {
+		if got := c.g.Contains(c.p); got != c.want {
+			t.Errorf("%s ∋ %s = %v, want %v", c.g, c.p, got, c.want)
+		}
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	if !Eps().Matches(nil) {
+		t.Errorf("ε should match ε")
+	}
+	if Eps().Matches(prov("a!")) {
+		t.Errorf("ε should not match a!")
+	}
+}
+
+func TestAnyPattern(t *testing.T) {
+	for _, k := range []syntax.Prov{nil, prov("a!"), prov("a!", "b?", "c!")} {
+		if !AnyP().Matches(k) {
+			t.Errorf("Any should match %v", k)
+		}
+	}
+}
+
+func TestEventPattern(t *testing.T) {
+	p := Out(Name("a"), AnyP()) // a!Any
+	if !p.Matches(prov("a!")) {
+		t.Errorf("a!Any should match a!()")
+	}
+	if p.Matches(prov("b!")) {
+		t.Errorf("a!Any should not match b!()")
+	}
+	if p.Matches(prov("a?")) {
+		t.Errorf("a!Any should not match a?() (wrong direction)")
+	}
+	if p.Matches(prov("a!", "a!")) {
+		t.Errorf("a!Any matches single events only")
+	}
+	if p.Matches(nil) {
+		t.Errorf("a!Any should not match ε")
+	}
+}
+
+func TestEventPatternNestedChannelProv(t *testing.T) {
+	// a!(b?Any) requires the channel provenance to be a single b? event.
+	p := Out(Name("a"), In(Name("b"), AnyP()))
+	kYes := syntax.Seq(syntax.OutEvent("a", syntax.Seq(syntax.InEvent("b", nil))))
+	kNo := syntax.Seq(syntax.OutEvent("a", nil))
+	if !p.Matches(kYes) {
+		t.Errorf("should match nested provenance")
+	}
+	if p.Matches(kNo) {
+		t.Errorf("should not match empty channel provenance")
+	}
+}
+
+func TestCatPattern(t *testing.T) {
+	// a!Any ; Any — paper's "sent directly by a" pattern shape.
+	p := SeqP(Out(Name("a"), AnyP()), AnyP())
+	if !p.Matches(prov("a!")) {
+		t.Errorf("should match a! alone (Any matches ε)")
+	}
+	if !p.Matches(prov("a!", "b?", "c!")) {
+		t.Errorf("should match a! followed by anything")
+	}
+	if p.Matches(prov("b?", "a!")) {
+		t.Errorf("head must be a!")
+	}
+	if p.Matches(nil) {
+		t.Errorf("needs at least the a! event")
+	}
+}
+
+func TestCatOriginPattern(t *testing.T) {
+	// Any ; d!Any — paper's "originated at d" pattern (§2.3.2 authentication).
+	p := SeqP(AnyP(), Out(Name("d"), AnyP()))
+	if !p.Matches(prov("d!")) {
+		t.Errorf("should match d! alone")
+	}
+	if !p.Matches(prov("x?", "y!", "d!")) {
+		t.Errorf("should match anything ending in d!")
+	}
+	if p.Matches(prov("d!", "x?")) {
+		t.Errorf("d! must be the oldest event")
+	}
+}
+
+func TestAltPattern(t *testing.T) {
+	p := AltP(Out(Name("a"), AnyP()), In(Name("b"), AnyP()))
+	if !p.Matches(prov("a!")) || !p.Matches(prov("b?")) {
+		t.Errorf("alternation should match either side")
+	}
+	if p.Matches(prov("c!")) {
+		t.Errorf("alternation should reject non-members")
+	}
+}
+
+func TestStarPattern(t *testing.T) {
+	p := StarP(Out(All(), AnyP())) // (∼!Any)*: any number of output events
+	if !p.Matches(nil) {
+		t.Errorf("star matches ε")
+	}
+	if !p.Matches(prov("a!", "b!", "c!")) {
+		t.Errorf("star should match repeated outputs")
+	}
+	if p.Matches(prov("a!", "b?")) {
+		t.Errorf("star of outputs should reject an input event")
+	}
+}
+
+func TestStarOfNullable(t *testing.T) {
+	// (Any)* is pathological for naive matchers: Any is nullable.
+	p := StarP(AnyP())
+	for _, k := range []syntax.Prov{nil, prov("a!"), prov("a!", "b?", "c!", "d?")} {
+		if !p.Matches(k) {
+			t.Errorf("(Any)* should match %v", k)
+		}
+	}
+	p2 := StarP(Eps())
+	if !p2.Matches(nil) {
+		t.Errorf("(ε)* should match ε")
+	}
+	if p2.Matches(prov("a!")) {
+		t.Errorf("(ε)* should only match ε")
+	}
+}
+
+func TestCompetitionPatterns(t *testing.T) {
+	// π₁ = (c1+c3)!Any;Any and π₂ = c2!Any;Any from §2.3.2.
+	p1 := SeqP(Out(Union(Name("c1"), Name("c3")), AnyP()), AnyP())
+	p2 := SeqP(Out(Name("c2"), AnyP()), AnyP())
+	if !p1.Matches(prov("c1!")) || !p1.Matches(prov("c3!")) {
+		t.Errorf("π₁ should accept entries from c1 and c3")
+	}
+	if p1.Matches(prov("c2!")) {
+		t.Errorf("π₁ should reject entries from c2")
+	}
+	if !p2.Matches(prov("c2!")) {
+		t.Errorf("π₂ should accept entries from c2")
+	}
+	if p2.Matches(prov("c1!")) {
+		t.Errorf("π₂ should reject entries from c1")
+	}
+}
+
+func TestPublishPattern(t *testing.T) {
+	// Any;c!Any — contestant c receives only results for its own entry:
+	// the oldest event must be c's original submission.
+	p := SeqP(AnyP(), Out(Name("c1"), AnyP()))
+	ke := prov("o?", "j1!", "j1?", "o!", "o?", "c1!")
+	if !p.Matches(ke) {
+		t.Errorf("c1's own published entry should match")
+	}
+	keOther := prov("o?", "j2!", "j2?", "o!", "o?", "c2!")
+	if p.Matches(keOther) {
+		t.Errorf("c2's entry should not match c1's pattern")
+	}
+}
+
+func TestMatcherReuse(t *testing.T) {
+	m := Compile(SeqP(AnyP(), Out(Name("d"), AnyP())))
+	if !m.Match(prov("d!")) {
+		t.Errorf("d! alone should match Any;d!Any")
+	}
+	if m.Match(prov("d!", "e!")) {
+		t.Errorf("oldest event is e!, must not match Any;d!Any")
+	}
+	// Same matcher, several inputs.
+	if m.Match(prov("a!", "b!")) {
+		t.Errorf("no d! origin: must not match")
+	}
+	if !m.Match(prov("a!", "d!")) {
+		t.Errorf("d! origin: must match")
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := []struct {
+		p    Pattern
+		want bool
+	}{
+		{Eps(), true},
+		{AnyP(), true},
+		{Out(Name("a"), AnyP()), false},
+		{SeqP(AnyP(), AnyP()), true},
+		{SeqP(Out(Name("a"), AnyP()), AnyP()), false},
+		{AltP(Out(Name("a"), AnyP()), Eps()), true},
+		{StarP(Out(Name("a"), AnyP())), true},
+	}
+	for _, c := range cases {
+		if got := Nullable(c.p); got != c.want {
+			t.Errorf("Nullable(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		p    Pattern
+		want string
+	}{
+		{Eps(), "eps"},
+		{AnyP(), "any"},
+		{Out(Name("c"), AnyP()), "c!any"},
+		{SeqP(Out(Name("c"), AnyP()), AnyP()), "c!any;any"},
+		{AltP(Eps(), AnyP()), "eps / any"},
+		{StarP(Out(All(), AnyP())), "~!any*"},
+		{Out(Union(Name("c1"), Name("c3")), AnyP()), "(c1+c3)!any"},
+		{In(Diff(All(), Name("a")), Eps()), "(~-a)?eps"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	if got := Size(Eps()); got != 1 {
+		t.Errorf("Size(eps) = %d", got)
+	}
+	if got := Size(Out(Name("a"), AnyP())); got != 3 {
+		t.Errorf("Size(a!any) = %d", got)
+	}
+	if got := Size(SeqP(Eps(), Eps(), Eps())); got != 5 {
+		t.Errorf("Size(eps;eps;eps) = %d", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p := SeqP(Out(Name("c"), AnyP()), AltP(Eps(), AnyP()))
+	got := Describe(p)
+	want := "c!Any;(ε ∨ Any)"
+	if got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+}

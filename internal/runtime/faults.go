@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Faults configures fault injection in the middleware, for testing how
+// provenance-based auditing behaves under an unreliable network. Faults
+// are applied between the send-side stamping and delivery:
+//
+//   - a dropped message was genuinely sent (its a!κ event happened and is
+//     logged) but never arrives — receivers simply keep waiting, exactly
+//     like the asynchronous calculus, where an output may never be
+//     consumed;
+//   - a duplicated message is delivered twice; both copies carry the same
+//     send stamp and each delivery logs its own receive. This mirrors the
+//     calculus's nonlinear interpretation of logs (values and their
+//     provenance can be copied).
+//
+// Correctness (Definition 3) is preserved under both faults: the global
+// log still justifies every claim any surviving copy makes. That is the
+// point of the fault-injection tests.
+type Faults struct {
+	// DropRate is the probability a sent message is lost before queueing.
+	DropRate float64
+	// DupRate is the probability a sent message is enqueued twice.
+	DupRate float64
+	// Seed drives the fault PRNG (deterministic replay).
+	Seed int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// roll draws a uniform sample in [0,1).
+func (f *Faults) roll() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng == nil {
+		f.rng = rand.New(rand.NewSource(f.Seed))
+	}
+	return f.rng.Float64()
+}
+
+// SetFaults installs a fault plan on the middleware (nil disables
+// injection).
+func (n *Net) SetFaults(f *Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// applyFaults decides the fate of a freshly stamped message: how many
+// copies to enqueue (0 = dropped, 1 = normal, 2 = duplicated). Callers
+// hold no locks.
+func (f *Faults) copies() int {
+	if f == nil {
+		return 1
+	}
+	r := f.roll()
+	if r < f.DropRate {
+		return 0
+	}
+	if r < f.DropRate+f.DupRate {
+		return 2
+	}
+	return 1
+}

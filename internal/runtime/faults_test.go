@@ -1,0 +1,134 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+func TestDropLosesMessageButLogsSend(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	net.SetFaults(&Faults{DropRate: 1.0, Seed: 1})
+	a := net.Register("a")
+	b := net.Register("b")
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	// The send happened: it is logged.
+	if net.LogLen() != 1 {
+		t.Errorf("log = %d actions, want 1 (the send)", net.LogLen())
+	}
+	// The message never arrives.
+	if _, err := b.Recv(chVal("m"), 40*time.Millisecond, pattern.AnyP()); !errors.Is(err, ErrTimeout) {
+		t.Errorf("dropped message should not be received: %v", err)
+	}
+	// Auditing is unaffected: nothing in transit claims anything.
+	if err := net.Audit(); err != nil {
+		t.Errorf("audit after drop: %v", err)
+	}
+}
+
+func TestDuplicateDeliversTwiceCorrectly(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	net.SetFaults(&Faults{DupRate: 1.0, Seed: 1})
+	a := net.Register("a")
+	b := net.Register("b")
+	c := net.Register("c")
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	if net.Pending("m") != 2 {
+		t.Fatalf("pending = %d, want 2 (duplicated)", net.Pending("m"))
+	}
+	v1, err := b.Recv(chVal("m"), time.Second, pattern.AnyP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.Recv(chVal("m"), time.Second, pattern.AnyP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both copies carry the same send stamp plus their own receive stamp.
+	if v1[0].K.Tail().String() != v2[0].K.Tail().String() {
+		t.Errorf("copies diverged below the receive stamp: %s vs %s", v1[0].K, v2[0].K)
+	}
+	// Correctness under duplication (nonlinear logs): both values audit.
+	if err := net.AuditValue(v1[0]); err != nil {
+		t.Errorf("copy 1: %v", err)
+	}
+	if err := net.AuditValue(v2[0]); err != nil {
+		t.Errorf("copy 2: %v", err)
+	}
+}
+
+func TestLossyPipelineStaysAuditable(t *testing.T) {
+	// A lossy network under a retrying sender: whatever arrives is still
+	// justified by the log (Definition 3 under faults).
+	net := NewNet()
+	defer net.Close()
+	net.SetFaults(&Faults{DropRate: 0.5, Seed: 42})
+	a := net.Register("a")
+	b := net.Register("b")
+	got := 0
+	for attempt := 0; attempt < 40 && got < 5; attempt++ {
+		if err := a.Send(chVal("m"), chVal("v")); err != nil {
+			t.Fatal(err)
+		}
+		vals, err := b.Recv(chVal("m"), 20*time.Millisecond, pattern.AnyP())
+		if errors.Is(err, ErrTimeout) {
+			continue // lost; retry
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+		if err := net.AuditValue(vals[0]); err != nil {
+			t.Errorf("attempt %d: %v", attempt, err)
+		}
+		want := syntax.Seq(syntax.InEvent("b", nil), syntax.OutEvent("a", nil))
+		if !vals[0].K.Equal(want) {
+			t.Errorf("provenance = %s, want %s", vals[0].K, want)
+		}
+	}
+	if got == 0 {
+		t.Fatalf("no message survived a 50%% lossy link in 40 attempts")
+	}
+	if err := net.Audit(); err != nil {
+		t.Errorf("final audit: %v", err)
+	}
+}
+
+func TestNoFaultsByDefault(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	for i := 0; i < 20; i++ {
+		if err := a.Send(chVal("m"), chVal("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if net.Pending("m") != 20 {
+		t.Errorf("default middleware must be reliable: pending = %d", net.Pending("m"))
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	run := func() int {
+		net := NewNet()
+		defer net.Close()
+		net.SetFaults(&Faults{DropRate: 0.3, DupRate: 0.3, Seed: 9})
+		a := net.Register("a")
+		for i := 0; i < 50; i++ {
+			_ = a.Send(chVal("m"), chVal("v"))
+		}
+		return net.Pending("m")
+	}
+	if run() != run() {
+		t.Errorf("same seed must give the same fault pattern")
+	}
+}

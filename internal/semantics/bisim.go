@@ -1,0 +1,170 @@
+package semantics
+
+import (
+	"sort"
+
+	"repro/internal/syntax"
+)
+
+// Bisimilar decides strong bisimilarity of two systems over their
+// reachable labelled transition systems (finite fragments, bounded by the
+// given budgets). Two states are bisimilar when every labelled step of one
+// can be matched by an identically labelled step of the other into
+// bisimilar states.
+//
+// Strong bisimilarity validates the structural-congruence laws the paper
+// leaves "standard" — e.g. a[P|Q] ∼ a[P] ∥ a[Q], commutativity and
+// associativity of ∥, and (νn)0 ∼ 0 — as behavioural facts rather than
+// definitional ones. It is decided by partition refinement (Kanellakis-
+// Smolka) on the union of the two graphs.
+//
+// The second result reports whether the decision is definitive: if either
+// graph was truncated by the budgets, a "true" answer only covers the
+// explored fragment.
+func Bisimilar(a, b syntax.System, maxStates, maxDepth int) (bisim, definitive bool) {
+	ga := BuildGraph(a, maxStates, maxDepth)
+	gb := BuildGraph(b, maxStates, maxDepth)
+	definitive = !ga.Truncated && !gb.Truncated
+
+	// Build the union LTS with disjoint state ids. Labels compare by their
+	// rendered form (principal, kind, channel and values all included).
+	type edge struct {
+		label string
+		to    int
+	}
+	id := map[string]int{}
+	var succ [][]edge
+	intern := func(g *Graph, key string) int {
+		full := key // canonical forms may coincide across graphs — good:
+		// identical canon means identical behaviour, share the node.
+		if i, ok := id[full]; ok {
+			return i
+		}
+		i := len(succ)
+		id[full] = i
+		succ = append(succ, nil)
+		return i
+	}
+	for _, g := range []*Graph{ga, gb} {
+		for key := range g.States {
+			intern(g, key)
+		}
+	}
+	for _, g := range []*Graph{ga, gb} {
+		for key, es := range g.Edges {
+			from := intern(g, key)
+			for _, e := range es {
+				succ[from] = append(succ[from], edge{label: privAbstract(e.Label.String()), to: intern(g, e.To)})
+			}
+		}
+	}
+
+	// Partition refinement: block id per state, refined until stable.
+	n := len(succ)
+	block := make([]int, n)
+	for {
+		// Signature of a state: its block plus the multiset of
+		// (label, successor block) pairs.
+		sigs := make([]string, n)
+		for s := 0; s < n; s++ {
+			pairs := make([]string, 0, len(succ[s]))
+			for _, e := range succ[s] {
+				pairs = append(pairs, e.label+"->"+itoa(block[e.to]))
+			}
+			sort.Strings(pairs)
+			// Deduplicate: bisimulation is insensitive to edge multiplicity.
+			pairs = dedup(pairs)
+			sigs[s] = itoa(block[s]) + "|" + join(pairs)
+		}
+		next := make([]int, n)
+		index := map[string]int{}
+		for s := 0; s < n; s++ {
+			bID, ok := index[sigs[s]]
+			if !ok {
+				bID = len(index)
+				index[sigs[s]] = bID
+			}
+			next[s] = bID
+		}
+		same := true
+		for s := 0; s < n; s++ {
+			if next[s] != block[s] {
+				same = false
+				break
+			}
+		}
+		block = next
+		if same {
+			break
+		}
+	}
+	return block[id[ga.Start]] == block[id[gb.Start]], definitive
+}
+
+// privAbstract replaces restricted (fresh-renamed) names in a label by the
+// opaque marker #priv, making bisimilarity insensitive to the choice of
+// bound names. This abstraction conflates distinct private channels within
+// one label set — acceptable for the congruence-law checking the function
+// is meant for, and documented as an approximation.
+func privAbstract(label string) string {
+	out := make([]byte, 0, len(label))
+	i := 0
+	for i < len(label) {
+		c := label[i]
+		if isNameStart(c) {
+			j := i
+			hasTilde := false
+			for j < len(label) && isNameChar(label[j]) {
+				if label[j] == '~' {
+					hasTilde = true
+				}
+				j++
+			}
+			if hasTilde {
+				out = append(out, "#priv"...)
+			} else {
+				out = append(out, label[i:j]...)
+			}
+			i = j
+			continue
+		}
+		out = append(out, c)
+		i++
+	}
+	return string(out)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

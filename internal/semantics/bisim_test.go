@@ -1,0 +1,120 @@
+package semantics
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+func mustBisim(t *testing.T, a, b syntax.System, want bool) {
+	t.Helper()
+	got, definitive := Bisimilar(a, b, 2000, 60)
+	if !definitive {
+		t.Fatalf("budgets too small for a definitive answer")
+	}
+	if got != want {
+		t.Errorf("Bisimilar = %v, want %v\n a: %s\n b: %s", got, want, a, b)
+	}
+}
+
+func TestBisimLocatedParSplit(t *testing.T) {
+	// a[P|Q] ∼ a[P] ∥ a[Q] — the located-process congruence law.
+	p := out("m", ch("v"))
+	q := in1("l", "x", syntax.Stop())
+	mustBisim(t,
+		syntax.Loc("a", &syntax.Par{L: p, R: q}),
+		syntax.SysParAll(syntax.Loc("a", p), syntax.Loc("a", q)),
+		true)
+}
+
+func TestBisimParCommutative(t *testing.T) {
+	s1 := syntax.SysParAll(syntax.Loc("a", out("m", ch("v"))), syntax.Loc("b", out("l", ch("w"))))
+	s2 := syntax.SysParAll(syntax.Loc("b", out("l", ch("w"))), syntax.Loc("a", out("m", ch("v"))))
+	mustBisim(t, s1, s2, true)
+}
+
+func TestBisimInertForms(t *testing.T) {
+	// a[0] ∼ (νn)b[0] ∼ the empty composition.
+	mustBisim(t,
+		syntax.Loc("a", syntax.Stop()),
+		&syntax.SysRestrict{Name: "n", Body: syntax.Loc("b", syntax.Stop())},
+		true)
+}
+
+func TestBisimRestrictionAlpha(t *testing.T) {
+	// (νn)a[n⟨v⟩] ∼ (νl)a[l⟨v⟩]: alpha-equivalent restricted systems.
+	mk := func(name string) syntax.System {
+		return &syntax.SysRestrict{Name: name, Body: syntax.Loc("a", out(name, ch("v")))}
+	}
+	mustBisim(t, mk("n"), mk("l"), true)
+}
+
+func TestBisimDistinguishesPrincipals(t *testing.T) {
+	// Identities matter: a[m⟨v⟩] ≁ b[m⟨v⟩] (labels differ).
+	mustBisim(t,
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("b", out("m", ch("v"))),
+		false)
+}
+
+func TestBisimDistinguishesValues(t *testing.T) {
+	mustBisim(t,
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("a", out("m", ch("w"))),
+		false)
+}
+
+func TestBisimSumVsParallelInputs(t *testing.T) {
+	// A two-branch sum is NOT bisimilar to two parallel inputs when two
+	// messages are available: the sum consumes one message total, the
+	// parallel form can consume both.
+	brA := &syntax.Branch{Pats: []syntax.Pattern{syntax.WildcardPattern{}},
+		Vars: []string{"x"}, Body: syntax.Stop()}
+	brB := &syntax.Branch{Pats: []syntax.Pattern{syntax.WildcardPattern{}},
+		Vars: []string{"y"}, Body: syntax.Stop()}
+	sum := &syntax.InputSum{Chan: ch("m"), Branches: []*syntax.Branch{brA, brB}}
+	par := &syntax.Par{
+		L: &syntax.InputSum{Chan: ch("m"), Branches: []*syntax.Branch{brA}},
+		R: &syntax.InputSum{Chan: ch("m"), Branches: []*syntax.Branch{brB}},
+	}
+	msgs := []syntax.System{
+		syntax.Msg("m", syntax.Fresh(syntax.Chan("v"))),
+		syntax.Msg("m", syntax.Fresh(syntax.Chan("w"))),
+	}
+	s1 := syntax.SysParAll(append([]syntax.System{syntax.Loc("a", sum)}, msgs...)...)
+	s2 := syntax.SysParAll(append([]syntax.System{syntax.Loc("a", par)}, msgs...)...)
+	mustBisim(t, s1, s2, false)
+}
+
+func TestBisimReplicationUnfolding(t *testing.T) {
+	// *P ∼ P | *P — the replication law, on a replicated input driven by
+	// finitely many messages.
+	body := in1("m", "x", syntax.Stop())
+	s1 := syntax.SysParAll(
+		syntax.Loc("a", &syntax.Repl{Body: body}),
+		syntax.Msg("m", syntax.Fresh(syntax.Chan("v"))),
+	)
+	s2 := syntax.SysParAll(
+		syntax.Loc("a", &syntax.Par{L: body, R: &syntax.Repl{Body: body}}),
+		syntax.Msg("m", syntax.Fresh(syntax.Chan("v"))),
+	)
+	mustBisim(t, s1, s2, true)
+}
+
+func TestBisimProvenanceVisible(t *testing.T) {
+	// Provenance annotations are NOT observable in the labels directly,
+	// but they become observable through pattern vetting: a message with
+	// c! history passes a c-pattern, an ε message does not.
+	patC := pattern.SeqP(pattern.Out(pattern.Name("c"), pattern.AnyP()), pattern.AnyP())
+	recv := syntax.In1(ch("m"), patC, "x", out("got", syntax.Var("x")))
+	s1 := syntax.SysParAll(
+		syntax.Loc("b", recv),
+		syntax.Msg("m", syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("c", nil)))),
+	)
+	s2 := syntax.SysParAll(
+		syntax.Loc("b", recv),
+		syntax.Msg("m", syntax.Fresh(syntax.Chan("v"))),
+	)
+	mustBisim(t, s1, s2, false)
+}

@@ -1,0 +1,128 @@
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/syntax"
+)
+
+// Graph is the labelled transition system reachable from a start state,
+// with states identified up to structural congruence.
+type Graph struct {
+	// Start is the canonical form of the initial state.
+	Start string
+	// States maps canonical forms to representative normal forms.
+	States map[string]*Norm
+	// Edges maps a canonical form to its outgoing transitions.
+	Edges map[string][]Edge
+	// Truncated reports whether construction hit a limit.
+	Truncated bool
+}
+
+// Edge is one transition of the graph.
+type Edge struct {
+	Label Label
+	To    string
+}
+
+// BuildGraph constructs the reachable labelled transition system of a
+// closed system within the given limits.
+func BuildGraph(s syntax.System, maxStates, maxDepth int) *Graph {
+	start := Normalize(s)
+	g := &Graph{
+		Start:  start.Canon(),
+		States: map[string]*Norm{},
+		Edges:  map[string][]Edge{},
+	}
+	type qe struct {
+		n     *Norm
+		depth int
+	}
+	g.States[g.Start] = start
+	queue := []qe{{start, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		key := cur.n.Canon()
+		if cur.depth >= maxDepth {
+			g.Truncated = true
+			continue
+		}
+		for _, st := range Steps(cur.n) {
+			to := st.Next.Canon()
+			g.Edges[key] = append(g.Edges[key], Edge{Label: st.Label, To: to})
+			if _, seen := g.States[to]; seen {
+				continue
+			}
+			if len(g.States) >= maxStates {
+				g.Truncated = true
+				continue
+			}
+			g.States[to] = st.Next
+			queue = append(queue, qe{st.Next, cur.depth + 1})
+		}
+	}
+	return g
+}
+
+// NumStates returns the number of distinct states.
+func (g *Graph) NumStates() int { return len(g.States) }
+
+// NumEdges returns the number of transitions.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.Edges {
+		n += len(es)
+	}
+	return n
+}
+
+// Quiescent lists the canonical forms of states with no outgoing edges.
+func (g *Graph) Quiescent() []string {
+	var out []string
+	for key := range g.States {
+		if len(g.Edges[key]) == 0 {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DOT renders the graph in Graphviz dot format. State identifiers are
+// stable small integers (sorted canonical forms); full state terms go in
+// tooltips so the graph stays readable.
+func (g *Graph) DOT() string {
+	keys := make([]string, 0, len(g.States))
+	for k := range g.States {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	id := make(map[string]int, len(keys))
+	for i, k := range keys {
+		id[k] = i
+	}
+	var b strings.Builder
+	b.WriteString("digraph lts {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+	for _, k := range keys {
+		attrs := fmt.Sprintf("tooltip=%q", k)
+		if k == g.Start {
+			attrs += ", style=bold"
+		}
+		if len(g.Edges[k]) == 0 {
+			attrs += ", shape=doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [%s];\n", id[k], attrs)
+	}
+	for _, k := range keys {
+		for _, e := range g.Edges[k] {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q, fontsize=9];\n",
+				id[k], id[e.To], e.Label.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

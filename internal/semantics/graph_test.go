@@ -1,0 +1,80 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/syntax"
+)
+
+func TestBuildGraphMarket(t *testing.T) {
+	// Two producers, one consumer: diamond-shaped LTS.
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v1"))),
+		syntax.Loc("b", out("m", ch("v2"))),
+		syntax.Loc("c", in1("m", "x", syntax.Stop())),
+	)
+	g := BuildGraph(s, 1000, 50)
+	if g.Truncated {
+		t.Fatalf("graph truncated")
+	}
+	// States: {both sends pending} → {one sent} ×2 → {both sent} plus the
+	// receive interleavings.
+	if g.NumStates() < 6 {
+		t.Errorf("states = %d, want at least 6", g.NumStates())
+	}
+	if g.NumEdges() < g.NumStates()-1 {
+		t.Errorf("edges = %d for %d states", g.NumEdges(), g.NumStates())
+	}
+	// Quiescent states exist (after c consumed one value and the other
+	// message is stranded).
+	if len(g.Quiescent()) == 0 {
+		t.Errorf("expected quiescent states")
+	}
+}
+
+func TestBuildGraphDeterministicChain(t *testing.T) {
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("b", in1("m", "x", syntax.Stop())),
+	)
+	g := BuildGraph(s, 100, 20)
+	if g.NumStates() != 3 {
+		t.Errorf("chain should have 3 states, got %d", g.NumStates())
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("chain should have 2 edges, got %d", g.NumEdges())
+	}
+	if len(g.Quiescent()) != 1 {
+		t.Errorf("exactly one quiescent state expected")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("b", in1("m", "x", syntax.Stop())),
+	)
+	g := BuildGraph(s, 100, 20)
+	dot := g.DOT()
+	for _, want := range []string{"digraph lts", "s0", "->", "a.snd(m, v)", "doublecircle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestBuildGraphTruncation(t *testing.T) {
+	// A replicated ping-pong has an infinite LTS; the budget must hold.
+	s := syntax.SysParAll(
+		syntax.Loc("a", out("m", ch("v"))),
+		syntax.Loc("f", &syntax.Repl{Body: in1("m", "x", out("m", syntax.Var("x")))}),
+	)
+	g := BuildGraph(s, 25, 1000)
+	if !g.Truncated {
+		t.Errorf("infinite system must truncate")
+	}
+	if g.NumStates() > 25 {
+		t.Errorf("state budget exceeded: %d", g.NumStates())
+	}
+}

@@ -1,0 +1,267 @@
+// Package semantics implements the provenance-tracking reduction semantics
+// of the calculus (Table 2 of the paper).
+//
+// Systems are kept in a structural-congruence normal form: a set of
+// top-level restricted names, a list of located threads whose head
+// construct is an action prefix (output, input-guarded sum, if, or
+// replication), and a list of messages in transit. Normalisation applies
+// the standard congruence laws — commutative monoid laws for ∥ and |,
+// a[P|Q] ≡ a[P] ∥ a[Q], a[(νn)P] ≡ (νn)a[P], scope extrusion with
+// alpha-renaming, and garbage collection of a[0] — so that the reduction
+// rules R-Res, R-Par and R-Struct never need to be applied explicitly.
+//
+// Replication (*P ≡ P | *P) is unfolded lazily during redex enumeration,
+// so exploration terminates on systems whose reachable state space is
+// finite even though *P is an infinite process.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/syntax"
+)
+
+// Thread is a located process whose head construct is an action prefix.
+// Proc is always one of *syntax.Output, *syntax.InputSum (non-empty),
+// *syntax.If or *syntax.Repl.
+type Thread struct {
+	Principal string
+	Proc      syntax.Process
+}
+
+func (t Thread) String() string {
+	return t.Principal + "[" + t.Proc.String() + "]"
+}
+
+// Norm is a system in structural-congruence normal form:
+// (ν Restricted)(Threads ∥ Messages).
+type Norm struct {
+	// Restricted holds the top-level restricted channel names in the order
+	// their binders were lifted. All are fresh (they use the reserved "~"
+	// separator or were globally unique already).
+	Restricted []string
+	// Threads are the active located processes.
+	Threads []Thread
+	// Messages are the values in transit.
+	Messages []*syntax.Message
+	// fresh is the counter used to coin fresh names for lifted binders.
+	fresh int
+}
+
+// FreshCounter exposes the current fresh-name counter (for tests).
+func (n *Norm) FreshCounter() int { return n.fresh }
+
+// freshNameFor coins a globally unique name derived from base.
+func (n *Norm) freshNameFor(base string) string {
+	root := base
+	if i := strings.IndexByte(root, '~'); i >= 0 {
+		root = root[:i]
+	}
+	if root == "" {
+		root = "n"
+	}
+	n.fresh++
+	return root + "~" + strconv.Itoa(n.fresh)
+}
+
+// Normalize brings a closed system into normal form. It panics if the
+// system contains free variables, since reduction is defined on closed
+// systems only.
+func Normalize(s syntax.System) *Norm {
+	if !syntax.IsClosed(s) {
+		panic("semantics: Normalize: system is not closed")
+	}
+	n := &Norm{}
+	n.addSystem(s, nil)
+	return n
+}
+
+// renaming maps original restricted names to their fresh replacements.
+type renaming map[string]string
+
+func (r renaming) extend(old, new string) renaming {
+	out := make(renaming, len(r)+1)
+	for k, v := range r {
+		out[k] = v
+	}
+	out[old] = new
+	return out
+}
+
+// addSystem walks a system term, applying the current renaming and
+// accumulating threads, messages and lifted restrictions into n.
+func (n *Norm) addSystem(s syntax.System, ren renaming) {
+	switch s := s.(type) {
+	case *syntax.Located:
+		n.addProcess(s.Principal, applyRenamingProc(s.Proc, ren))
+	case *syntax.Message:
+		n.Messages = append(n.Messages, applyRenamingMsg(s, ren))
+	case *syntax.SysRestrict:
+		fresh := n.freshNameFor(s.Name)
+		n.Restricted = append(n.Restricted, fresh)
+		n.addSystem(s.Body, ren.extend(s.Name, fresh))
+	case *syntax.SysPar:
+		n.addSystem(s.L, ren)
+		n.addSystem(s.R, ren)
+	default:
+		panic(fmt.Sprintf("semantics: addSystem: unknown system %T", s))
+	}
+}
+
+// addProcess splits a located process into threads: parallel compositions
+// are flattened (a[P|Q] ≡ a[P] ∥ a[Q]), top-level restrictions are lifted
+// (a[(νn)P] ≡ (νn)a[P]) and inert processes are dropped (a[0] ≡ 0).
+// The process must already have the renaming applied.
+func (n *Norm) addProcess(principal string, p syntax.Process) {
+	switch p := p.(type) {
+	case *syntax.Par:
+		n.addProcess(principal, p.L)
+		n.addProcess(principal, p.R)
+	case *syntax.Restrict:
+		fresh := n.freshNameFor(p.Name)
+		n.Restricted = append(n.Restricted, fresh)
+		n.addProcess(principal, syntax.RenameFreeName(p.Body, p.Name, fresh))
+	case *syntax.InputSum:
+		if p.IsStop() {
+			return
+		}
+		n.Threads = append(n.Threads, Thread{Principal: principal, Proc: p})
+	case *syntax.Output, *syntax.If, *syntax.Repl:
+		n.Threads = append(n.Threads, Thread{Principal: principal, Proc: p})
+	default:
+		panic(fmt.Sprintf("semantics: addProcess: unknown process %T", p))
+	}
+}
+
+func applyRenamingProc(p syntax.Process, ren renaming) syntax.Process {
+	for old, new := range ren {
+		p = syntax.RenameFreeName(p, old, new)
+	}
+	return p
+}
+
+func applyRenamingMsg(m *syntax.Message, ren renaming) *syntax.Message {
+	out := &syntax.Message{Chan: m.Chan, Payload: make([]syntax.AnnotatedValue, len(m.Payload))}
+	if r, ok := ren[m.Chan]; ok {
+		out.Chan = r
+	}
+	for i, v := range m.Payload {
+		if r, ok := ren[v.V.Name]; ok {
+			v.V.Name = r
+		}
+		// Provenance sequences reference principals only, and principals
+		// cannot be restricted, so the payload provenance needs no renaming.
+		out.Payload[i] = v
+	}
+	return out
+}
+
+// Clone returns a deep-enough copy of the normal form: the slices are
+// copied, while thread processes (immutable by convention) are shared.
+func (n *Norm) Clone() *Norm {
+	out := &Norm{fresh: n.fresh}
+	out.Restricted = append([]string(nil), n.Restricted...)
+	out.Threads = append([]Thread(nil), n.Threads...)
+	out.Messages = append([]*syntax.Message(nil), n.Messages...)
+	return out
+}
+
+// ToSystem converts the normal form back to a system term:
+// (ν ñ)(T₁ ∥ … ∥ Tₖ ∥ M₁ ∥ … ∥ Mⱼ).
+func (n *Norm) ToSystem() syntax.System {
+	parts := make([]syntax.System, 0, len(n.Threads)+len(n.Messages))
+	for _, t := range n.Threads {
+		parts = append(parts, syntax.Loc(t.Principal, t.Proc))
+	}
+	for _, m := range n.Messages {
+		parts = append(parts, m)
+	}
+	s := syntax.SysParAll(parts...)
+	for i := len(n.Restricted) - 1; i >= 0; i-- {
+		s = &syntax.SysRestrict{Name: n.Restricted[i], Body: s}
+	}
+	return s
+}
+
+// IsInert reports whether the normal form has no threads and no messages.
+func (n *Norm) IsInert() bool { return len(n.Threads) == 0 && len(n.Messages) == 0 }
+
+// String renders the normal form deterministically.
+func (n *Norm) String() string {
+	var b strings.Builder
+	if len(n.Restricted) > 0 {
+		b.WriteString("new ")
+		b.WriteString(strings.Join(n.Restricted, ", "))
+		b.WriteString(". ")
+	}
+	parts := make([]string, 0, len(n.Threads)+len(n.Messages))
+	for _, t := range n.Threads {
+		parts = append(parts, t.String())
+	}
+	for _, m := range n.Messages {
+		parts = append(parts, m.String())
+	}
+	if len(parts) == 0 {
+		return b.String() + "0"
+	}
+	b.WriteString(strings.Join(parts, " || "))
+	return b.String()
+}
+
+// Canon returns a canonical string for the normal form, insensitive to the
+// order of threads and messages (the commutative-monoid laws of ∥). It is
+// used for state-space deduplication in the explorer. Restricted names are
+// canonically renumbered in order of first occurrence so that equivalent
+// states reached along different paths coincide.
+func (n *Norm) Canon() string {
+	parts := make([]string, 0, len(n.Threads)+len(n.Messages))
+	for _, t := range n.Threads {
+		parts = append(parts, t.String())
+	}
+	for _, m := range n.Messages {
+		parts = append(parts, m.String())
+	}
+	sort.Strings(parts)
+	joined := strings.Join(parts, " || ")
+	// Renumber fresh names (those containing '~') by first occurrence.
+	var out strings.Builder
+	seen := make(map[string]int)
+	i := 0
+	for i < len(joined) {
+		c := joined[i]
+		if isNameStart(c) {
+			j := i
+			for j < len(joined) && isNameChar(joined[j]) {
+				j++
+			}
+			name := joined[i:j]
+			if strings.ContainsRune(name, '~') {
+				id, ok := seen[name]
+				if !ok {
+					id = len(seen)
+					seen[name] = id
+				}
+				root := name[:strings.IndexByte(name, '~')]
+				out.WriteString(root + "~#" + strconv.Itoa(id))
+			} else {
+				out.WriteString(name)
+			}
+			i = j
+			continue
+		}
+		out.WriteByte(c)
+		i++
+	}
+	return out.String()
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '~' || c == '\''
+}

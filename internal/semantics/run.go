@@ -1,0 +1,145 @@
+package semantics
+
+import (
+	"math/rand"
+
+	"repro/internal/syntax"
+)
+
+// Trace is a finite run of a system: the visited normal forms and the
+// labels of the steps between them. len(States) == len(Labels)+1.
+type Trace struct {
+	States []*Norm
+	Labels []Label
+}
+
+// Last returns the final state of the trace.
+func (t *Trace) Last() *Norm { return t.States[len(t.States)-1] }
+
+// Len returns the number of steps in the trace.
+func (t *Trace) Len() int { return len(t.Labels) }
+
+// Run reduces the system for at most maxSteps steps, resolving the
+// calculus's nondeterminism with the seeded PRNG (same seed, same trace).
+// It stops early when no reduction is possible.
+func Run(s syntax.System, seed int64, maxSteps int) *Trace {
+	return RunNorm(Normalize(s), seed, maxSteps)
+}
+
+// RunNorm is Run starting from an existing normal form.
+func RunNorm(n *Norm, seed int64, maxSteps int) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{States: []*Norm{n}}
+	cur := n
+	for i := 0; i < maxSteps; i++ {
+		steps := Steps(cur)
+		if len(steps) == 0 {
+			break
+		}
+		st := steps[rng.Intn(len(steps))]
+		tr.Labels = append(tr.Labels, st.Label)
+		tr.States = append(tr.States, st.Next)
+		cur = st.Next
+	}
+	return tr
+}
+
+// RunToQuiescence keeps reducing (deterministically taking the first
+// available step) until no step is available or maxSteps is exceeded. It
+// reports whether quiescence was reached.
+func RunToQuiescence(s syntax.System, maxSteps int) (*Trace, bool) {
+	tr := &Trace{States: []*Norm{Normalize(s)}}
+	cur := tr.States[0]
+	for i := 0; i < maxSteps; i++ {
+		steps := Steps(cur)
+		if len(steps) == 0 {
+			return tr, true
+		}
+		st := steps[0]
+		tr.Labels = append(tr.Labels, st.Label)
+		tr.States = append(tr.States, st.Next)
+		cur = st.Next
+	}
+	return tr, len(Steps(cur)) == 0
+}
+
+// ExploreResult is the reachable state space computed by Explore.
+type ExploreResult struct {
+	// States maps the canonical form of each reached state to a
+	// representative normal form.
+	States map[string]*Norm
+	// Quiescent lists the canonical forms of states with no outgoing steps.
+	Quiescent []string
+	// Truncated reports whether exploration hit one of its limits before
+	// exhausting the state space.
+	Truncated bool
+}
+
+// Explore computes the set of states reachable from s by breadth-first
+// search over the reduction relation, identifying states up to structural
+// congruence via Norm.Canon. Exploration stops after visiting maxStates
+// states or exploring to depth maxDepth, whichever comes first.
+func Explore(s syntax.System, maxStates, maxDepth int) *ExploreResult {
+	start := Normalize(s)
+	res := &ExploreResult{States: make(map[string]*Norm)}
+	type qe struct {
+		n     *Norm
+		depth int
+	}
+	queue := []qe{{start, 0}}
+	res.States[start.Canon()] = start
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth >= maxDepth {
+			res.Truncated = true
+			continue
+		}
+		steps := Steps(cur.n)
+		if len(steps) == 0 {
+			res.Quiescent = append(res.Quiescent, cur.n.Canon())
+			continue
+		}
+		for _, st := range steps {
+			key := st.Next.Canon()
+			if _, seen := res.States[key]; seen {
+				continue
+			}
+			if len(res.States) >= maxStates {
+				res.Truncated = true
+				continue
+			}
+			res.States[key] = st.Next
+			queue = append(queue, qe{st.Next, cur.depth + 1})
+		}
+	}
+	return res
+}
+
+// CanReach reports whether some state satisfying pred is reachable from s
+// within the given exploration limits.
+func CanReach(s syntax.System, maxStates, maxDepth int, pred func(*Norm) bool) bool {
+	res := Explore(s, maxStates, maxDepth)
+	for _, n := range res.States {
+		if pred(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllQuiescent applies pred to every quiescent state reachable within the
+// limits and reports whether pred holds for all of them. It returns false
+// if exploration was truncated (we cannot know all quiescent states).
+func AllQuiescent(s syntax.System, maxStates, maxDepth int, pred func(*Norm) bool) bool {
+	res := Explore(s, maxStates, maxDepth)
+	if res.Truncated {
+		return false
+	}
+	for _, key := range res.Quiescent {
+		if !pred(res.States[key]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,274 @@
+package semantics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/syntax"
+)
+
+// ActionKind classifies the observable action of a reduction step; the four
+// kinds correspond exactly to the log actions of §3.1 of the paper.
+type ActionKind int
+
+const (
+	// ActSend is a.snd(m, ṽ): rule R-Send fired.
+	ActSend ActionKind = iota
+	// ActRecv is a.rcv(m, ṽ): rule R-Recv fired.
+	ActRecv
+	// ActIfT is a.ift(v, v'): rule R-IfT fired.
+	ActIfT
+	// ActIfF is a.iff(v, v'): rule R-IfF fired.
+	ActIfF
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActSend:
+		return "snd"
+	case ActRecv:
+		return "rcv"
+	case ActIfT:
+		return "ift"
+	case ActIfF:
+		return "iff"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Label describes the action performed by a reduction step. For send and
+// receive, Chan is the channel and Vals the plain payload values (the
+// polyadic extension logs the whole tuple); for ift/iff, Vals holds the two
+// compared plain values and Chan is empty.
+type Label struct {
+	Kind      ActionKind
+	Principal string
+	Chan      string
+	Vals      []string
+}
+
+func (l Label) String() string {
+	return l.Principal + "." + l.Kind.String() + "(" +
+		strings.Join(append([]string{l.Chan}, l.Vals...), ", ") + ")"
+}
+
+func ifLabel(kind ActionKind, principal string, l, r syntax.Ident) Label {
+	return Label{Kind: kind, Principal: principal, Vals: []string{l.Val.V.Name, r.Val.V.Name}}
+}
+
+// Step is one reduction S → S' together with its label.
+type Step struct {
+	Label Label
+	Next  *Norm
+}
+
+// expThread is an actionable thread obtained by (possibly) unfolding
+// replications: its Proc is *Output, *InputSum or *If. Firing it consumes
+// the origin real thread unless keepOrigin is set (the origin is a
+// replication, which persists), and materialises extras (sibling threads
+// from the same unfolding), restricted (names lifted while unfolding) and
+// the new fresh counter.
+type expThread struct {
+	principal  string
+	proc       syntax.Process
+	origin     int
+	keepOrigin bool
+	extras     []Thread
+	restricted []string
+	fresh      int
+}
+
+// expand lists the actionable threads of n, lazily unfolding each
+// replication once (nested replications are unfolded recursively). One
+// unfolding level per replication suffices because every reduction step
+// involves at most one thread: communication is split into separate send
+// and receive steps, so two copies of the same replication never interact
+// within a single step.
+func expand(n *Norm) []expThread {
+	var out []expThread
+	for i, th := range n.Threads {
+		switch p := th.Proc.(type) {
+		case *syntax.Repl:
+			expandRepl(th.Principal, p.Body, i, nil, nil, n.fresh, &out)
+		default:
+			out = append(out, expThread{principal: th.Principal, proc: th.Proc, origin: i, fresh: n.fresh})
+		}
+	}
+	return out
+}
+
+// expandRepl normalises one copy of a replication body and emits an
+// actionable expThread per action prefix found inside, recursing through
+// nested replications.
+func expandRepl(principal string, body syntax.Process, origin int, extras []Thread, restricted []string, fresh int, out *[]expThread) {
+	sub := &Norm{fresh: fresh}
+	sub.addProcess(principal, body)
+	allRestricted := append(append([]string(nil), restricted...), sub.Restricted...)
+	for j, st := range sub.Threads {
+		sibs := append([]Thread(nil), extras...)
+		for k, other := range sub.Threads {
+			if k != j {
+				sibs = append(sibs, other)
+			}
+		}
+		switch p := st.Proc.(type) {
+		case *syntax.Repl:
+			// The nested replication itself persists alongside the copy
+			// of its body that acts.
+			expandRepl(st.Principal, p.Body, origin, append(sibs, st), allRestricted, sub.fresh, out)
+		default:
+			*out = append(*out, expThread{
+				principal:  st.Principal,
+				proc:       st.Proc,
+				origin:     origin,
+				keepOrigin: true,
+				extras:     sibs,
+				restricted: allRestricted,
+				fresh:      sub.fresh,
+			})
+		}
+	}
+}
+
+// succeed builds the successor normal form when expThread x reduces to
+// continuation cont (which may be nil for output steps), with message
+// surgery applied by the caller via addMsg/removeMsg.
+func succeed(n *Norm, x expThread, cont syntax.Process, addMsg *syntax.Message, removeMsg int) *Norm {
+	next := &Norm{fresh: x.fresh}
+	next.Restricted = append(append([]string(nil), n.Restricted...), x.restricted...)
+	for i, th := range n.Threads {
+		if i == x.origin && !x.keepOrigin {
+			continue
+		}
+		next.Threads = append(next.Threads, th)
+	}
+	next.Threads = append(next.Threads, x.extras...)
+	for j, m := range n.Messages {
+		if j == removeMsg {
+			continue
+		}
+		next.Messages = append(next.Messages, m)
+	}
+	if addMsg != nil {
+		next.Messages = append(next.Messages, addMsg)
+	}
+	if cont != nil {
+		// Normalising the continuation may lift further restrictions and
+		// spawn further threads; the counter continues from x.fresh.
+		next.addProcess(x.principal, cont)
+	}
+	return next
+}
+
+// Steps enumerates every reduction step available from n, deterministically
+// ordered (threads in order; for receives, messages then branches in
+// order). It implements rules R-Send, R-Recv, R-IfT and R-IfF of Table 2;
+// R-Res, R-Par and R-Struct are absorbed by the normal form.
+func Steps(n *Norm) []Step {
+	var out []Step
+	for _, x := range expand(n) {
+		switch p := x.proc.(type) {
+		case *syntax.Output:
+			if st, ok := sendStep(n, x, p); ok {
+				out = append(out, st)
+			}
+		case *syntax.If:
+			out = append(out, ifStep(n, x, p))
+		case *syntax.InputSum:
+			out = append(out, recvSteps(n, x, p)...)
+		default:
+			panic(fmt.Sprintf("semantics: Steps: unexpected actionable %T", p))
+		}
+	}
+	return out
+}
+
+// sendStep implements R-Send:
+//
+//	a[m:κₘ⟨v:κᵥ⟩] → m⟨⟨v : a!κₘ;κᵥ⟩⟩
+//
+// Each payload component is stamped with the output event a!κₘ recording
+// the sending principal and the sender's provenance for the channel.
+// Outputs whose subject is a principal name (not a channel) are stuck.
+func sendStep(n *Norm, x expThread, p *syntax.Output) (Step, bool) {
+	ch := p.Chan.Val
+	if ch.V.Kind != syntax.KindChannel {
+		return Step{}, false
+	}
+	ev := syntax.OutEvent(x.principal, ch.K)
+	msg := &syntax.Message{Chan: ch.V.Name, Payload: make([]syntax.AnnotatedValue, len(p.Args))}
+	vals := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		msg.Payload[i] = syntax.Annot(a.Val.V, a.Val.K.Push(ev))
+		vals[i] = a.Val.V.Name
+	}
+	lbl := Label{Kind: ActSend, Principal: x.principal, Chan: ch.V.Name, Vals: vals}
+	return Step{Label: lbl, Next: succeed(n, x, nil, msg, -1)}, true
+}
+
+// ifStep implements R-IfT and R-IfF: only the plain values are compared;
+// their provenances are ignored.
+func ifStep(n *Norm, x expThread, p *syntax.If) Step {
+	if p.L.Val.V.Equal(p.R.Val.V) {
+		return Step{Label: ifLabel(ActIfT, x.principal, p.L, p.R), Next: succeed(n, x, p.Then, nil, -1)}
+	}
+	return Step{Label: ifLabel(ActIfF, x.principal, p.L, p.R), Next: succeed(n, x, p.Else, nil, -1)}
+}
+
+// recvSteps implements R-Recv:
+//
+//	κᵥ ⊨ πⱼ
+//	a[Σᵢ m:κₘ(πᵢ as xᵢ).Pᵢ] ∥ m⟨⟨v:κᵥ⟩⟩ → a[Pⱼ{v : a?κₘ;κᵥ / xⱼ}]
+//
+// A branch may fire for any message on the same channel name whose payload
+// provenances satisfy the branch's patterns componentwise. The received
+// values are stamped with the input event a?κₘ before substitution.
+func recvSteps(n *Norm, x expThread, p *syntax.InputSum) []Step {
+	ch := p.Chan.Val
+	if ch.V.Kind != syntax.KindChannel {
+		return nil
+	}
+	ev := syntax.InEvent(x.principal, ch.K)
+	var out []Step
+	for j, m := range n.Messages {
+		if m.Chan != ch.V.Name {
+			continue
+		}
+		for _, b := range p.Branches {
+			if len(b.Vars) != len(m.Payload) {
+				continue
+			}
+			ok := true
+			for i, pat := range b.Pats {
+				if !pat.Matches(m.Payload[i].K) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			sigma := make(syntax.Subst, len(b.Vars))
+			vals := make([]string, len(m.Payload))
+			for i, v := range m.Payload {
+				// Binding patterns (the §5 capture extension) contribute
+				// extra substitution entries first; the payload binders
+				// below take precedence on any collision.
+				if cp, isCapturing := b.Pats[i].(syntax.CapturingPattern); isCapturing {
+					for x, bound := range cp.Bindings(v.K) {
+						sigma[x] = bound
+					}
+				}
+				vals[i] = v.V.Name
+			}
+			for i, v := range m.Payload {
+				sigma[b.Vars[i]] = syntax.Annot(v.V, v.K.Push(ev))
+			}
+			cont := syntax.Apply(b.Body, sigma)
+			lbl := Label{Kind: ActRecv, Principal: x.principal, Chan: ch.V.Name, Vals: vals}
+			out = append(out, Step{Label: lbl, Next: succeed(n, x, cont, nil, j)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package syntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Process is a process term P of the provenance calculus (Table 1):
+//
+//	P ::= w⟨w̃⟩                        output
+//	    | Σᵢ w(π̃ᵢ as x̃ᵢ).Pᵢ           input-guarded sum
+//	    | if w = w' then P else Q     matching
+//	    | (νn)P                       restriction
+//	    | P | Q                       parallel composition
+//	    | *P                          replication
+//
+// The output and input forms are polyadic, as used by the paper's
+// photography-competition example ("such an extension to the calculus being
+// straightforward", §2.3.2). The empty sum is the inert process 0.
+type Process interface {
+	isProcess()
+	String() string
+}
+
+// Output is the output process w⟨w₁,…,wₙ⟩: send the identifiers Args on
+// channel Chan. Output is asynchronous (non-blocking): reducing it leaves a
+// message in the system.
+type Output struct {
+	Chan Ident
+	Args []Ident
+}
+
+func (*Output) isProcess() {}
+
+func (p *Output) String() string {
+	parts := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		parts[i] = a.String()
+	}
+	return p.Chan.String() + "!(" + strings.Join(parts, ", ") + ")"
+}
+
+// Branch is one summand of an input-guarded sum: a tuple of patterns and
+// binder variables (π₁ as x₁, …, πₙ as xₙ) guarding a continuation. The
+// branch may fire for an n-ary message whose i-th payload provenance
+// satisfies Pats[i]; the payloads (with updated provenance) are bound to
+// Vars in Body.
+type Branch struct {
+	Pats []Pattern
+	Vars []string
+	Body Process
+}
+
+// Arity returns the number of pattern/binder pairs of the branch.
+func (b *Branch) Arity() int { return len(b.Vars) }
+
+func (b *Branch) String() string {
+	parts := make([]string, len(b.Vars))
+	for i := range b.Vars {
+		parts[i] = b.Pats[i].String() + " as " + b.Vars[i]
+	}
+	return "(" + strings.Join(parts, ", ") + ")." + b.Body.String()
+}
+
+// InputSum is the input-guarded sum Σᵢ w(π̃ᵢ as x̃ᵢ).Pᵢ: a choice between
+// input branches all listening on the same channel Chan, distinguished by
+// their provenance patterns. An InputSum with no branches is the inert
+// process 0.
+type InputSum struct {
+	Chan     Ident
+	Branches []*Branch
+}
+
+func (*InputSum) isProcess() {}
+
+// Stop returns the inert process 0 (the empty sum).
+func Stop() *InputSum { return &InputSum{} }
+
+// IsStop reports whether the sum is the empty sum 0.
+func (p *InputSum) IsStop() bool { return len(p.Branches) == 0 }
+
+func (p *InputSum) String() string {
+	if p.IsStop() {
+		return "0"
+	}
+	if len(p.Branches) == 1 {
+		b := p.Branches[0]
+		return p.Chan.String() + "?" + b.String()
+	}
+	parts := make([]string, len(p.Branches))
+	for i, b := range p.Branches {
+		parts[i] = b.String()
+	}
+	return p.Chan.String() + "?{ " + strings.Join(parts, " [] ") + " }"
+}
+
+// If is the matching process if w = w' then P else Q. Only the plain values
+// of w and w' are compared; their provenances are ignored (rules R-IfT and
+// R-IfF).
+type If struct {
+	L, R Ident
+	Then Process
+	Else Process
+}
+
+func (*If) isProcess() {}
+
+func (p *If) String() string {
+	return fmt.Sprintf("if %s = %s then { %s } else { %s }",
+		p.L.String(), p.R.String(), p.Then.String(), p.Else.String())
+}
+
+// Restrict is the scope restriction (νn)P of channel name n to process P.
+// Restriction binds a bare channel name, not an annotated value, because a
+// single name may occur under the restriction with several different
+// provenances.
+type Restrict struct {
+	Name string
+	Body Process
+}
+
+func (*Restrict) isProcess() {}
+
+func (p *Restrict) String() string {
+	// Parenthesised so the restriction scopes unambiguously when printed
+	// inside a parallel composition or continuation.
+	return "(new " + p.Name + ". " + p.Body.String() + ")"
+}
+
+// Par is the parallel composition P | Q.
+type Par struct {
+	L, R Process
+}
+
+func (*Par) isProcess() {}
+
+func (p *Par) String() string {
+	return "(" + p.L.String() + " | " + p.R.String() + ")"
+}
+
+// Repl is the replication *P, structurally congruent to P | *P.
+type Repl struct {
+	Body Process
+}
+
+func (*Repl) isProcess() {}
+
+func (p *Repl) String() string { return "*(" + p.Body.String() + ")" }
+
+// ParAll folds a list of processes into nested parallel compositions.
+// ParAll() is 0, ParAll(p) is p.
+func ParAll(ps ...Process) Process {
+	switch len(ps) {
+	case 0:
+		return Stop()
+	case 1:
+		return ps[0]
+	}
+	out := ps[len(ps)-1]
+	for i := len(ps) - 2; i >= 0; i-- {
+		out = &Par{L: ps[i], R: out}
+	}
+	return out
+}
+
+// In builds a single-branch input process w(π̃ as x̃).P.
+func In(ch Ident, pats []Pattern, vars []string, body Process) *InputSum {
+	if len(pats) != len(vars) {
+		panic("syntax: In: pattern/variable arity mismatch")
+	}
+	return &InputSum{Chan: ch, Branches: []*Branch{{Pats: pats, Vars: vars, Body: body}}}
+}
+
+// In1 builds the common monadic input w(π as x).P.
+func In1(ch Ident, pat Pattern, v string, body Process) *InputSum {
+	return In(ch, []Pattern{pat}, []string{v}, body)
+}
+
+// Out builds the output process w⟨w̃⟩.
+func Out(ch Ident, args ...Ident) *Output { return &Output{Chan: ch, Args: args} }
+
+// ProcessEqual reports structural equality of process terms (no
+// alpha-conversion: bound names and variables must match literally).
+// Patterns are compared by their String rendering, which is canonical for
+// the sample pattern language.
+func ProcessEqual(p, q Process) bool {
+	switch p := p.(type) {
+	case *Output:
+		q, ok := q.(*Output)
+		if !ok || !p.Chan.Equal(q.Chan) || len(p.Args) != len(q.Args) {
+			return false
+		}
+		for i := range p.Args {
+			if !p.Args[i].Equal(q.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *InputSum:
+		q, ok := q.(*InputSum)
+		if !ok || len(p.Branches) != len(q.Branches) {
+			return false
+		}
+		if len(p.Branches) == 0 {
+			return true // both are 0; the channel of an empty sum is irrelevant
+		}
+		if !p.Chan.Equal(q.Chan) {
+			return false
+		}
+		for i := range p.Branches {
+			pb, qb := p.Branches[i], q.Branches[i]
+			if len(pb.Vars) != len(qb.Vars) {
+				return false
+			}
+			for j := range pb.Vars {
+				if pb.Vars[j] != qb.Vars[j] || pb.Pats[j].String() != qb.Pats[j].String() {
+					return false
+				}
+			}
+			if !ProcessEqual(pb.Body, qb.Body) {
+				return false
+			}
+		}
+		return true
+	case *If:
+		q, ok := q.(*If)
+		return ok && p.L.Equal(q.L) && p.R.Equal(q.R) &&
+			ProcessEqual(p.Then, q.Then) && ProcessEqual(p.Else, q.Else)
+	case *Restrict:
+		q, ok := q.(*Restrict)
+		return ok && p.Name == q.Name && ProcessEqual(p.Body, q.Body)
+	case *Par:
+		q, ok := q.(*Par)
+		return ok && ProcessEqual(p.L, q.L) && ProcessEqual(p.R, q.R)
+	case *Repl:
+		q, ok := q.(*Repl)
+		return ok && ProcessEqual(p.Body, q.Body)
+	default:
+		panic(fmt.Sprintf("syntax: ProcessEqual: unknown process %T", p))
+	}
+}
+
+// ProcessSize returns the number of AST nodes in the process term.
+func ProcessSize(p Process) int {
+	switch p := p.(type) {
+	case *Output:
+		return 1 + len(p.Args)
+	case *InputSum:
+		n := 1
+		for _, b := range p.Branches {
+			n += len(b.Vars) + ProcessSize(b.Body)
+		}
+		return n
+	case *If:
+		return 1 + ProcessSize(p.Then) + ProcessSize(p.Else)
+	case *Restrict:
+		return 1 + ProcessSize(p.Body)
+	case *Par:
+		return 1 + ProcessSize(p.L) + ProcessSize(p.R)
+	case *Repl:
+		return 1 + ProcessSize(p.Body)
+	default:
+		panic(fmt.Sprintf("syntax: ProcessSize: unknown process %T", p))
+	}
+}

@@ -1,0 +1,528 @@
+package syntax
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Subst is a substitution σ of annotated values for variables. Applying a
+// substitution replaces free occurrences of each variable with its image.
+type Subst map[string]AnnotatedValue
+
+// FreshName returns a name derived from base that does not occur in avoid.
+// Fresh names use the reserved separator "~", which the lexer rejects in
+// source programs, so generated names can never collide with user names.
+func FreshName(base string, avoid map[string]bool) string {
+	root := base
+	if i := strings.IndexByte(root, '~'); i >= 0 {
+		root = root[:i]
+	}
+	if root == "" {
+		root = "n"
+	}
+	if !avoid[root] {
+		return root
+	}
+	for i := 1; ; i++ {
+		cand := root + "~" + strconv.Itoa(i)
+		if !avoid[cand] {
+			return cand
+		}
+	}
+}
+
+// FreeVars returns the set of free variables of a process.
+func FreeVars(p Process) map[string]bool {
+	out := make(map[string]bool)
+	addFreeVars(p, make(map[string]bool), out)
+	return out
+}
+
+func addFreeVarsIdent(w Ident, bound, out map[string]bool) {
+	if w.IsVar && !bound[w.Var] {
+		out[w.Var] = true
+	}
+}
+
+func addFreeVars(p Process, bound, out map[string]bool) {
+	switch p := p.(type) {
+	case *Output:
+		addFreeVarsIdent(p.Chan, bound, out)
+		for _, a := range p.Args {
+			addFreeVarsIdent(a, bound, out)
+		}
+	case *InputSum:
+		if p.IsStop() {
+			return
+		}
+		addFreeVarsIdent(p.Chan, bound, out)
+		for _, b := range p.Branches {
+			inner := make(map[string]bool, len(bound)+len(b.Vars))
+			for v := range bound {
+				inner[v] = true
+			}
+			for _, v := range b.Vars {
+				inner[v] = true
+			}
+			// Binding patterns (the capture extension) bind their
+			// variables in the branch body too.
+			for _, pat := range b.Pats {
+				if cp, ok := pat.(CapturingPattern); ok {
+					for _, v := range cp.BoundVars() {
+						inner[v] = true
+					}
+				}
+			}
+			addFreeVars(b.Body, inner, out)
+		}
+	case *If:
+		addFreeVarsIdent(p.L, bound, out)
+		addFreeVarsIdent(p.R, bound, out)
+		addFreeVars(p.Then, bound, out)
+		addFreeVars(p.Else, bound, out)
+	case *Restrict:
+		addFreeVars(p.Body, bound, out)
+	case *Par:
+		addFreeVars(p.L, bound, out)
+		addFreeVars(p.R, bound, out)
+	case *Repl:
+		addFreeVars(p.Body, bound, out)
+	default:
+		panic(fmt.Sprintf("syntax: addFreeVars: unknown process %T", p))
+	}
+}
+
+// SystemFreeVars returns the set of free variables of a system. Closed
+// systems (the domain of the reduction relation) have none.
+func SystemFreeVars(s System) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(System)
+	walk = func(s System) {
+		switch s := s.(type) {
+		case *Located:
+			addFreeVars(s.Proc, make(map[string]bool), out)
+		case *Message:
+			// messages carry only annotated values, never variables
+		case *SysRestrict:
+			walk(s.Body)
+		case *SysPar:
+			walk(s.L)
+			walk(s.R)
+		default:
+			panic(fmt.Sprintf("syntax: SystemFreeVars: unknown system %T", s))
+		}
+	}
+	walk(s)
+	return out
+}
+
+// IsClosed reports whether the system contains no free variables; reduction
+// is defined on closed systems only.
+func IsClosed(s System) bool { return len(SystemFreeVars(s)) == 0 }
+
+// identNames adds the channel/principal names occurring in an identifier —
+// in its plain value and throughout its provenance — to out.
+func identNames(w Ident, out map[string]bool) {
+	if w.IsVar {
+		return
+	}
+	annotNames(w.Val, out)
+}
+
+func annotNames(v AnnotatedValue, out map[string]bool) {
+	out[v.V.Name] = true
+	provNames(v.K, out)
+}
+
+func provNames(k Prov, out map[string]bool) {
+	for _, e := range k {
+		out[e.Principal] = true
+		provNames(e.ChanProv, out)
+	}
+}
+
+// FreeNames returns the set of free channel and principal names of a
+// process, including names occurring inside provenance annotations.
+func FreeNames(p Process) map[string]bool {
+	out := make(map[string]bool)
+	addFreeNames(p, make(map[string]bool), out)
+	return out
+}
+
+func addName(name string, bound, out map[string]bool) {
+	if name != "" && !bound[name] {
+		out[name] = true
+	}
+}
+
+func addIdentNames(w Ident, bound, out map[string]bool) {
+	tmp := make(map[string]bool)
+	identNames(w, tmp)
+	for n := range tmp {
+		addName(n, bound, out)
+	}
+}
+
+func addFreeNames(p Process, bound, out map[string]bool) {
+	switch p := p.(type) {
+	case *Output:
+		addIdentNames(p.Chan, bound, out)
+		for _, a := range p.Args {
+			addIdentNames(a, bound, out)
+		}
+	case *InputSum:
+		if p.IsStop() {
+			return
+		}
+		addIdentNames(p.Chan, bound, out)
+		for _, b := range p.Branches {
+			addFreeNames(b.Body, bound, out)
+		}
+	case *If:
+		addIdentNames(p.L, bound, out)
+		addIdentNames(p.R, bound, out)
+		addFreeNames(p.Then, bound, out)
+		addFreeNames(p.Else, bound, out)
+	case *Restrict:
+		inner := make(map[string]bool, len(bound)+1)
+		for n := range bound {
+			inner[n] = true
+		}
+		inner[p.Name] = true
+		addFreeNames(p.Body, inner, out)
+	case *Par:
+		addFreeNames(p.L, bound, out)
+		addFreeNames(p.R, bound, out)
+	case *Repl:
+		addFreeNames(p.Body, bound, out)
+	default:
+		panic(fmt.Sprintf("syntax: addFreeNames: unknown process %T", p))
+	}
+}
+
+// SystemFreeNames returns the set of free channel and principal names of a
+// system, including names inside provenance annotations and messages.
+func SystemFreeNames(s System) map[string]bool {
+	out := make(map[string]bool)
+	addSystemFreeNames(s, make(map[string]bool), out)
+	return out
+}
+
+func addSystemFreeNames(s System, bound, out map[string]bool) {
+	switch s := s.(type) {
+	case *Located:
+		addName(s.Principal, bound, out)
+		addFreeNames(s.Proc, bound, out)
+	case *Message:
+		addName(s.Chan, bound, out)
+		for _, v := range s.Payload {
+			tmp := make(map[string]bool)
+			annotNames(v, tmp)
+			for n := range tmp {
+				addName(n, bound, out)
+			}
+		}
+	case *SysRestrict:
+		inner := make(map[string]bool, len(bound)+1)
+		for n := range bound {
+			inner[n] = true
+		}
+		inner[s.Name] = true
+		addSystemFreeNames(s.Body, inner, out)
+	case *SysPar:
+		addSystemFreeNames(s.L, bound, out)
+		addSystemFreeNames(s.R, bound, out)
+	default:
+		panic(fmt.Sprintf("syntax: addSystemFreeNames: unknown system %T", s))
+	}
+}
+
+// AllNames returns every name occurring in the system, free or bound.
+func AllNames(s System) map[string]bool {
+	out := SystemFreeNames(s)
+	var walkP func(Process)
+	var walkS func(System)
+	walkP = func(p Process) {
+		switch p := p.(type) {
+		case *Output:
+		case *InputSum:
+			for _, b := range p.Branches {
+				walkP(b.Body)
+			}
+		case *If:
+			walkP(p.Then)
+			walkP(p.Else)
+		case *Restrict:
+			out[p.Name] = true
+			walkP(p.Body)
+		case *Par:
+			walkP(p.L)
+			walkP(p.R)
+		case *Repl:
+			walkP(p.Body)
+		}
+	}
+	walkS = func(s System) {
+		switch s := s.(type) {
+		case *Located:
+			walkP(s.Proc)
+		case *Message:
+		case *SysRestrict:
+			out[s.Name] = true
+			walkS(s.Body)
+		case *SysPar:
+			walkS(s.L)
+			walkS(s.R)
+		}
+	}
+	walkS(s)
+	return out
+}
+
+// substIdent applies σ to a single identifier.
+func substIdent(w Ident, sigma Subst) Ident {
+	if !w.IsVar {
+		return w
+	}
+	if v, ok := sigma[w.Var]; ok {
+		return IdentOf(v)
+	}
+	return w
+}
+
+// namesOfSubst returns all names occurring in the range of σ.
+func namesOfSubst(sigma Subst) map[string]bool {
+	out := make(map[string]bool)
+	for _, v := range sigma {
+		annotNames(v, out)
+	}
+	return out
+}
+
+// Apply applies the substitution σ to process P, written P σ in the paper.
+// The substitution is capture-avoiding: restriction binders that would
+// capture a name free in the range of σ are alpha-renamed first, and
+// input binders shadow the substituted variables as usual.
+func Apply(p Process, sigma Subst) Process {
+	if len(sigma) == 0 {
+		return p
+	}
+	return applySubst(p, sigma, namesOfSubst(sigma))
+}
+
+func applySubst(p Process, sigma Subst, rangeNames map[string]bool) Process {
+	switch p := p.(type) {
+	case *Output:
+		args := make([]Ident, len(p.Args))
+		for i, a := range p.Args {
+			args[i] = substIdent(a, sigma)
+		}
+		return &Output{Chan: substIdent(p.Chan, sigma), Args: args}
+	case *InputSum:
+		if p.IsStop() {
+			return p
+		}
+		branches := make([]*Branch, len(p.Branches))
+		for i, b := range p.Branches {
+			// Branch binders: the payload variables plus any variables
+			// bound by capturing patterns.
+			binders := append([]string(nil), b.Vars...)
+			for _, pat := range b.Pats {
+				if cp, ok := pat.(CapturingPattern); ok {
+					binders = append(binders, cp.BoundVars()...)
+				}
+			}
+			inner := sigma
+			shadowed := false
+			for _, v := range binders {
+				if _, ok := sigma[v]; ok {
+					shadowed = true
+					break
+				}
+			}
+			if shadowed {
+				inner = make(Subst, len(sigma))
+				for k, val := range sigma {
+					inner[k] = val
+				}
+				for _, v := range binders {
+					delete(inner, v)
+				}
+			}
+			body := b.Body
+			if len(inner) > 0 {
+				body = applySubst(body, inner, rangeNames)
+			}
+			branches[i] = &Branch{Pats: b.Pats, Vars: b.Vars, Body: body}
+		}
+		return &InputSum{Chan: substIdent(p.Chan, sigma), Branches: branches}
+	case *If:
+		return &If{
+			L:    substIdent(p.L, sigma),
+			R:    substIdent(p.R, sigma),
+			Then: applySubst(p.Then, sigma, rangeNames),
+			Else: applySubst(p.Else, sigma, rangeNames),
+		}
+	case *Restrict:
+		name, body := p.Name, p.Body
+		if rangeNames[name] {
+			// (νn)P with n free in range(σ): alpha-rename n to avoid capture.
+			avoid := make(map[string]bool)
+			for n := range rangeNames {
+				avoid[n] = true
+			}
+			for n := range FreeNames(body) {
+				avoid[n] = true
+			}
+			fresh := FreshName(name, avoid)
+			body = RenameFreeName(body, name, fresh)
+			name = fresh
+		}
+		return &Restrict{Name: name, Body: applySubst(body, sigma, rangeNames)}
+	case *Par:
+		return &Par{L: applySubst(p.L, sigma, rangeNames), R: applySubst(p.R, sigma, rangeNames)}
+	case *Repl:
+		return &Repl{Body: applySubst(p.Body, sigma, rangeNames)}
+	default:
+		panic(fmt.Sprintf("syntax: Apply: unknown process %T", p))
+	}
+}
+
+// renameValue renames free occurrences of name old to new in a plain value.
+func renameValue(v Value, old, new string) Value {
+	if v.Name == old {
+		v.Name = new
+	}
+	return v
+}
+
+// RenameProvName renames every occurrence of old to new inside a provenance
+// sequence (principal positions and nested channel provenances alike).
+func RenameProvName(k Prov, old, new string) Prov {
+	if len(k) == 0 {
+		return k
+	}
+	out := make(Prov, len(k))
+	for i, e := range k {
+		if e.Principal == old {
+			e.Principal = new
+		}
+		e.ChanProv = RenameProvName(e.ChanProv, old, new)
+		out[i] = e
+	}
+	return out
+}
+
+func renameAnnot(v AnnotatedValue, old, new string) AnnotatedValue {
+	return AnnotatedValue{V: renameValue(v.V, old, new), K: RenameProvName(v.K, old, new)}
+}
+
+func renameIdent(w Ident, old, new string) Ident {
+	if w.IsVar {
+		return w
+	}
+	return IdentOf(renameAnnot(w.Val, old, new))
+}
+
+// RenameFreeName renames free occurrences of the name old to new in P.
+// It is used for alpha-conversion of restriction binders; new must itself
+// be fresh for P.
+func RenameFreeName(p Process, old, new string) Process {
+	switch p := p.(type) {
+	case *Output:
+		args := make([]Ident, len(p.Args))
+		for i, a := range p.Args {
+			args[i] = renameIdent(a, old, new)
+		}
+		return &Output{Chan: renameIdent(p.Chan, old, new), Args: args}
+	case *InputSum:
+		if p.IsStop() {
+			return p
+		}
+		branches := make([]*Branch, len(p.Branches))
+		for i, b := range p.Branches {
+			branches[i] = &Branch{Pats: b.Pats, Vars: b.Vars, Body: RenameFreeName(b.Body, old, new)}
+		}
+		return &InputSum{Chan: renameIdent(p.Chan, old, new), Branches: branches}
+	case *If:
+		return &If{
+			L:    renameIdent(p.L, old, new),
+			R:    renameIdent(p.R, old, new),
+			Then: RenameFreeName(p.Then, old, new),
+			Else: RenameFreeName(p.Else, old, new),
+		}
+	case *Restrict:
+		if p.Name == old {
+			return p // old is bound here; no free occurrences below
+		}
+		if p.Name == new {
+			// The binder would capture the incoming name; rename it out of
+			// the way first.
+			avoid := FreeNames(p.Body)
+			avoid[old] = true
+			avoid[new] = true
+			fresh := FreshName(p.Name, avoid)
+			body := RenameFreeName(p.Body, p.Name, fresh)
+			return &Restrict{Name: fresh, Body: RenameFreeName(body, old, new)}
+		}
+		return &Restrict{Name: p.Name, Body: RenameFreeName(p.Body, old, new)}
+	case *Par:
+		return &Par{L: RenameFreeName(p.L, old, new), R: RenameFreeName(p.R, old, new)}
+	case *Repl:
+		return &Repl{Body: RenameFreeName(p.Body, old, new)}
+	default:
+		panic(fmt.Sprintf("syntax: RenameFreeName: unknown process %T", p))
+	}
+}
+
+// RenameSystemFreeName renames free occurrences of name old to new in S.
+func RenameSystemFreeName(s System, old, new string) System {
+	switch s := s.(type) {
+	case *Located:
+		pr := s.Principal
+		if pr == old {
+			pr = new
+		}
+		return &Located{Principal: pr, Proc: RenameFreeName(s.Proc, old, new)}
+	case *Message:
+		ch := s.Chan
+		if ch == old {
+			ch = new
+		}
+		payload := make([]AnnotatedValue, len(s.Payload))
+		for i, v := range s.Payload {
+			payload[i] = renameAnnot(v, old, new)
+		}
+		return &Message{Chan: ch, Payload: payload}
+	case *SysRestrict:
+		if s.Name == old {
+			return s
+		}
+		if s.Name == new {
+			avoid := SystemFreeNames(s.Body)
+			avoid[old] = true
+			avoid[new] = true
+			fresh := FreshName(s.Name, avoid)
+			body := RenameSystemFreeName(s.Body, s.Name, fresh)
+			return &SysRestrict{Name: fresh, Body: RenameSystemFreeName(body, old, new)}
+		}
+		return &SysRestrict{Name: s.Name, Body: RenameSystemFreeName(s.Body, old, new)}
+	case *SysPar:
+		return &SysPar{L: RenameSystemFreeName(s.L, old, new), R: RenameSystemFreeName(s.R, old, new)}
+	default:
+		panic(fmt.Sprintf("syntax: RenameSystemFreeName: unknown system %T", s))
+	}
+}
+
+// SortedNames returns the keys of a name set in lexicographic order, for
+// deterministic iteration.
+func SortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,250 @@
+package syntax
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func out(ch, arg Ident) *Output { return Out(ch, arg) }
+
+func chI(name string) Ident { return IdentVal(Chan(name), nil) }
+
+func TestApplySubstitutesFreeVariable(t *testing.T) {
+	p := out(Var("x"), Var("y"))
+	v := Annot(Chan("m"), Seq(OutEvent("a", nil)))
+	got := Apply(p, Subst{"x": v})
+	o := got.(*Output)
+	if o.Chan.IsVar || o.Chan.Val.V.Name != "m" {
+		t.Errorf("channel not substituted: %v", o.Chan)
+	}
+	if !o.Args[0].IsVar || o.Args[0].Var != "y" {
+		t.Errorf("unrelated variable touched: %v", o.Args[0])
+	}
+}
+
+func TestApplyShadowedByInputBinder(t *testing.T) {
+	// m(any as x).n!(x) — substituting x from outside must not reach the
+	// bound occurrence.
+	p := In1(chI("m"), WildcardPattern{}, "x", out(chI("n"), Var("x")))
+	got := Apply(p, Subst{"x": Fresh(Chan("v"))})
+	sum := got.(*InputSum)
+	body := sum.Branches[0].Body.(*Output)
+	if !body.Args[0].IsVar {
+		t.Errorf("bound occurrence was substituted: %v", body.Args[0])
+	}
+}
+
+func TestApplySubstitutesUnderBinderOfOtherVar(t *testing.T) {
+	p := In1(chI("m"), WildcardPattern{}, "y", out(chI("n"), Var("x")))
+	got := Apply(p, Subst{"x": Fresh(Chan("v"))})
+	sum := got.(*InputSum)
+	body := sum.Branches[0].Body.(*Output)
+	if body.Args[0].IsVar {
+		t.Errorf("free occurrence under unrelated binder not substituted")
+	}
+}
+
+func TestApplyAvoidsCaptureByRestriction(t *testing.T) {
+	// (νn)(m!(x)) with σ = {x → n:ε}: the restriction must alpha-rename so
+	// the substituted free n is not captured.
+	p := &Restrict{Name: "n", Body: out(chI("m"), Var("x"))}
+	got := Apply(p, Subst{"x": Fresh(Chan("n"))})
+	r := got.(*Restrict)
+	if r.Name == "n" {
+		t.Fatalf("binder not renamed: capture! %s", got)
+	}
+	body := r.Body.(*Output)
+	if body.Args[0].Val.V.Name != "n" {
+		t.Errorf("substituted value renamed: %v (want free n)", body.Args[0])
+	}
+}
+
+func TestApplyNoCaptureNoRename(t *testing.T) {
+	p := &Restrict{Name: "l", Body: out(chI("m"), Var("x"))}
+	got := Apply(p, Subst{"x": Fresh(Chan("n"))})
+	r := got.(*Restrict)
+	if r.Name != "l" {
+		t.Errorf("binder renamed unnecessarily: %s", r.Name)
+	}
+}
+
+func TestRenameFreeNameRespectsBinder(t *testing.T) {
+	// (νn)(n!(v)) renaming free n→z: no free occurrences, unchanged.
+	p := &Restrict{Name: "n", Body: out(chI("n"), chI("v"))}
+	got := RenameFreeName(p, "n", "z")
+	if !ProcessEqual(p, got) {
+		t.Errorf("bound name renamed: %s", got)
+	}
+}
+
+func TestRenameFreeNameAvoidsIncomingCapture(t *testing.T) {
+	// (νz)(n!(z~ish)) renaming free n→z: binder z must move out of the way.
+	p := &Restrict{Name: "z", Body: out(chI("n"), chI("z"))}
+	got := RenameFreeName(p, "n", "z").(*Restrict)
+	if got.Name == "z" {
+		t.Fatalf("binder would capture the incoming name")
+	}
+	body := got.Body.(*Output)
+	if body.Chan.Val.V.Name != "z" {
+		t.Errorf("free n not renamed to z: %v", body.Chan)
+	}
+	// The originally-bound z now bears the fresh binder name.
+	if body.Args[0].Val.V.Name != got.Name {
+		t.Errorf("bound occurrence should follow the renamed binder: %v vs %s",
+			body.Args[0], got.Name)
+	}
+}
+
+func TestRenameProvName(t *testing.T) {
+	k := Seq(OutEvent("a", Seq(InEvent("b", nil))), InEvent("a", nil))
+	got := RenameProvName(k, "a", "z")
+	if got[0].Principal != "z" || got[1].Principal != "z" {
+		t.Errorf("principals not renamed: %s", got)
+	}
+	if got[0].ChanProv[0].Principal != "b" {
+		t.Errorf("unrelated principal touched")
+	}
+	// Original untouched.
+	if k[0].Principal != "a" {
+		t.Errorf("rename mutated the input")
+	}
+}
+
+func TestFreeVarsProcess(t *testing.T) {
+	p := In1(chI("m"), WildcardPattern{}, "x",
+		&Par{
+			L: out(Var("x"), Var("y")),
+			R: &If{L: Var("z"), R: chI("v"), Then: Stop(), Else: Stop()},
+		})
+	fv := FreeVars(p)
+	if fv["x"] {
+		t.Errorf("x is bound")
+	}
+	if !fv["y"] || !fv["z"] {
+		t.Errorf("free vars missing: %v", fv)
+	}
+}
+
+func TestFreeNamesRestriction(t *testing.T) {
+	p := &Restrict{Name: "n", Body: &Par{
+		L: out(chI("n"), chI("v")),
+		R: out(chI("m"), chI("w")),
+	}}
+	fn := FreeNames(p)
+	if fn["n"] {
+		t.Errorf("restricted n should not be free")
+	}
+	for _, want := range []string{"m", "v", "w"} {
+		if !fn[want] {
+			t.Errorf("missing free name %s", want)
+		}
+	}
+}
+
+func TestFreeNamesIncludeProvenance(t *testing.T) {
+	p := out(IdentVal(Chan("m"), Seq(OutEvent("alice", nil))), chI("v"))
+	fn := FreeNames(p)
+	if !fn["alice"] {
+		t.Errorf("provenance principals should be free names: %v", fn)
+	}
+}
+
+func TestSystemFreeNames(t *testing.T) {
+	s := &SysRestrict{Name: "n", Body: &SysPar{
+		L: Loc("a", out(chI("n"), chI("v"))),
+		R: Msg("m", Fresh(Chan("w"))),
+	}}
+	fn := SystemFreeNames(s)
+	if fn["n"] {
+		t.Errorf("restricted channel leaked: %v", fn)
+	}
+	for _, want := range []string{"a", "m", "v", "w"} {
+		if !fn[want] {
+			t.Errorf("missing %s in %v", want, fn)
+		}
+	}
+}
+
+func TestIsClosed(t *testing.T) {
+	open := Loc("a", out(chI("m"), Var("x")))
+	if IsClosed(open) {
+		t.Errorf("free x should make the system open")
+	}
+	closed := Loc("a", In1(chI("m"), WildcardPattern{}, "x", out(chI("n"), Var("x"))))
+	if !IsClosed(closed) {
+		t.Errorf("bound x should keep the system closed")
+	}
+}
+
+// TestApplyIdempotentOnClosed: applying any substitution to a variable-free
+// process is the identity (quick-check over generated name shapes).
+func TestApplyIdempotentOnClosed(t *testing.T) {
+	f := func(chName, argName, varName string) bool {
+		if chName == "" || argName == "" || varName == "" {
+			return true
+		}
+		p := out(chI(sanitize(chName)), chI(sanitize(argName)))
+		got := Apply(p, Subst{sanitize(varName): Fresh(Chan("zzz"))})
+		return ProcessEqual(p, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize maps arbitrary quick-generated strings into valid names.
+func sanitize(s string) string {
+	out := []byte("n")
+	for _, c := range []byte(s) {
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// TestSubstitutionComposition: applying {x→v} then {y→w} equals applying
+// the combined substitution when x ≠ y and v does not contain y.
+func TestSubstitutionComposition(t *testing.T) {
+	p := out(Var("x"), Var("y"))
+	v := Fresh(Chan("v"))
+	w := Fresh(Chan("w"))
+	seq := Apply(Apply(p, Subst{"x": v}), Subst{"y": w})
+	both := Apply(p, Subst{"x": v, "y": w})
+	if !ProcessEqual(seq, both) {
+		t.Errorf("composition mismatch:\n%s\nvs\n%s", seq, both)
+	}
+}
+
+func TestProcessSizeAndEqual(t *testing.T) {
+	p1 := ParAll(out(chI("m"), chI("v")), Stop(), &Repl{Body: Stop()})
+	if ProcessSize(p1) < 4 {
+		t.Errorf("size = %d", ProcessSize(p1))
+	}
+	p2 := ParAll(out(chI("m"), chI("v")), Stop(), &Repl{Body: Stop()})
+	if !ProcessEqual(p1, p2) {
+		t.Errorf("structurally equal processes reported unequal")
+	}
+	p3 := ParAll(out(chI("m"), chI("w")), Stop(), &Repl{Body: Stop()})
+	if ProcessEqual(p1, p3) {
+		t.Errorf("different processes reported equal")
+	}
+}
+
+func TestSystemEqualAndSize(t *testing.T) {
+	mk := func(val string) System {
+		return &SysPar{
+			L: Loc("a", out(chI("m"), chI(val))),
+			R: Msg("m", Fresh(Chan("w"))),
+		}
+	}
+	if !SystemEqual(mk("v"), mk("v")) {
+		t.Errorf("equal systems reported unequal")
+	}
+	if SystemEqual(mk("v"), mk("u")) {
+		t.Errorf("different systems reported equal")
+	}
+	if SystemSize(mk("v")) < 5 {
+		t.Errorf("size = %d", SystemSize(mk("v")))
+	}
+}

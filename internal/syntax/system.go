@@ -1,0 +1,150 @@
+package syntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// System is a system term S (Table 1):
+//
+//	S ::= a[P]        located process
+//	    | n⟨⟨w̃⟩⟩       message in transit
+//	    | (νn)S       restriction
+//	    | S ∥ T       parallel composition
+//
+// Systems are flat compositions of located processes and messages.
+type System interface {
+	isSystem()
+	String() string
+}
+
+// Located is the located process a[P]: process P running under the
+// authority of principal a. The principal name is a unit of trust used for
+// provenance; it does not otherwise affect communication.
+type Located struct {
+	Principal string
+	Proc      Process
+}
+
+func (*Located) isSystem() {}
+
+func (s *Located) String() string {
+	return s.Principal + "[" + s.Proc.String() + "]"
+}
+
+// Message is a value in transit n⟨⟨w̃⟩⟩: a (tuple of) annotated value(s) that
+// has been sent on channel Chan but not yet received. The channel of a
+// message is a bare name — its provenance was folded into the payload's
+// provenance by rule R-Send.
+type Message struct {
+	Chan    string
+	Payload []AnnotatedValue
+}
+
+func (*Message) isSystem() {}
+
+func (s *Message) String() string {
+	parts := make([]string, len(s.Payload))
+	for i, v := range s.Payload {
+		parts[i] = v.String()
+	}
+	return s.Chan + "<<" + strings.Join(parts, ", ") + ">>"
+}
+
+// SysRestrict is the system-level scope restriction (νn)S.
+type SysRestrict struct {
+	Name string
+	Body System
+}
+
+func (*SysRestrict) isSystem() {}
+
+func (s *SysRestrict) String() string {
+	// Parenthesised so the restriction scopes unambiguously when printed
+	// inside a parallel composition.
+	return "(new " + s.Name + ". " + s.Body.String() + ")"
+}
+
+// SysPar is the parallel composition of systems S ∥ T.
+type SysPar struct {
+	L, R System
+}
+
+func (*SysPar) isSystem() {}
+
+func (s *SysPar) String() string {
+	return "(" + s.L.String() + " || " + s.R.String() + ")"
+}
+
+// Loc builds the located process a[P].
+func Loc(principal string, p Process) *Located {
+	return &Located{Principal: principal, Proc: p}
+}
+
+// Msg builds the message n⟨⟨w̃⟩⟩.
+func Msg(ch string, payload ...AnnotatedValue) *Message {
+	return &Message{Chan: ch, Payload: payload}
+}
+
+// SysParAll folds a list of systems into nested parallel compositions.
+// SysParAll() is the inert system a[0] located at the reserved principal
+// "_" (the paper overloads 0 for it).
+func SysParAll(ss ...System) System {
+	switch len(ss) {
+	case 0:
+		return Loc("_", Stop())
+	case 1:
+		return ss[0]
+	}
+	out := ss[len(ss)-1]
+	for i := len(ss) - 2; i >= 0; i-- {
+		out = &SysPar{L: ss[i], R: out}
+	}
+	return out
+}
+
+// SystemEqual reports structural equality of systems (no alpha-conversion
+// and no reordering of parallel components; use the semantics package's
+// normal form for comparison up to structural congruence).
+func SystemEqual(s, t System) bool {
+	switch s := s.(type) {
+	case *Located:
+		t, ok := t.(*Located)
+		return ok && s.Principal == t.Principal && ProcessEqual(s.Proc, t.Proc)
+	case *Message:
+		t, ok := t.(*Message)
+		if !ok || s.Chan != t.Chan || len(s.Payload) != len(t.Payload) {
+			return false
+		}
+		for i := range s.Payload {
+			if !s.Payload[i].Equal(t.Payload[i]) {
+				return false
+			}
+		}
+		return true
+	case *SysRestrict:
+		t, ok := t.(*SysRestrict)
+		return ok && s.Name == t.Name && SystemEqual(s.Body, t.Body)
+	case *SysPar:
+		t, ok := t.(*SysPar)
+		return ok && SystemEqual(s.L, t.L) && SystemEqual(s.R, t.R)
+	default:
+		panic(fmt.Sprintf("syntax: SystemEqual: unknown system %T", s))
+	}
+}
+
+// SystemSize returns the number of AST nodes in the system term.
+func SystemSize(s System) int {
+	switch s := s.(type) {
+	case *Located:
+		return 1 + ProcessSize(s.Proc)
+	case *Message:
+		return 1 + len(s.Payload)
+	case *SysRestrict:
+		return 1 + SystemSize(s.Body)
+	case *SysPar:
+		return 1 + SystemSize(s.L) + SystemSize(s.R)
+	default:
+		panic(fmt.Sprintf("syntax: SystemSize: unknown system %T", s))
+	}
+}

@@ -1,0 +1,337 @@
+// Package syntax defines the abstract syntax of the provenance calculus of
+// Souilah, Francalanza and Sassone (2009): plain values (channel and
+// principal names), provenance sequences, annotated values, identifiers,
+// processes and systems.
+//
+// The calculus is parametric in the pattern-matching language (Definition 1
+// of the paper); the Pattern interface below captures exactly that
+// parametricity, and package internal/pattern provides the paper's sample
+// language.
+package syntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind distinguishes the two disjoint sets of plain values: channel names
+// (C) and principal names (A).
+type Kind int
+
+const (
+	// KindChannel marks a channel name l, m, n, ... in C.
+	KindChannel Kind = iota
+	// KindPrincipal marks a principal name a, b, c, ... in A.
+	KindPrincipal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindChannel:
+		return "channel"
+	case KindPrincipal:
+		return "principal"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a plain value v in V = C ∪ A: either a channel name or a
+// principal name. The zero Value is the empty channel name and is not a
+// well-formed value.
+type Value struct {
+	Name string
+	Kind Kind
+}
+
+// Chan returns the channel-name value for name.
+func Chan(name string) Value { return Value{Name: name, Kind: KindChannel} }
+
+// Principal returns the principal-name value for name.
+func Principal(name string) Value { return Value{Name: name, Kind: KindPrincipal} }
+
+// Equal reports whether two plain values are the same name of the same kind.
+func (v Value) Equal(u Value) bool { return v == u }
+
+func (v Value) String() string { return v.Name }
+
+// IsZero reports whether v is the zero (ill-formed) value.
+func (v Value) IsZero() bool { return v.Name == "" }
+
+// Dir is the direction of a provenance event: output (!) or input (?).
+type Dir int
+
+const (
+	// Send is an output event a!κ.
+	Send Dir = iota
+	// Recv is an input event a?κ.
+	Recv
+)
+
+func (d Dir) String() string {
+	if d == Send {
+		return "!"
+	}
+	return "?"
+}
+
+// Event is a single provenance event: a!κ (the value was sent by principal
+// a on a channel whose provenance is κ) or a?κ (received by a on a channel
+// whose provenance is κ). Events are recursive because channels are data
+// too and carry their own provenance.
+type Event struct {
+	Principal string
+	Dir       Dir
+	ChanProv  Prov
+}
+
+// OutEvent constructs the output event a!κ.
+func OutEvent(principal string, chanProv Prov) Event {
+	return Event{Principal: principal, Dir: Send, ChanProv: chanProv}
+}
+
+// InEvent constructs the input event a?κ.
+func InEvent(principal string, chanProv Prov) Event {
+	return Event{Principal: principal, Dir: Recv, ChanProv: chanProv}
+}
+
+// Equal reports structural equality of events.
+func (e Event) Equal(f Event) bool {
+	return e.Principal == f.Principal && e.Dir == f.Dir && e.ChanProv.Equal(f.ChanProv)
+}
+
+func (e Event) String() string {
+	return e.Principal + e.Dir.String() + "(" + e.ChanProv.String() + ")"
+}
+
+// Size returns the number of events in the event including those nested in
+// its channel provenance.
+func (e Event) Size() int { return 1 + e.ChanProv.Size() }
+
+// Prov is a provenance sequence κ: a chronologically ordered sequence of
+// events with the most recent event first (index 0). The empty sequence is
+// the nil provenance ε.
+type Prov []Event
+
+// Epsilon is the empty provenance sequence ε.
+func Epsilon() Prov { return nil }
+
+// Seq builds a provenance sequence from events, given newest first.
+func Seq(events ...Event) Prov { return Prov(events) }
+
+// IsEmpty reports whether κ is the empty sequence ε.
+func (k Prov) IsEmpty() bool { return len(k) == 0 }
+
+// Push returns the provenance e;κ — the sequence extended with a new most
+// recent event. The receiver is not modified.
+func (k Prov) Push(e Event) Prov {
+	out := make(Prov, 0, len(k)+1)
+	out = append(out, e)
+	out = append(out, k...)
+	return out
+}
+
+// Head returns the most recent event. It panics on the empty sequence.
+func (k Prov) Head() Event {
+	if len(k) == 0 {
+		panic("syntax: Head of empty provenance")
+	}
+	return k[0]
+}
+
+// Tail returns the sequence without its most recent event.
+func (k Prov) Tail() Prov {
+	if len(k) == 0 {
+		panic("syntax: Tail of empty provenance")
+	}
+	return k[1:]
+}
+
+// Equal reports structural equality of provenance sequences.
+func (k Prov) Equal(k2 Prov) bool {
+	if len(k) != len(k2) {
+		return false
+	}
+	for i := range k {
+		if !k[i].Equal(k2[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total number of events in κ including nested channel
+// provenances.
+func (k Prov) Size() int {
+	n := 0
+	for _, e := range k {
+		n += e.Size()
+	}
+	return n
+}
+
+// Depth returns the nesting depth of κ: 0 for ε, and one more than the
+// deepest channel provenance otherwise.
+func (k Prov) Depth() int {
+	d := 0
+	for _, e := range k {
+		if cd := e.ChanProv.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// Truncate returns a copy of κ keeping only the first (most recent) n
+// events at the top level; nested channel provenances are kept intact.
+// Truncation is the depth-k ablation discussed in DESIGN.md (A2).
+func (k Prov) Truncate(n int) Prov {
+	if len(k) <= n {
+		return k.Clone()
+	}
+	return k[:n].Clone()
+}
+
+// Clone returns a deep copy of κ. Event channel provenances are shared
+// structurally but Prov values are immutable by convention, so sharing the
+// backing arrays of nested sequences is safe; only the top-level slice is
+// copied.
+func (k Prov) Clone() Prov {
+	if k == nil {
+		return nil
+	}
+	out := make(Prov, len(k))
+	copy(out, k)
+	return out
+}
+
+// Principals returns the set of principal names mentioned anywhere in κ,
+// including nested channel provenances.
+func (k Prov) Principals() map[string]bool {
+	out := make(map[string]bool)
+	k.addPrincipals(out)
+	return out
+}
+
+func (k Prov) addPrincipals(out map[string]bool) {
+	for _, e := range k {
+		out[e.Principal] = true
+		e.ChanProv.addPrincipals(out)
+	}
+}
+
+func (k Prov) String() string {
+	if len(k) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, e := range k {
+		if i > 0 {
+			b.WriteString(";")
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// AnnotatedValue is an annotated value v : κ in D — a plain value paired
+// with its provenance.
+type AnnotatedValue struct {
+	V Value
+	K Prov
+}
+
+// Annot annotates the plain value v with provenance κ.
+func Annot(v Value, k Prov) AnnotatedValue { return AnnotatedValue{V: v, K: k} }
+
+// Fresh annotates v with the empty provenance ε; this is how values that
+// "originate here" enter a system.
+func Fresh(v Value) AnnotatedValue { return AnnotatedValue{V: v} }
+
+// Equal reports structural equality of annotated values (both the plain
+// value and the provenance must match).
+func (a AnnotatedValue) Equal(b AnnotatedValue) bool {
+	return a.V.Equal(b.V) && a.K.Equal(b.K)
+}
+
+func (a AnnotatedValue) String() string {
+	// The @ marker distinguishes principal-name values in the surface
+	// syntax, so printed terms re-parse with the same kinds.
+	prefix := ""
+	if a.V.Kind == KindPrincipal {
+		prefix = "@"
+	}
+	return prefix + a.V.String() + ":(" + a.K.String() + ")"
+}
+
+// Ident is an identifier w in I = D ∪ X: either an annotated value or a
+// variable. Exactly one of the two alternatives is populated; IsVar
+// distinguishes them.
+type Ident struct {
+	IsVar bool
+	Var   string
+	Val   AnnotatedValue
+}
+
+// Var returns the variable identifier x.
+func Var(name string) Ident { return Ident{IsVar: true, Var: name} }
+
+// IdentOf wraps an annotated value as an identifier.
+func IdentOf(v AnnotatedValue) Ident { return Ident{Val: v} }
+
+// IdentVal is shorthand for IdentOf(Annot(v, k)).
+func IdentVal(v Value, k Prov) Ident { return Ident{Val: Annot(v, k)} }
+
+// Equal reports structural equality of identifiers.
+func (w Ident) Equal(u Ident) bool {
+	if w.IsVar != u.IsVar {
+		return false
+	}
+	if w.IsVar {
+		return w.Var == u.Var
+	}
+	return w.Val.Equal(u.Val)
+}
+
+func (w Ident) String() string {
+	if w.IsVar {
+		return w.Var
+	}
+	return w.Val.String()
+}
+
+// Pattern is the interface the calculus requires of a pattern-matching
+// language (Definition 1 in the paper): a set of patterns Π together with
+// a satisfaction relation ⊨ ⊆ K × Π. Implementations must be pure: Matches
+// must not mutate the provenance.
+type Pattern interface {
+	// Matches reports κ ⊨ π.
+	Matches(k Prov) bool
+	// String renders the pattern in the surface syntax.
+	String() string
+}
+
+// CapturingPattern is the optional extension interface for pattern
+// languages with binding variables (the first planned extension of the
+// paper's §5): a pattern that, in addition to vetting the provenance,
+// extracts data from it. On a successful match, the reduction rule R-Recv
+// adds Bindings(κ) to the substitution applied to the continuation.
+type CapturingPattern interface {
+	Pattern
+	// Bindings returns the extra variable bindings a match against κ
+	// contributes. It is only called after Matches(κ) reported true.
+	Bindings(k Prov) map[string]AnnotatedValue
+	// BoundVars lists the variables the pattern binds, for scope
+	// computations (free variables, closedness).
+	BoundVars() []string
+}
+
+// WildcardPattern matches every provenance sequence. It is the pattern used
+// when an input places no provenance requirement on the data (the plain
+// pi-calculus input m(x).P is sugar for m(Any as x).P).
+type WildcardPattern struct{}
+
+// Matches always reports true.
+func (WildcardPattern) Matches(Prov) bool { return true }
+
+func (WildcardPattern) String() string { return "any" }

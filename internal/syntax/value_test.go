@@ -1,0 +1,194 @@
+package syntax
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProvPushOrdering(t *testing.T) {
+	// Provenance is newest-first: pushing e onto κ makes e the head.
+	k := Epsilon()
+	k = k.Push(OutEvent("a", nil))
+	k = k.Push(InEvent("b", nil))
+	if len(k) != 2 {
+		t.Fatalf("len = %d, want 2", len(k))
+	}
+	if k.Head().Principal != "b" || k.Head().Dir != Recv {
+		t.Errorf("head = %v, want b?()", k.Head())
+	}
+	if k.Tail().Head().Principal != "a" || k.Tail().Head().Dir != Send {
+		t.Errorf("second = %v, want a!()", k.Tail().Head())
+	}
+}
+
+func TestProvPushDoesNotMutate(t *testing.T) {
+	k := Seq(OutEvent("a", nil))
+	k2 := k.Push(InEvent("b", nil))
+	if len(k) != 1 {
+		t.Errorf("original mutated: len = %d", len(k))
+	}
+	if len(k2) != 2 {
+		t.Errorf("pushed: len = %d", len(k2))
+	}
+	if !k.Equal(Seq(OutEvent("a", nil))) {
+		t.Errorf("original changed: %v", k)
+	}
+}
+
+func TestProvString(t *testing.T) {
+	cases := []struct {
+		k    Prov
+		want string
+	}{
+		{Epsilon(), ""},
+		{Seq(OutEvent("a", nil)), "a!()"},
+		{Seq(InEvent("b", nil), OutEvent("a", nil)), "b?();a!()"},
+		{Seq(OutEvent("a", Seq(InEvent("c", nil)))), "a!(c?())"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.k, got, c.want)
+		}
+	}
+}
+
+func TestProvEqual(t *testing.T) {
+	k1 := Seq(OutEvent("a", Seq(InEvent("b", nil))))
+	k2 := Seq(OutEvent("a", Seq(InEvent("b", nil))))
+	k3 := Seq(OutEvent("a", Seq(InEvent("c", nil))))
+	if !k1.Equal(k2) {
+		t.Errorf("%v != %v", k1, k2)
+	}
+	if k1.Equal(k3) {
+		t.Errorf("%v == %v", k1, k3)
+	}
+	if !Epsilon().Equal(Prov{}) {
+		t.Errorf("nil prov != empty prov")
+	}
+}
+
+func TestProvSizeDepth(t *testing.T) {
+	k := Seq(
+		OutEvent("a", Seq(InEvent("b", Seq(OutEvent("c", nil))))),
+		InEvent("d", nil),
+	)
+	if got := k.Size(); got != 4 {
+		t.Errorf("Size = %d, want 4", got)
+	}
+	// a!(b?(c!())) nests events three levels deep.
+	if got := k.Depth(); got != 3 {
+		t.Errorf("Depth = %d, want 3", got)
+	}
+	if got := Epsilon().Depth(); got != 0 {
+		t.Errorf("Depth(ε) = %d, want 0", got)
+	}
+}
+
+func TestProvTruncate(t *testing.T) {
+	k := Seq(OutEvent("a", nil), InEvent("b", nil), OutEvent("c", nil))
+	tr := k.Truncate(2)
+	if len(tr) != 2 || tr[0].Principal != "a" || tr[1].Principal != "b" {
+		t.Errorf("Truncate(2) = %v", tr)
+	}
+	if got := k.Truncate(10); len(got) != 3 {
+		t.Errorf("Truncate(10) = %v", got)
+	}
+	// Truncation must not alias the original's future mutations.
+	tr2 := k.Truncate(2)
+	tr2[0].Principal = "z"
+	if k[0].Principal != "a" {
+		t.Errorf("Truncate aliased original")
+	}
+}
+
+func TestProvPrincipals(t *testing.T) {
+	k := Seq(OutEvent("a", Seq(InEvent("b", nil))), InEvent("c", nil))
+	ps := k.Principals()
+	for _, want := range []string{"a", "b", "c"} {
+		if !ps[want] {
+			t.Errorf("missing principal %s in %v", want, ps)
+		}
+	}
+	if len(ps) != 3 {
+		t.Errorf("got %d principals, want 3", len(ps))
+	}
+}
+
+func TestAnnotatedValueEqual(t *testing.T) {
+	v1 := Annot(Chan("m"), Seq(OutEvent("a", nil)))
+	v2 := Annot(Chan("m"), Seq(OutEvent("a", nil)))
+	v3 := Annot(Chan("m"), Epsilon())
+	v4 := Annot(Principal("m"), Seq(OutEvent("a", nil)))
+	if !v1.Equal(v2) {
+		t.Errorf("v1 != v2")
+	}
+	if v1.Equal(v3) {
+		t.Errorf("v1 == v3 despite different provenance")
+	}
+	if v1.Equal(v4) {
+		t.Errorf("v1 == v4 despite different kind")
+	}
+}
+
+func TestIdentEqual(t *testing.T) {
+	if !Var("x").Equal(Var("x")) {
+		t.Errorf("x != x")
+	}
+	if Var("x").Equal(Var("y")) {
+		t.Errorf("x == y")
+	}
+	if Var("x").Equal(IdentVal(Chan("x"), nil)) {
+		t.Errorf("var x == value x")
+	}
+}
+
+func TestWildcardPattern(t *testing.T) {
+	var p Pattern = WildcardPattern{}
+	if !p.Matches(Epsilon()) || !p.Matches(Seq(OutEvent("a", nil))) {
+		t.Errorf("wildcard should match everything")
+	}
+	if p.String() != "any" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestFreshName(t *testing.T) {
+	avoid := map[string]bool{"n": true, "n~1": true}
+	if got := FreshName("n", avoid); got != "n~2" {
+		t.Errorf("FreshName = %q, want n~2", got)
+	}
+	if got := FreshName("m", avoid); got != "m" {
+		t.Errorf("FreshName = %q, want m", got)
+	}
+	// Fresh names strip previous ~ suffixes so they do not accumulate.
+	if got := FreshName("n~7", avoid); got != "n~2" {
+		t.Errorf("FreshName(n~7) = %q, want n~2", got)
+	}
+	if got := FreshName("", nil); got != "n" {
+		t.Errorf("FreshName(\"\") = %q, want n", got)
+	}
+}
+
+func TestProvCloneIndependence(t *testing.T) {
+	f := func(names []string) bool {
+		var k Prov
+		for _, n := range names {
+			if n == "" {
+				n = "p"
+			}
+			k = k.Push(OutEvent(n, nil))
+		}
+		c := k.Clone()
+		if !c.Equal(k) {
+			return false
+		}
+		if len(c) > 0 {
+			c[0].Principal = c[0].Principal + "'"
+			return len(k) == 0 || k[0].Principal != c[0].Principal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

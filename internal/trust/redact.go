@@ -1,0 +1,94 @@
+package trust
+
+import "repro/internal/syntax"
+
+// Disclosure implements the §5 privacy direction: "principals may wish to
+// control the disclosure of provenance information about them". A
+// DisclosurePolicy decides, per observing principal, which events of a
+// provenance sequence are visible; hidden events are replaced by an opaque
+// marker rather than removed, so the observer still learns that *some*
+// handling occurred (removing them would forge a shorter history, which
+// would break correctness-style reasoning downstream).
+//
+// The opaque marker is an event by the reserved principal "_redacted_"
+// with empty channel provenance. Patterns can still match over redacted
+// histories: Any and ∼-group patterns see the marker, while patterns
+// naming concrete principals do not match it — the information is
+// genuinely withheld.
+
+// RedactedPrincipal is the reserved principal name standing for a hidden
+// event's actor.
+const RedactedPrincipal = "_redacted_"
+
+// DisclosurePolicy states which principals' events are hidden from which
+// observers.
+type DisclosurePolicy struct {
+	// Hidden maps a subject principal to the set of observers it hides
+	// from; an empty set means "hidden from everybody".
+	Hidden map[string]map[string]bool
+}
+
+// NewDisclosurePolicy returns an empty (fully transparent) policy.
+func NewDisclosurePolicy() *DisclosurePolicy {
+	return &DisclosurePolicy{Hidden: make(map[string]map[string]bool)}
+}
+
+// HideFrom hides subject's events from the given observers (none =
+// everybody).
+func (d *DisclosurePolicy) HideFrom(subject string, observers ...string) *DisclosurePolicy {
+	set, ok := d.Hidden[subject]
+	if !ok {
+		set = make(map[string]bool)
+		d.Hidden[subject] = set
+	}
+	for _, o := range observers {
+		set[o] = true
+	}
+	return d
+}
+
+// hiddenFor reports whether subject hides from observer.
+func (d *DisclosurePolicy) hiddenFor(subject, observer string) bool {
+	set, ok := d.Hidden[subject]
+	if !ok {
+		return false
+	}
+	return len(set) == 0 || set[observer]
+}
+
+// View renders the provenance κ as the observer is allowed to see it:
+// events by hiding principals become opaque markers (recursively through
+// channel provenances). The length and event directions are preserved.
+func (d *DisclosurePolicy) View(k syntax.Prov, observer string) syntax.Prov {
+	if len(k) == 0 {
+		return nil
+	}
+	out := make(syntax.Prov, len(k))
+	for i, e := range k {
+		inner := d.View(e.ChanProv, observer)
+		if d.hiddenFor(e.Principal, observer) {
+			out[i] = syntax.Event{Principal: RedactedPrincipal, Dir: e.Dir, ChanProv: inner}
+			continue
+		}
+		out[i] = syntax.Event{Principal: e.Principal, Dir: e.Dir, ChanProv: inner}
+	}
+	return out
+}
+
+// ViewValue applies View to an annotated value.
+func (d *DisclosurePolicy) ViewValue(v syntax.AnnotatedValue, observer string) syntax.AnnotatedValue {
+	return syntax.Annot(v.V, d.View(v.K, observer))
+}
+
+// RedactionCount reports how many events (including nested ones) the
+// observer's view hides.
+func (d *DisclosurePolicy) RedactionCount(k syntax.Prov, observer string) int {
+	n := 0
+	for _, e := range k {
+		if d.hiddenFor(e.Principal, observer) {
+			n++
+		}
+		n += d.RedactionCount(e.ChanProv, observer)
+	}
+	return n
+}

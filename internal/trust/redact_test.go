@@ -1,0 +1,97 @@
+package trust
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+func TestViewHidesFromEverybody(t *testing.T) {
+	d := NewDisclosurePolicy().HideFrom("s")
+	k := syntax.Seq(
+		syntax.InEvent("c", nil), syntax.OutEvent("s", nil),
+		syntax.InEvent("s", nil), syntax.OutEvent("a", nil),
+	)
+	view := d.View(k, "anyone")
+	if len(view) != len(k) {
+		t.Fatalf("view must preserve length: %d vs %d", len(view), len(k))
+	}
+	if view[1].Principal != RedactedPrincipal || view[2].Principal != RedactedPrincipal {
+		t.Errorf("s's events not redacted: %s", view)
+	}
+	if view[0].Principal != "c" || view[3].Principal != "a" {
+		t.Errorf("other events must survive: %s", view)
+	}
+	// Directions are preserved even when redacted.
+	if view[1].Dir != syntax.Send || view[2].Dir != syntax.Recv {
+		t.Errorf("directions changed: %s", view)
+	}
+}
+
+func TestViewPerObserver(t *testing.T) {
+	d := NewDisclosurePolicy().HideFrom("s", "rival")
+	k := syntax.Seq(syntax.OutEvent("s", nil))
+	if got := d.View(k, "rival"); got[0].Principal != RedactedPrincipal {
+		t.Errorf("rival should not see s: %s", got)
+	}
+	if got := d.View(k, "auditor"); got[0].Principal != "s" {
+		t.Errorf("auditor should see s: %s", got)
+	}
+}
+
+func TestViewNestedChannelProvenance(t *testing.T) {
+	d := NewDisclosurePolicy().HideFrom("s")
+	k := syntax.Seq(syntax.OutEvent("a", syntax.Seq(syntax.InEvent("s", nil))))
+	view := d.View(k, "x")
+	if view[0].ChanProv[0].Principal != RedactedPrincipal {
+		t.Errorf("nested event not redacted: %s", view)
+	}
+	if got := d.RedactionCount(k, "x"); got != 1 {
+		t.Errorf("RedactionCount = %d, want 1", got)
+	}
+}
+
+func TestViewInteractsWithPatterns(t *testing.T) {
+	d := NewDisclosurePolicy().HideFrom("c")
+	k := syntax.Seq(syntax.OutEvent("c", nil)) // sent directly by c
+	view := d.View(k, "b")
+
+	// A pattern naming c no longer matches: the information is withheld.
+	fromC := pattern.SeqP(pattern.Out(pattern.Name("c"), pattern.AnyP()), pattern.AnyP())
+	if fromC.Matches(view) {
+		t.Errorf("redacted view must not satisfy c-naming patterns")
+	}
+	// But the observer still sees that one send happened.
+	someSend := pattern.Out(pattern.All(), pattern.AnyP())
+	if !someSend.Matches(view) {
+		t.Errorf("the opaque marker should still register as a send event")
+	}
+	// The unredacted provenance still matches, of course.
+	if !fromC.Matches(k) {
+		t.Errorf("original must match")
+	}
+}
+
+func TestTransparentPolicyIsIdentity(t *testing.T) {
+	d := NewDisclosurePolicy()
+	k := syntax.Seq(syntax.InEvent("a", syntax.Seq(syntax.OutEvent("b", nil))))
+	if !d.View(k, "x").Equal(k) {
+		t.Errorf("empty policy must be the identity")
+	}
+	if d.RedactionCount(k, "x") != 0 {
+		t.Errorf("no redactions expected")
+	}
+}
+
+func TestViewValue(t *testing.T) {
+	d := NewDisclosurePolicy().HideFrom("mallory")
+	v := syntax.Annot(syntax.Chan("doc"), syntax.Seq(syntax.OutEvent("mallory", nil)))
+	got := d.ViewValue(v, "reader")
+	if got.V.Name != "doc" {
+		t.Errorf("plain value must survive")
+	}
+	if got.K[0].Principal != RedactedPrincipal {
+		t.Errorf("provenance not redacted: %s", got)
+	}
+}

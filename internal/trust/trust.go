@@ -1,0 +1,194 @@
+// Package trust implements the provenance-based trust assessment the paper
+// motivates in §1 ("provenance may be used as a measure of the quality of
+// data") and sketches as future work in §5: using information about the
+// role each principal played in getting a piece of data to its current
+// form as a measure of how trustworthy the data is likely to be, together
+// with an adequacy notion — whether the recorded provenance is enough for
+// an intended application.
+//
+// A Policy assigns each principal a rating in [0,1]. The score of an
+// annotated value combines, over every event in its provenance (including
+// the channel provenances, discounted per nesting level), the rating of
+// the acting principal: data is only as trustworthy as the least trusted
+// principal that touched it, so the base combinator is the minimum, with a
+// configurable recency discount that makes older events matter less.
+//
+// An AdequacyPolicy captures §5's adequacy: the provenance must carry
+// enough evidence (a required pattern), involve no banned principal, and
+// reach a score threshold.
+package trust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/syntax"
+)
+
+// Policy is a trust assignment: ratings per principal in [0,1], with a
+// default for unknown principals.
+type Policy struct {
+	// Ratings maps principals to trust ratings in [0,1].
+	Ratings map[string]float64
+	// Default is the rating of principals absent from Ratings.
+	Default float64
+	// AgeDiscount ∈ [0,1] reduces the weight of older events: the i-th
+	// most recent event's deficiency (1 - rating) is scaled by
+	// AgeDiscount^i. 1 means no discounting.
+	AgeDiscount float64
+	// NestingDiscount ∈ [0,1] scales deficiencies of events found in
+	// channel provenances, per nesting level: the channel a value
+	// travelled on matters, but less than the value's own history.
+	NestingDiscount float64
+}
+
+// NewPolicy returns a policy with sensible defaults: unknown principals
+// rate 0.5, no age discounting, channel provenance at half weight.
+func NewPolicy() *Policy {
+	return &Policy{
+		Ratings:         make(map[string]float64),
+		Default:         0.5,
+		AgeDiscount:     1.0,
+		NestingDiscount: 0.5,
+	}
+}
+
+// Rate sets a principal's rating, clamped to [0,1].
+func (p *Policy) Rate(principal string, rating float64) *Policy {
+	p.Ratings[principal] = math.Max(0, math.Min(1, rating))
+	return p
+}
+
+// RatingOf returns the rating of a principal.
+func (p *Policy) RatingOf(principal string) float64 {
+	if r, ok := p.Ratings[principal]; ok {
+		return r
+	}
+	return p.Default
+}
+
+// Score computes the trust score of a provenance sequence in [0,1]. The
+// empty provenance scores 1 (the value originated locally and nobody else
+// touched it). Otherwise the score is the minimum over all events of
+//
+//	1 - discount(event) · (1 - rating(principal))
+//
+// where discount combines the age discount (position in the sequence) and
+// the nesting discount (channel-provenance depth).
+func (p *Policy) Score(k syntax.Prov) float64 {
+	return p.score(k, 1.0)
+}
+
+func (p *Policy) score(k syntax.Prov, scale float64) float64 {
+	s := 1.0
+	age := 1.0
+	for _, e := range k {
+		deficiency := (1 - p.RatingOf(e.Principal)) * scale * age
+		if v := 1 - deficiency; v < s {
+			s = v
+		}
+		if nested := p.score(e.ChanProv, scale*age*p.NestingDiscount); nested < s {
+			s = nested
+		}
+		age *= p.AgeDiscount
+	}
+	return s
+}
+
+// ScoreValue scores an annotated value.
+func (p *Policy) ScoreValue(v syntax.AnnotatedValue) float64 { return p.Score(v.K) }
+
+// Blame returns the principals of the provenance ordered by how much they
+// individually depress the score (worst offender first); principals with
+// no deficiency are omitted. This is the §2.3.2 auditing workflow: "the
+// three principals may be further investigated".
+func (p *Policy) Blame(k syntax.Prov) []string {
+	worst := make(map[string]float64)
+	var walk func(k syntax.Prov, scale float64)
+	walk = func(k syntax.Prov, scale float64) {
+		age := 1.0
+		for _, e := range k {
+			d := (1 - p.RatingOf(e.Principal)) * scale * age
+			if d > worst[e.Principal] {
+				worst[e.Principal] = d
+			}
+			walk(e.ChanProv, scale*age*p.NestingDiscount)
+			age *= p.AgeDiscount
+		}
+	}
+	walk(k, 1.0)
+	names := make([]string, 0, len(worst))
+	for n, d := range worst {
+		if d > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if worst[names[i]] != worst[names[j]] {
+			return worst[names[i]] > worst[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// AdequacyPolicy is §5's adequacy: what the provenance of a value must
+// establish before an application may consume it.
+type AdequacyPolicy struct {
+	// Require, if non-nil, is a pattern the provenance must satisfy
+	// (e.g. Any;producer!Any — "originated at the producer").
+	Require syntax.Pattern
+	// Banned principals must not appear anywhere in the provenance,
+	// including channel provenances.
+	Banned []string
+	// MinScore is the smallest acceptable trust score under Trust.
+	MinScore float64
+	// Trust is the scoring policy; nil means NewPolicy().
+	Trust *Policy
+}
+
+// InadequacyError explains why a value failed an adequacy check.
+type InadequacyError struct {
+	Value  syntax.AnnotatedValue
+	Reason string
+}
+
+func (e *InadequacyError) Error() string {
+	return fmt.Sprintf("trust: %s is inadequate: %s", e.Value, e.Reason)
+}
+
+// Check decides whether the value's provenance is adequate for the
+// application this policy describes.
+func (a *AdequacyPolicy) Check(v syntax.AnnotatedValue) error {
+	if a.Require != nil && !a.Require.Matches(v.K) {
+		return &InadequacyError{Value: v, Reason: fmt.Sprintf("provenance does not satisfy required pattern %s", a.Require)}
+	}
+	if len(a.Banned) > 0 {
+		seen := v.K.Principals()
+		for _, b := range a.Banned {
+			if seen[b] {
+				return &InadequacyError{Value: v, Reason: fmt.Sprintf("banned principal %s touched the value", b)}
+			}
+		}
+	}
+	pol := a.Trust
+	if pol == nil {
+		pol = NewPolicy()
+	}
+	if s := pol.Score(v.K); s < a.MinScore {
+		return &InadequacyError{Value: v, Reason: fmt.Sprintf("trust score %.3f below threshold %.3f (blame: %v)", s, a.MinScore, pol.Blame(v.K))}
+	}
+	return nil
+}
+
+// Chain summarises a provenance sequence as the ordered list of
+// (principal, direction) hops, most recent first — the "who handled this"
+// view used in audit reports.
+func Chain(k syntax.Prov) []string {
+	out := make([]string, 0, len(k))
+	for _, e := range k {
+		out = append(out, e.Principal+e.Dir.String())
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package trust
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/syntax"
+)
+
+func kOf(events ...syntax.Event) syntax.Prov { return syntax.Prov(events) }
+
+func TestEmptyProvenanceFullyTrusted(t *testing.T) {
+	p := NewPolicy()
+	if got := p.Score(nil); got != 1.0 {
+		t.Errorf("Score(ε) = %v, want 1", got)
+	}
+}
+
+func TestScoreIsMinOverPrincipals(t *testing.T) {
+	p := NewPolicy().Rate("good", 0.9).Rate("bad", 0.2)
+	k := kOf(syntax.OutEvent("good", nil), syntax.InEvent("bad", nil), syntax.OutEvent("good", nil))
+	if got := p.Score(k); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("Score = %v, want 0.2 (the minimum)", got)
+	}
+}
+
+func TestDefaultRating(t *testing.T) {
+	p := NewPolicy()
+	p.Default = 0.7
+	k := kOf(syntax.OutEvent("stranger", nil))
+	if got := p.Score(k); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("Score = %v, want default 0.7", got)
+	}
+}
+
+func TestAgeDiscount(t *testing.T) {
+	p := NewPolicy().Rate("bad", 0.0)
+	p.AgeDiscount = 0.5
+	// bad acted 3 events ago: deficiency 1.0 * 0.5^2 = 0.25 → score 0.75.
+	k := kOf(
+		syntax.OutEvent("neutral", nil),
+		syntax.InEvent("neutral", nil),
+		syntax.OutEvent("bad", nil),
+	)
+	p.Rate("neutral", 1.0)
+	if got := p.Score(k); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("Score = %v, want 0.75", got)
+	}
+	// The same bad event, most recent: full deficiency.
+	k2 := kOf(syntax.OutEvent("bad", nil))
+	if got := p.Score(k2); got != 0 {
+		t.Errorf("Score = %v, want 0", got)
+	}
+}
+
+func TestNestingDiscount(t *testing.T) {
+	p := NewPolicy().Rate("bad", 0.0).Rate("ok", 1.0)
+	p.NestingDiscount = 0.5
+	// bad appears only in the channel provenance: deficiency 1.0*0.5 = 0.5.
+	k := kOf(syntax.OutEvent("ok", kOf(syntax.OutEvent("bad", nil))))
+	if got := p.Score(k); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Score = %v, want 0.5", got)
+	}
+}
+
+func TestScoreMonotoneInRatings(t *testing.T) {
+	// Raising any rating never lowers a score.
+	k := kOf(
+		syntax.OutEvent("a", kOf(syntax.InEvent("b", nil))),
+		syntax.InEvent("c", nil),
+	)
+	low := NewPolicy().Rate("a", 0.3).Rate("b", 0.4).Rate("c", 0.5)
+	high := NewPolicy().Rate("a", 0.9).Rate("b", 0.4).Rate("c", 0.5)
+	if low.Score(k) > high.Score(k) {
+		t.Errorf("score not monotone: %v > %v", low.Score(k), high.Score(k))
+	}
+}
+
+func TestBlameOrdering(t *testing.T) {
+	p := NewPolicy().Rate("worst", 0.1).Rate("mid", 0.5).Rate("fine", 1.0)
+	k := kOf(
+		syntax.OutEvent("mid", nil),
+		syntax.InEvent("worst", nil),
+		syntax.OutEvent("fine", nil),
+	)
+	blame := Blamed(t, p, k)
+	if len(blame) != 2 {
+		t.Fatalf("blame = %v, want two entries (fine has no deficiency)", blame)
+	}
+	if blame[0] != "worst" || blame[1] != "mid" {
+		t.Errorf("blame = %v, want [worst mid]", blame)
+	}
+}
+
+// Blamed is a test helper making failures print the policy context.
+func Blamed(t *testing.T, p *Policy, k syntax.Prov) []string {
+	t.Helper()
+	return p.Blame(k)
+}
+
+func TestAdequacyRequirePattern(t *testing.T) {
+	// Require "originated at producer".
+	a := &AdequacyPolicy{
+		Require: pattern.SeqP(pattern.AnyP(), pattern.Out(pattern.Name("producer"), pattern.AnyP())),
+	}
+	good := syntax.Annot(syntax.Chan("v"), kOf(
+		syntax.InEvent("hub", nil), syntax.OutEvent("producer", nil)))
+	if err := a.Check(good); err != nil {
+		t.Errorf("good value rejected: %v", err)
+	}
+	bad := syntax.Annot(syntax.Chan("v"), kOf(syntax.OutEvent("imposter", nil)))
+	if err := a.Check(bad); err == nil {
+		t.Errorf("imposter origin should be inadequate")
+	}
+}
+
+func TestAdequacyBannedPrincipal(t *testing.T) {
+	a := &AdequacyPolicy{Banned: []string{"mallory"}}
+	ok := syntax.Annot(syntax.Chan("v"), kOf(syntax.OutEvent("alice", nil)))
+	if err := a.Check(ok); err != nil {
+		t.Errorf("clean value rejected: %v", err)
+	}
+	// mallory hidden in the channel provenance still counts.
+	tainted := syntax.Annot(syntax.Chan("v"), kOf(
+		syntax.OutEvent("alice", kOf(syntax.InEvent("mallory", nil)))))
+	if err := a.Check(tainted); err == nil {
+		t.Errorf("banned principal in channel provenance should be detected")
+	}
+}
+
+func TestAdequacyMinScore(t *testing.T) {
+	pol := NewPolicy().Rate("sketchy", 0.2)
+	a := &AdequacyPolicy{MinScore: 0.5, Trust: pol}
+	v := syntax.Annot(syntax.Chan("v"), kOf(syntax.OutEvent("sketchy", nil)))
+	err := a.Check(v)
+	if err == nil {
+		t.Fatalf("low-score value should be inadequate")
+	}
+	var ie *InadequacyError
+	if !asInadequacy(err, &ie) {
+		t.Fatalf("error type = %T", err)
+	}
+}
+
+func asInadequacy(err error, target **InadequacyError) bool {
+	ie, ok := err.(*InadequacyError)
+	if ok {
+		*target = ie
+	}
+	return ok
+}
+
+func TestChain(t *testing.T) {
+	k := kOf(
+		syntax.InEvent("c", nil), syntax.OutEvent("s", nil),
+		syntax.InEvent("s", nil), syntax.OutEvent("a", nil),
+	)
+	got := Chain(k)
+	want := []string{"c?", "s!", "s?", "a!"}
+	if len(got) != len(want) {
+		t.Fatalf("chain = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("chain[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRateClamps(t *testing.T) {
+	p := NewPolicy().Rate("x", 2.0).Rate("y", -1.0)
+	if p.RatingOf("x") != 1.0 || p.RatingOf("y") != 0.0 {
+		t.Errorf("ratings not clamped: %v %v", p.RatingOf("x"), p.RatingOf("y"))
+	}
+}

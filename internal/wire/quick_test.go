@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/syntax"
+)
+
+// cleanName maps arbitrary generated strings into plausible names (the
+// codec itself accepts any bytes; this just keeps sizes in range).
+func cleanName(s string) string {
+	if len(s) > 64 {
+		s = s[:64]
+	}
+	return "n" + s
+}
+
+// TestQuickValueRoundTrip: every value survives encode/decode.
+func TestQuickValueRoundTrip(t *testing.T) {
+	f := func(nm string, principal bool) bool {
+		v := syntax.Chan(cleanName(nm))
+		if principal {
+			v = syntax.Principal(cleanName(nm))
+		}
+		e := NewEncoder()
+		e.Value(v)
+		d, err := NewDecoder(e.Bytes())
+		if err != nil {
+			return false
+		}
+		got, err := d.Value()
+		return err == nil && got == v && d.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProvRoundTrip: provenance sequences built from generated hop
+// lists survive the codec.
+func TestQuickProvRoundTrip(t *testing.T) {
+	f := func(hops []string, dirs []bool) bool {
+		var k syntax.Prov
+		for i, h := range hops {
+			if i >= len(dirs) || i > 40 {
+				break
+			}
+			if dirs[i] {
+				k = k.Push(syntax.OutEvent(cleanName(h), nil))
+			} else {
+				k = k.Push(syntax.InEvent(cleanName(h), nil))
+			}
+		}
+		e := NewEncoder()
+		e.Prov(k)
+		d, err := NewDecoder(e.Bytes())
+		if err != nil {
+			return false
+		}
+		got, err := d.Prov()
+		return err == nil && got.Equal(k) && d.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecoderNeverPanics: random byte soup must yield errors, not
+// panics.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decoder panicked on %x: %v", b, r)
+			}
+		}()
+		_, _ = DecodeMessage(b)
+		_, _ = DecodeAction(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,397 @@
+// Package wire is a compact binary codec for the data that crosses the
+// middleware transport of the runtime package: plain values, provenance
+// sequences, annotated values, messages and log actions.
+//
+// The encoding is length-prefixed and versioned:
+//
+//	envelope := MAGIC(2) VERSION(1) payload
+//	uvarint  := unsigned LEB128 (encoding/binary)
+//	string   := uvarint(len) bytes
+//	value    := kind(1) string
+//	event    := dir(1) string(principal) prov
+//	prov     := uvarint(n) event*n
+//	annot    := value prov
+//	message  := string(chan) uvarint(n) annot*n
+//	action   := kind(1) string(principal) term term
+//	term     := tkind(1) string
+//
+// Decoding is defensive: all lengths are bounded, nesting depth is capped,
+// and truncated input yields an error rather than a panic. The paper's
+// two-tier design assigns provenance tracking to a trusted middleware;
+// this codec is what such a middleware would put on the wire, so a
+// malicious peer must not be able to crash it.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/logs"
+	"repro/internal/syntax"
+)
+
+const (
+	magicHi = 0x9C // "provenance calculus"
+	magicLo = 0x09
+	version = 1
+)
+
+// Limits protecting the decoder against adversarial input.
+const (
+	// MaxNameLen bounds any encoded name.
+	MaxNameLen = 1 << 12
+	// MaxProvLen bounds the number of events at one provenance level.
+	MaxProvLen = 1 << 16
+	// MaxProvDepth bounds event nesting.
+	MaxProvDepth = 64
+	// MaxPayload bounds the arity of a message.
+	MaxPayload = 1 << 8
+)
+
+// Decode errors.
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrBadMagic  = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: unsupported version")
+	ErrTooLarge  = errors.New("wire: length exceeds limit")
+	ErrTooDeep   = errors.New("wire: provenance nesting exceeds limit")
+	ErrTrailing  = errors.New("wire: trailing bytes after payload")
+	ErrBadTag    = errors.New("wire: invalid tag byte")
+)
+
+// Encoder accumulates an encoded payload.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the envelope header already written.
+func NewEncoder() *Encoder {
+	return &Encoder{buf: []byte{magicHi, magicLo, version}}
+}
+
+// Bytes returns the encoded envelope.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+func (e *Encoder) byte(b byte) { e.buf = append(e.buf, b) }
+
+func (e *Encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *Encoder) string(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Uvarint appends a raw unsigned varint (for protocol layers composing
+// their own frames on top of the codec).
+func (e *Encoder) Uvarint(v uint64) { e.uvarint(v) }
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) { e.string(s) }
+
+// Value encodes a plain value.
+func (e *Encoder) Value(v syntax.Value) {
+	e.byte(byte(v.Kind))
+	e.string(v.Name)
+}
+
+// Prov encodes a provenance sequence.
+func (e *Encoder) Prov(k syntax.Prov) {
+	e.uvarint(uint64(len(k)))
+	for _, ev := range k {
+		e.Event(ev)
+	}
+}
+
+// Event encodes a single provenance event.
+func (e *Encoder) Event(ev syntax.Event) {
+	e.byte(byte(ev.Dir))
+	e.string(ev.Principal)
+	e.Prov(ev.ChanProv)
+}
+
+// Annot encodes an annotated value.
+func (e *Encoder) Annot(v syntax.AnnotatedValue) {
+	e.Value(v.V)
+	e.Prov(v.K)
+}
+
+// Message encodes a message in transit.
+func (e *Encoder) Message(m *syntax.Message) {
+	e.string(m.Chan)
+	e.uvarint(uint64(len(m.Payload)))
+	for _, v := range m.Payload {
+		e.Annot(v)
+	}
+}
+
+// Term encodes a log term.
+func (e *Encoder) Term(t logs.Term) {
+	e.byte(byte(t.Kind))
+	e.string(t.Name)
+}
+
+// Action encodes a log action.
+func (e *Encoder) Action(a logs.Action) {
+	e.byte(byte(a.Kind))
+	e.string(a.Principal)
+	e.Term(a.A)
+	e.Term(a.B)
+}
+
+// Decoder consumes an encoded envelope.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder validates the envelope header and returns a decoder
+// positioned at the payload.
+func NewDecoder(b []byte) (*Decoder, error) {
+	if len(b) < 3 {
+		return nil, ErrTruncated
+	}
+	if b[0] != magicHi || b[1] != magicLo {
+		return nil, ErrBadMagic
+	}
+	if b[2] != version {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, b[2])
+	}
+	return &Decoder{buf: b, pos: 3}, nil
+}
+
+// Done verifies the whole payload was consumed.
+func (d *Decoder) Done() error {
+	if d.pos != len(d.buf) {
+		return ErrTrailing
+	}
+	return nil
+}
+
+func (d *Decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, ErrTruncated
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *Decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *Decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > MaxNameLen {
+		return "", ErrTooLarge
+	}
+	if d.pos+int(n) > len(d.buf) {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// Uvarint reads a raw unsigned varint.
+func (d *Decoder) Uvarint() (uint64, error) { return d.uvarint() }
+
+// ReadString reads a length-prefixed string.
+func (d *Decoder) ReadString() (string, error) { return d.string() }
+
+// Value decodes a plain value.
+func (d *Decoder) Value() (syntax.Value, error) {
+	k, err := d.byte()
+	if err != nil {
+		return syntax.Value{}, err
+	}
+	if k > byte(syntax.KindPrincipal) {
+		return syntax.Value{}, ErrBadTag
+	}
+	name, err := d.string()
+	if err != nil {
+		return syntax.Value{}, err
+	}
+	return syntax.Value{Name: name, Kind: syntax.Kind(k)}, nil
+}
+
+// Prov decodes a provenance sequence.
+func (d *Decoder) Prov() (syntax.Prov, error) { return d.prov(0) }
+
+func (d *Decoder) prov(depth int) (syntax.Prov, error) {
+	if depth > MaxProvDepth {
+		return nil, ErrTooDeep
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxProvLen {
+		return nil, ErrTooLarge
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	k := make(syntax.Prov, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ev, err := d.event(depth)
+		if err != nil {
+			return nil, err
+		}
+		k = append(k, ev)
+	}
+	return k, nil
+}
+
+func (d *Decoder) event(depth int) (syntax.Event, error) {
+	dir, err := d.byte()
+	if err != nil {
+		return syntax.Event{}, err
+	}
+	if dir > byte(syntax.Recv) {
+		return syntax.Event{}, ErrBadTag
+	}
+	principal, err := d.string()
+	if err != nil {
+		return syntax.Event{}, err
+	}
+	inner, err := d.prov(depth + 1)
+	if err != nil {
+		return syntax.Event{}, err
+	}
+	return syntax.Event{Principal: principal, Dir: syntax.Dir(dir), ChanProv: inner}, nil
+}
+
+// Annot decodes an annotated value.
+func (d *Decoder) Annot() (syntax.AnnotatedValue, error) {
+	v, err := d.Value()
+	if err != nil {
+		return syntax.AnnotatedValue{}, err
+	}
+	k, err := d.Prov()
+	if err != nil {
+		return syntax.AnnotatedValue{}, err
+	}
+	return syntax.Annot(v, k), nil
+}
+
+// Message decodes a message.
+func (d *Decoder) Message() (*syntax.Message, error) {
+	ch, err := d.string()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	m := &syntax.Message{Chan: ch, Payload: make([]syntax.AnnotatedValue, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		v, err := d.Annot()
+		if err != nil {
+			return nil, err
+		}
+		m.Payload = append(m.Payload, v)
+	}
+	return m, nil
+}
+
+// Term decodes a log term.
+func (d *Decoder) Term() (logs.Term, error) {
+	k, err := d.byte()
+	if err != nil {
+		return logs.Term{}, err
+	}
+	if k > byte(logs.TUnknown) {
+		return logs.Term{}, ErrBadTag
+	}
+	name, err := d.string()
+	if err != nil {
+		return logs.Term{}, err
+	}
+	return logs.Term{Kind: logs.TermKind(k), Name: name}, nil
+}
+
+// Action decodes a log action.
+func (d *Decoder) Action() (logs.Action, error) {
+	k, err := d.byte()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	if k > byte(logs.IfF) {
+		return logs.Action{}, ErrBadTag
+	}
+	principal, err := d.string()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	a, err := d.Term()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	b, err := d.Term()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	return logs.Action{Principal: principal, Kind: logs.ActKind(k), A: a, B: b}, nil
+}
+
+// EncodeMessage is a convenience one-shot message encoder.
+func EncodeMessage(m *syntax.Message) []byte {
+	e := NewEncoder()
+	e.Message(m)
+	return e.Bytes()
+}
+
+// DecodeMessage is a convenience one-shot message decoder.
+func DecodeMessage(b []byte) (*syntax.Message, error) {
+	d, err := NewDecoder(b)
+	if err != nil {
+		return nil, err
+	}
+	m, err := d.Message()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EncodeAction is a convenience one-shot action encoder.
+func EncodeAction(a logs.Action) []byte {
+	e := NewEncoder()
+	e.Action(a)
+	return e.Bytes()
+}
+
+// DecodeAction is a convenience one-shot action decoder.
+func DecodeAction(b []byte) (logs.Action, error) {
+	d, err := NewDecoder(b)
+	if err != nil {
+		return logs.Action{}, err
+	}
+	a, err := d.Action()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	if err := d.Done(); err != nil {
+		return logs.Action{}, err
+	}
+	return a, nil
+}

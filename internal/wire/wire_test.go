@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logs"
+	"repro/internal/syntax"
+)
+
+func TestRoundTripMessage(t *testing.T) {
+	m := syntax.Msg("results",
+		syntax.Annot(syntax.Chan("entry"), syntax.Seq(
+			syntax.InEvent("o", syntax.Seq(syntax.OutEvent("j1", nil))),
+			syntax.OutEvent("c1", nil),
+		)),
+		syntax.Annot(syntax.Principal("judge"), nil),
+	)
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !syntax.SystemEqual(m, got) {
+		t.Errorf("round trip changed message:\n%s\nvs\n%s", m, got)
+	}
+}
+
+func TestRoundTripEmptyProv(t *testing.T) {
+	m := syntax.Msg("m", syntax.Fresh(syntax.Chan("v")))
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload[0].K) != 0 {
+		t.Errorf("ε should survive: %v", got.Payload[0].K)
+	}
+}
+
+func TestRoundTripAction(t *testing.T) {
+	cases := []logs.Action{
+		logs.SndAct("a", logs.NameT("m"), logs.NameT("v")),
+		logs.RcvAct("b", logs.VarT("x"), logs.UnknownT()),
+		logs.IftAct("c", logs.NameT("m"), logs.NameT("m")),
+		logs.IffAct("d", logs.NameT("m"), logs.NameT("n")),
+	}
+	for _, a := range cases {
+		got, err := DecodeAction(EncodeAction(a))
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if got != a {
+			t.Errorf("round trip changed action %v -> %v", a, got)
+		}
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	cfg := gen.Default()
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := cfg.Prov(rng)
+		m := syntax.Msg("ch", syntax.Annot(syntax.Chan("v"), k))
+		got, err := DecodeMessage(EncodeMessage(m))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !got.Payload[0].K.Equal(k) {
+			t.Fatalf("seed %d: provenance changed", seed)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	b := EncodeMessage(syntax.Msg("m", syntax.Fresh(syntax.Chan("v"))))
+	b[0] ^= 0xFF
+	if _, err := DecodeMessage(b); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	b := EncodeMessage(syntax.Msg("m", syntax.Fresh(syntax.Chan("v"))))
+	b[2] = 99
+	if _, err := DecodeMessage(b); !errors.Is(err, ErrVersion) {
+		t.Errorf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	full := EncodeMessage(syntax.Msg("chan",
+		syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("a", nil)))))
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeMessage(full[:i]); err == nil {
+			t.Errorf("truncation at %d/%d not detected", i, len(full))
+		}
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	b := EncodeMessage(syntax.Msg("m", syntax.Fresh(syntax.Chan("v"))))
+	b = append(b, 0x00)
+	if _, err := DecodeMessage(b); !errors.Is(err, ErrTrailing) {
+		t.Errorf("err = %v, want ErrTrailing", err)
+	}
+}
+
+func TestCorruptTags(t *testing.T) {
+	// Flip every byte position in turn; the decoder must never panic and
+	// must either succeed or return an error.
+	full := EncodeMessage(syntax.Msg("chan",
+		syntax.Annot(syntax.Chan("value"), syntax.Seq(
+			syntax.OutEvent("principal", syntax.Seq(syntax.InEvent("q", nil)))))))
+	for i := 3; i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0xFF
+		_, _ = DecodeMessage(mut) // must not panic
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	// Build provenance nested beyond MaxProvDepth.
+	k := syntax.Prov{}
+	for i := 0; i < MaxProvDepth+2; i++ {
+		k = syntax.Seq(syntax.OutEvent("a", k))
+	}
+	b := EncodeMessage(syntax.Msg("m", syntax.Annot(syntax.Chan("v"), k)))
+	if _, err := DecodeMessage(b); !errors.Is(err, ErrTooDeep) {
+		t.Errorf("err = %v, want ErrTooDeep", err)
+	}
+}
+
+func TestOversizeName(t *testing.T) {
+	name := make([]byte, MaxNameLen+1)
+	for i := range name {
+		name[i] = 'x'
+	}
+	b := EncodeMessage(syntax.Msg(string(name), syntax.Fresh(syntax.Chan("v"))))
+	if _, err := DecodeMessage(b); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestEncodingDeterministic(t *testing.T) {
+	m := syntax.Msg("m", syntax.Annot(syntax.Chan("v"), syntax.Seq(syntax.OutEvent("a", nil))))
+	b1 := EncodeMessage(m)
+	b2 := EncodeMessage(m)
+	if string(b1) != string(b2) {
+		t.Errorf("encoding not deterministic")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// The envelope overhead is 3 bytes; a small message should stay small.
+	m := syntax.Msg("m", syntax.Fresh(syntax.Chan("v")))
+	if n := len(EncodeMessage(m)); n > 16 {
+		t.Errorf("encoded size %d unexpectedly large", n)
+	}
+}

@@ -1,0 +1,6 @@
+package repro_test
+
+import "math/rand"
+
+// newSeeded returns the deterministic PRNG used by the integration tests.
+func newSeeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
