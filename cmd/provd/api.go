@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/logs"
+	"repro/internal/syntax"
+	"repro/internal/wire"
+)
+
+// JSON wire types of the provd API. The binary codec (internal/wire) is
+// what the store puts on disk; this is the operator-facing query surface.
+
+// TermDTO is a log term: a plain name (default), a variable, or the
+// unknown-channel symbol ?.
+type TermDTO struct {
+	Kind string `json:"kind,omitempty"` // "name" (default), "var", "unknown"
+	Name string `json:"name,omitempty"`
+}
+
+// ActionDTO is one global-log action.
+type ActionDTO struct {
+	Principal string  `json:"principal"`
+	Kind      string  `json:"kind"` // "snd", "rcv", "ift", "iff"
+	A         TermDTO `json:"a"`
+	B         TermDTO `json:"b"`
+}
+
+// RecordDTO is a stored record: an action plus its global sequence number.
+type RecordDTO struct {
+	Seq    uint64    `json:"seq"`
+	Action ActionDTO `json:"action"`
+}
+
+// EventDTO is one provenance event a!κ / a?κ.
+type EventDTO struct {
+	Principal string     `json:"principal"`
+	Dir       string     `json:"dir"` // "!" (send) or "?" (recv)
+	ChanProv  []EventDTO `json:"chan_prov,omitempty"`
+}
+
+// AppendResponse acknowledges a durable append.
+type AppendResponse struct {
+	Seq uint64 `json:"seq"`
+}
+
+// LogResponse serves a (possibly redacted) view of a stored log.
+type LogResponse struct {
+	Principal string      `json:"principal,omitempty"`
+	Observer  string      `json:"observer,omitempty"`
+	Records   []RecordDTO `json:"records"`
+	Log       string      `json:"log"`
+}
+
+// AuditRequest asks for a Definition-3 correctness check of the claim
+// V:κ against the stored global log. Value "?" stands for an unknown
+// private channel.
+type AuditRequest struct {
+	Value    string     `json:"value"`
+	Prov     []EventDTO `json:"prov"`
+	Observer string     `json:"observer,omitempty"`
+}
+
+// AuditResponse is the audit verdict. When an observer is named,
+// ProvView is the provenance as the observer is allowed to see it
+// (disclosure-policy redaction applied at query time).
+type AuditResponse struct {
+	Correct  bool       `json:"correct"`
+	Detail   string     `json:"detail,omitempty"`
+	ProvView []EventDTO `json:"prov_view,omitempty"`
+}
+
+func termDTO(t logs.Term) TermDTO {
+	switch t.Kind {
+	case logs.TVar:
+		return TermDTO{Kind: "var", Name: t.Name}
+	case logs.TUnknown:
+		return TermDTO{Kind: "unknown"}
+	default:
+		return TermDTO{Name: t.Name}
+	}
+}
+
+func (t TermDTO) term() (logs.Term, error) {
+	switch t.Kind {
+	case "", "name":
+		return logs.NameT(t.Name), nil
+	case "var":
+		return logs.VarT(t.Name), nil
+	case "unknown":
+		return logs.UnknownT(), nil
+	default:
+		return logs.Term{}, fmt.Errorf("unknown term kind %q", t.Kind)
+	}
+}
+
+func actionDTO(a logs.Action) ActionDTO {
+	return ActionDTO{Principal: a.Principal, Kind: a.Kind.String(), A: termDTO(a.A), B: termDTO(a.B)}
+}
+
+// kindOf maps the JSON action-kind token to its logs.ActKind; it is the
+// single copy of this mapping, shared by the append path and the ?kind=
+// shard filter.
+func kindOf(s string) (logs.ActKind, error) {
+	switch s {
+	case "snd":
+		return logs.Snd, nil
+	case "rcv":
+		return logs.Rcv, nil
+	case "ift":
+		return logs.IfT, nil
+	case "iff":
+		return logs.IfF, nil
+	default:
+		return 0, fmt.Errorf("unknown action kind %q", s)
+	}
+}
+
+func (a ActionDTO) action() (logs.Action, error) {
+	kind, err := kindOf(a.Kind)
+	if err != nil {
+		return logs.Action{}, err
+	}
+	if a.Principal == "" {
+		return logs.Action{}, fmt.Errorf("action needs a principal")
+	}
+	ta, err := a.A.term()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	tb, err := a.B.term()
+	if err != nil {
+		return logs.Action{}, err
+	}
+	return logs.Action{Principal: a.Principal, Kind: kind, A: ta, B: tb}, nil
+}
+
+func eventDTOs(k syntax.Prov) []EventDTO {
+	if len(k) == 0 {
+		return nil
+	}
+	out := make([]EventDTO, len(k))
+	for i, e := range k {
+		dir := "!"
+		if e.Dir == syntax.Recv {
+			dir = "?"
+		}
+		out[i] = EventDTO{Principal: e.Principal, Dir: dir, ChanProv: eventDTOs(e.ChanProv)}
+	}
+	return out
+}
+
+func provOf(dtos []EventDTO, depth int) (syntax.Prov, error) {
+	if depth > wire.MaxProvDepth {
+		return nil, fmt.Errorf("provenance nesting exceeds %d", wire.MaxProvDepth)
+	}
+	if len(dtos) == 0 {
+		return nil, nil
+	}
+	if len(dtos) > wire.MaxProvLen {
+		return nil, fmt.Errorf("provenance length exceeds %d", wire.MaxProvLen)
+	}
+	out := make(syntax.Prov, len(dtos))
+	for i, d := range dtos {
+		if d.Principal == "" {
+			return nil, fmt.Errorf("event needs a principal")
+		}
+		var dir syntax.Dir
+		switch d.Dir {
+		case "!", "snd", "send", "out":
+			dir = syntax.Send
+		case "?", "rcv", "recv", "in":
+			dir = syntax.Recv
+		default:
+			return nil, fmt.Errorf("unknown event direction %q", d.Dir)
+		}
+		inner, err := provOf(d.ChanProv, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = syntax.Event{Principal: d.Principal, Dir: dir, ChanProv: inner}
+	}
+	return out, nil
+}

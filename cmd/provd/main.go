@@ -1,0 +1,105 @@
+// Command provd is the provenance log daemon: a durable, sharded store
+// for the global monitor log (internal/store) fronted by an HTTP/JSON
+// audit and query service.
+//
+//	provd -addr :7709 -dir ./provd-data
+//
+// Endpoints:
+//
+//	POST /append            durably append one action      {"principal":"a","kind":"snd","a":{"name":"m"},"b":{"name":"v"}}
+//	GET  /log               recovered global log           ?observer=name redacts; ?limit=N tails
+//	GET  /log/{principal}   one shard                      ?chan= / ?kind= filter via the shard indexes
+//	POST /audit             Definition-3 correctness check {"value":"v","prov":[{"principal":"a","dir":"!"}]}
+//	POST /compact           merge sealed segments          ?principal= for one shard
+//	GET  /principals        known shards                   ?observer= omits principals hiding from it
+//	GET  /healthz           liveness + next sequence number
+//	GET  /metrics           store/server counters (text)
+//
+// Disclosure policies (-hide) are applied at query time per requesting
+// observer, so the stored log remains complete while each observer sees
+// only what the policy allows. The observer identity is taken from the
+// request (?observer= / the audit body): provd does not authenticate
+// callers, so policies are an honest-observer privacy mechanism, not an
+// access-control boundary — front the daemon with an authenticating
+// proxy if observers are adversarial.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/trust"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7709", "listen address")
+		dir       = flag.String("dir", "provd-data", "store root directory")
+		stripes   = flag.Int("stripes", 16, "append lock stripes")
+		segBytes  = flag.Int64("segment-bytes", 1<<20, "segment rotation threshold")
+		fsync     = flag.Bool("fsync", true, "fsync every append")
+		maxShards = flag.Int("max-shards", 4096, "principal cap (one open segment fd per shard)")
+		grace     = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
+	)
+	policy := trust.NewDisclosurePolicy()
+	flag.Func("hide", "hide a principal's actions: subject or subject=obs1,obs2 (repeatable)", func(v string) error {
+		subject, obs, found := strings.Cut(v, "=")
+		if subject == "" {
+			return errors.New("empty subject")
+		}
+		if !found || obs == "" {
+			policy.HideFrom(subject)
+			return nil
+		}
+		policy.HideFrom(subject, strings.Split(obs, ",")...)
+		return nil
+	})
+	flag.Parse()
+
+	st, err := store.Open(*dir, store.Options{Stripes: *stripes, SegmentBytes: *segBytes, Fsync: *fsync, MaxShards: *maxShards})
+	if err != nil {
+		log.Fatalf("provd: opening store: %v", err)
+	}
+	stats := st.Stats()
+	log.Printf("provd: store %s recovered: %d records, %d shards, next seq %d",
+		*dir, stats.Records, stats.Principals, stats.NextSeq)
+
+	srv := &http.Server{Addr: *addr, Handler: NewServer(st, policy)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("provd: serving on %s", *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		st.Close()
+		log.Fatalf("provd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("provd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("provd: shutdown: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		log.Printf("provd: closing store: %v", err)
+	}
+	fmt.Println("provd: bye")
+}

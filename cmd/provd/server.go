@@ -1,0 +1,313 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/store"
+	"repro/internal/trust"
+	"repro/internal/wire"
+)
+
+// Server is the audit/query front end over a store.Store, following the
+// layered app/engine split: the store is the engine, this type is the
+// HTTP application layer. All provenance disclosure decisions are made
+// here, at query time, against the requesting observer.
+type Server struct {
+	store   *store.Store
+	policy  *trust.DisclosurePolicy
+	mux     *http.ServeMux
+	started time.Time
+
+	requests   atomic.Uint64
+	badReqs    atomic.Uint64
+	redactions atomic.Uint64
+}
+
+// NewServer wires the routes. A nil policy means full disclosure.
+func NewServer(st *store.Store, policy *trust.DisclosurePolicy) *Server {
+	if policy == nil {
+		policy = trust.NewDisclosurePolicy()
+	}
+	s := &Server{store: st, policy: policy, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /append", s.handleAppend)
+	s.mux.HandleFunc("GET /log", s.handleGlobalLog)
+	s.mux.HandleFunc("GET /log/{principal}", s.handleShardLog)
+	s.mux.HandleFunc("POST /audit", s.handleAudit)
+	s.mux.HandleFunc("POST /compact", s.handleCompact)
+	s.mux.HandleFunc("GET /principals", s.handlePrincipals)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) clientError(w http.ResponseWriter, err error) {
+	s.badReqs.Add(1)
+	s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+const maxBodyBytes = 1 << 20
+
+// handleAppend durably appends one action and returns its sequence
+// number. This is the ingestion path for middlewares that are not
+// in-process (an in-process runtime.Net uses the sink hook directly).
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var dto ActionDTO
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&dto); err != nil {
+		s.clientError(w, fmt.Errorf("decoding action: %w", err))
+		return
+	}
+	a, err := dto.action()
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	seq, err := s.store.Append(a)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrInvalidAction):
+			s.clientError(w, err)
+		case errors.Is(err, store.ErrShardLimit):
+			s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		default:
+			s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, AppendResponse{Seq: seq})
+}
+
+// viewRecords applies the disclosure policy once per record, returning
+// both the DTO batch and the redacted actions (oldest first). Redaction
+// happens on the decoded records, before any DTO conversion, so there is
+// no re-parse step that could silently serve an unmasked action.
+func (s *Server) viewRecords(recs []wire.Record, observer string) ([]RecordDTO, []logs.Action) {
+	dtos := make([]RecordDTO, len(recs))
+	acts := make([]logs.Action, len(recs))
+	for i, r := range recs {
+		viewed := s.policy.ViewAction(r.Act, observer)
+		if viewed.Principal != r.Act.Principal {
+			s.redactions.Add(1)
+		}
+		dtos[i] = RecordDTO{Seq: r.Seq, Action: actionDTO(viewed)}
+		acts[i] = viewed
+	}
+	return dtos, acts
+}
+
+// renderSpine renders the log spine of a record batch (actions oldest
+// first) with the most recent action leading, matching logs.Log.String()
+// output for linear logs — but in linear time and constant stack, which
+// the recursive stringifier cannot promise on a multi-million-record
+// recovered log.
+func renderSpine(acts []logs.Action) string {
+	if len(acts) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i := len(acts) - 1; i >= 0; i-- {
+		if i != len(acts)-1 {
+			b.WriteString("; ")
+		}
+		b.WriteString(acts[i].String())
+	}
+	return b.String()
+}
+
+// defaultLogLimit caps /log responses when the client names no limit:
+// materialising a multi-million-record store (records, DTOs, rendered
+// spine) for one request would let a single GET exhaust the heap. An
+// explicit ?limit=N is honoured as given.
+const defaultLogLimit = 10000
+
+// parseLimit reads the ?limit=N query parameter — the N most recent
+// records — defaulting when absent.
+func parseLimit(q string) (int, error) {
+	if q == "" {
+		return defaultLogLimit, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid limit %q", q)
+	}
+	return n, nil
+}
+
+// handleGlobalLog serves the recovered monitor log, redacted for the
+// requesting observer (?observer=name); ?limit=N returns the N most
+// recent records.
+func (s *Server) handleGlobalLog(w http.ResponseWriter, r *http.Request) {
+	observer := r.URL.Query().Get("observer")
+	limit, err := parseLimit(r.URL.Query().Get("limit"))
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	dtos, acts := s.viewRecords(s.store.TailRecords(limit), observer)
+	s.writeJSON(w, http.StatusOK, LogResponse{
+		Observer: observer,
+		Records:  dtos,
+		Log:      renderSpine(acts),
+	})
+}
+
+// handleShardLog serves one principal's shard, redacted for the
+// requesting observer. Optional filters: ?chan=name, ?kind=snd|rcv|ift|iff
+// (served from the shard indexes).
+func (s *Server) handleShardLog(w http.ResponseWriter, r *http.Request) {
+	principal := r.PathValue("principal")
+	observer := r.URL.Query().Get("observer")
+	// A shard query is keyed by the acting principal, so masking the
+	// records would still disclose who acted: deny the whole shard to
+	// observers the principal hides from.
+	if s.policy.Hides(principal, observer) {
+		s.redactions.Add(1)
+		s.writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": fmt.Sprintf("principal %s does not disclose its log to %q", principal, observer),
+		})
+		return
+	}
+	q := r.URL.Query()
+	limit, err := parseLimit(q.Get("limit"))
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	var recs []wire.Record
+	switch {
+	case q.Get("chan") != "":
+		recs = s.store.ByChannelTail(principal, q.Get("chan"), limit)
+	case q.Get("kind") != "":
+		kind, err := kindOf(q.Get("kind"))
+		if err != nil {
+			s.clientError(w, err)
+			return
+		}
+		recs = s.store.ByKindTail(principal, kind, limit)
+	default:
+		recs = s.store.RecordsTail(principal, limit)
+	}
+	dtos, acts := s.viewRecords(recs, observer)
+	s.writeJSON(w, http.StatusOK, LogResponse{
+		Principal: principal,
+		Observer:  observer,
+		Records:   dtos,
+		Log:       renderSpine(acts),
+	})
+}
+
+// handleAudit runs the server-side Definition-3 correctness check: does
+// the stored global log justify the claim V:κ? The provenance echoed
+// back is the observer's redacted view.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	var req AuditRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.clientError(w, fmt.Errorf("decoding audit request: %w", err))
+		return
+	}
+	if req.Value == "" {
+		s.clientError(w, fmt.Errorf("audit needs a value"))
+		return
+	}
+	k, err := provOf(req.Prov, 0)
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	term := logs.NameT(req.Value)
+	if req.Value == "?" {
+		term = logs.UnknownT()
+	}
+	resp := AuditResponse{Correct: true}
+	if err := s.store.AuditTerm(term, k); err != nil {
+		resp.Correct = false
+		resp.Detail = err.Error()
+	}
+	if req.Observer != "" {
+		if n := s.policy.RedactionCount(k, req.Observer); n > 0 {
+			s.redactions.Add(uint64(n))
+		}
+		resp.ProvView = eventDTOs(s.policy.View(k, req.Observer))
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCompact compacts one shard (?principal=name) or all shards.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	principal := r.URL.Query().Get("principal")
+	var err error
+	if principal == "" {
+		err = s.store.CompactAll()
+	} else {
+		err = s.store.Compact(principal)
+	}
+	if err != nil {
+		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handlePrincipals lists known shards, omitting principals that hide
+// from the requesting observer — the same existence fact the shard
+// endpoint's 403 protects.
+func (s *Server) handlePrincipals(w http.ResponseWriter, r *http.Request) {
+	observer := r.URL.Query().Get("observer")
+	ps := []string{}
+	for _, p := range s.store.Principals() {
+		if s.policy.Hides(p, observer) {
+			s.redactions.Add(1)
+			continue
+		}
+		ps = append(ps, p)
+	}
+	s.writeJSON(w, http.StatusOK, ps)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"next_seq": s.store.NextSeq(),
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+// handleMetrics exposes store and server counters in the conventional
+// one-gauge-per-line text form.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "provd_http_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "provd_http_bad_requests_total %d\n", s.badReqs.Load())
+	fmt.Fprintf(w, "provd_redactions_total %d\n", s.redactions.Load())
+	fmt.Fprintf(w, "provd_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
+	fmt.Fprintf(w, "provd_store_appends_total %d\n", st.Appends)
+	fmt.Fprintf(w, "provd_store_appended_bytes_total %d\n", st.AppendedBytes)
+	fmt.Fprintf(w, "provd_store_rotations_total %d\n", st.Rotations)
+	fmt.Fprintf(w, "provd_store_compactions_total %d\n", st.Compactions)
+	fmt.Fprintf(w, "provd_store_audits_total %d\n", st.Audits)
+	fmt.Fprintf(w, "provd_store_audit_failures_total %d\n", st.AuditFailures)
+	fmt.Fprintf(w, "provd_store_recovered_records_total %d\n", st.RecoveredRecords)
+	fmt.Fprintf(w, "provd_store_truncated_bytes_total %d\n", st.TruncatedBytes)
+	fmt.Fprintf(w, "provd_store_principals %d\n", st.Principals)
+	fmt.Fprintf(w, "provd_store_records %d\n", st.Records)
+	fmt.Fprintf(w, "provd_store_next_seq %d\n", st.NextSeq)
+}

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/runtime"
+	"repro/internal/store"
+	"repro/internal/syntax"
+	"repro/internal/trust"
+)
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerEndToEnd: a fault-injected runtime mirrors into the store;
+// after a simulated restart the daemon serves the recovered log and its
+// /audit verdicts agree with the in-memory middleware path.
+func TestServerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net := runtime.NewNet()
+	defer net.Close()
+	net.SetSink(st)
+	net.SetFaults(&runtime.Faults{DropRate: 0.15, DupRate: 0.15, Seed: 11})
+	a := net.Register("a")
+	b := net.Register("b")
+
+	var held []syntax.AnnotatedValue
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			vals, err := b.Recv(syntax.Fresh(syntax.Chan("m")), 100*time.Millisecond, pattern.AnyP())
+			if err != nil {
+				return
+			}
+			held = append(held, vals[0])
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		if err := a.Send(syntax.Fresh(syntax.Chan("m")), syntax.Fresh(syntax.Chan(fmt.Sprintf("v%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := net.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(held) == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: recover from segment files and serve.
+	st2, err := store.Open(dir, store.Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ts := httptest.NewServer(NewServer(st2, nil))
+	defer ts.Close()
+
+	var lr LogResponse
+	if code := getJSON(t, ts, "/log", &lr); code != http.StatusOK {
+		t.Fatalf("/log status %d", code)
+	}
+	if len(lr.Records) != net.LogLen() {
+		t.Fatalf("daemon serves %d records, middleware logged %d", len(lr.Records), net.LogLen())
+	}
+
+	// Audit parity for every delivered value.
+	for _, v := range held {
+		var ar AuditResponse
+		req := AuditRequest{Value: v.V.Name, Prov: eventDTOs(v.K)}
+		if code := postJSON(t, ts, "/audit", req, &ar); code != http.StatusOK {
+			t.Fatalf("/audit status %d", code)
+		}
+		memOK := net.AuditValue(v) == nil
+		if ar.Correct != memOK {
+			t.Fatalf("audit verdicts disagree for %s: daemon=%v mem=%v (%s)", v, ar.Correct, memOK, ar.Detail)
+		}
+		if !ar.Correct {
+			t.Errorf("genuine value rejected: %s", ar.Detail)
+		}
+	}
+
+	// A forged claim is rejected by both paths.
+	var ar AuditResponse
+	forged := AuditRequest{Value: "vX", Prov: []EventDTO{{Principal: "z", Dir: "!"}}}
+	postJSON(t, ts, "/audit", forged, &ar)
+	if ar.Correct {
+		t.Error("daemon accepted a forged provenance claim")
+	}
+	if net.AuditValue(syntax.Annot(syntax.Chan("vX"), syntax.Seq(syntax.OutEvent("z", nil)))) == nil {
+		t.Error("middleware accepted a forged provenance claim")
+	}
+}
+
+// TestServerAppendQueryRedaction: /append ingests actions, shard queries
+// filter via the indexes, and the disclosure policy redacts per observer
+// at query time.
+func TestServerAppendQueryRedaction(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	policy := trust.NewDisclosurePolicy().HideFrom("s", "c")
+	ts := httptest.NewServer(NewServer(st, policy))
+	defer ts.Close()
+
+	actions := []ActionDTO{
+		{Principal: "a", Kind: "snd", A: TermDTO{Name: "m"}, B: TermDTO{Name: "v"}},
+		{Principal: "s", Kind: "rcv", A: TermDTO{Name: "m"}, B: TermDTO{Name: "v"}},
+		{Principal: "s", Kind: "snd", A: TermDTO{Name: "n"}, B: TermDTO{Name: "v"}},
+		{Principal: "s", Kind: "ift", A: TermDTO{Name: "v"}, B: TermDTO{Name: "v"}},
+	}
+	for i, a := range actions {
+		var resp AppendResponse
+		if code := postJSON(t, ts, "/append", a, &resp); code != http.StatusOK {
+			t.Fatalf("/append status %d", code)
+		}
+		if resp.Seq != uint64(i) {
+			t.Fatalf("append %d got seq %d", i, resp.Seq)
+		}
+	}
+
+	// Index-backed filters.
+	var lr LogResponse
+	getJSON(t, ts, "/log/s?chan=m", &lr)
+	if len(lr.Records) != 1 || lr.Records[0].Action.Kind != "rcv" {
+		t.Fatalf("chan filter returned %+v", lr.Records)
+	}
+	getJSON(t, ts, "/log/s?kind=ift", &lr)
+	if len(lr.Records) != 1 || lr.Records[0].Action.Kind != "ift" {
+		t.Fatalf("kind filter returned %+v", lr.Records)
+	}
+
+	// The shard endpoint is keyed by the acting principal, so for a
+	// hidden observer it is denied outright rather than served masked.
+	resp, err := http.Get(ts.URL + "/log/s?observer=c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("hidden shard served to observer c: status %d", resp.StatusCode)
+	}
+
+	// Observer c must not see s's actions; observer b sees everything.
+	getJSON(t, ts, "/log?observer=c", &lr)
+	for _, r := range lr.Records {
+		if r.Action.Principal == "s" {
+			t.Fatalf("observer c saw a hidden action: %+v", r)
+		}
+	}
+	if !strings.Contains(lr.Log, trust.RedactedPrincipal) {
+		t.Fatal("redacted log lacks the opaque marker")
+	}
+	getJSON(t, ts, "/log?observer=b", &lr)
+	sSeen := 0
+	for _, r := range lr.Records {
+		if r.Action.Principal == "s" {
+			sSeen++
+		}
+	}
+	if sSeen != 3 {
+		t.Fatalf("observer b sees %d of s's actions, want 3", sSeen)
+	}
+
+	// Malformed requests are 400s, not 500s.
+	var e map[string]string
+	if code := postJSON(t, ts, "/append", ActionDTO{Principal: "a", Kind: "bogus"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad kind: status %d", code)
+	}
+	if code := postJSON(t, ts, "/audit", AuditRequest{}, &e); code != http.StatusBadRequest {
+		t.Fatalf("empty audit: status %d", code)
+	}
+}
+
+// TestServerAuditObserverView: the audit response echoes the observer's
+// redacted view of the claimed provenance.
+func TestServerAuditObserverView(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	policy := trust.NewDisclosurePolicy().HideFrom("s")
+	ts := httptest.NewServer(NewServer(st, policy))
+	defer ts.Close()
+
+	// Log: a sends v on m, s receives and re-sends, c receives.
+	for _, a := range []ActionDTO{
+		{Principal: "a", Kind: "snd", A: TermDTO{Name: "m"}, B: TermDTO{Name: "v"}},
+		{Principal: "s", Kind: "rcv", A: TermDTO{Name: "m"}, B: TermDTO{Name: "v"}},
+		{Principal: "s", Kind: "snd", A: TermDTO{Name: "n"}, B: TermDTO{Name: "v"}},
+		{Principal: "c", Kind: "rcv", A: TermDTO{Name: "n"}, B: TermDTO{Name: "v"}},
+	} {
+		if code := postJSON(t, ts, "/append", a, nil); code != http.StatusOK {
+			t.Fatalf("/append status %d", code)
+		}
+	}
+	req := AuditRequest{
+		Value: "v",
+		Prov: []EventDTO{
+			{Principal: "c", Dir: "?"},
+			{Principal: "s", Dir: "!"},
+			{Principal: "s", Dir: "?"},
+			{Principal: "a", Dir: "!"},
+		},
+		Observer: "c",
+	}
+	var ar AuditResponse
+	postJSON(t, ts, "/audit", req, &ar)
+	if !ar.Correct {
+		t.Fatalf("genuine chain rejected: %s", ar.Detail)
+	}
+	if len(ar.ProvView) != 4 {
+		t.Fatalf("prov view has %d events, want 4 (redaction must not shorten history)", len(ar.ProvView))
+	}
+	for i, e := range ar.ProvView {
+		if (i == 1 || i == 2) && e.Principal != trust.RedactedPrincipal {
+			t.Fatalf("event %d not redacted for observer c: %+v", i, e)
+		}
+		if (i == 0 || i == 3) && e.Principal == trust.RedactedPrincipal {
+			t.Fatalf("event %d over-redacted: %+v", i, e)
+		}
+	}
+}

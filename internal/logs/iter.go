@@ -1,0 +1,77 @@
+package logs
+
+import (
+	"fmt"
+	"iter"
+)
+
+// All returns the actions of φ as a lazy preorder sequence. Unlike
+// Actions, no intermediate slice is materialised, so callers can audit
+// arbitrarily large logs incrementally and stop early.
+func All(l Log) iter.Seq[Action] {
+	return func(yield func(Action) bool) {
+		walkAll(l, yield)
+	}
+}
+
+// walkAll iterates Pre spines with a loop rather than recursion: spine
+// length is the full history of a monitored run, far deeper than the
+// stack should go. Recursion depth is bounded by Comp nesting only.
+func walkAll(l Log, yield func(Action) bool) bool {
+	for {
+		switch t := l.(type) {
+		case Empty:
+			return true
+		case *Pre:
+			if !yield(t.Act) {
+				return false
+			}
+			l = t.Rest
+		case *Comp:
+			if !walkAll(t.L, yield) {
+				return false
+			}
+			l = t.R
+		default:
+			panic(fmt.Sprintf("logs: All: unknown log %T", l))
+		}
+	}
+}
+
+// Spine builds the linear log of a globally ordered action sequence given
+// oldest first — the shape the monitored semantics produces when every
+// reduction prepends its action. The most recent action ends up at the
+// head, as in §3.3.
+func Spine(acts []Action) Log {
+	b := NewBuilder()
+	for _, a := range acts {
+		b.Append(a)
+	}
+	return b.Log()
+}
+
+// Builder is the stream form of a linear log: it accumulates actions as
+// they happen (oldest first) and exposes the current spine at any point.
+// Append is O(1) and earlier snapshots share structure with later ones,
+// so an incremental auditor can hold the log at several instants without
+// copying.
+type Builder struct {
+	head Log
+	n    int
+}
+
+// NewBuilder returns a builder holding the empty log ∅.
+func NewBuilder() *Builder { return &Builder{head: Empty{}} }
+
+// Append records a new most-recent action.
+func (b *Builder) Append(a Action) {
+	b.head = &Pre{Act: a, Rest: b.head}
+	b.n++
+}
+
+// Log returns the current spine (most recent action at the head). The
+// returned log is immutable: later Appends do not affect it.
+func (b *Builder) Log() Log { return b.head }
+
+// Len returns the number of actions appended so far.
+func (b *Builder) Len() int { return b.n }

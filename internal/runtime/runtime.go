@@ -97,6 +97,64 @@ type Net struct {
 	nodes map[string]int
 	// faults, when non-nil, injects message loss/duplication (see Faults).
 	faults *Faults
+	// sink, when non-nil, receives a copy of every logged action (e.g. a
+	// durable store.Store); sinkErr records the first mirror failure.
+	sink    Sink
+	sinkErr error
+}
+
+// Sink receives every action appended to the global monitor log, in log
+// order. A durable implementation (such as internal/store) makes the
+// monitored run replayable after a restart. AppendAction is called with
+// the middleware lock held — this is what guarantees the mirror sees
+// actions in exactly log order — so implementations must not call back
+// into the Net, and slow sinks throttle every Send/Recv on the network.
+// Mirror into a store opened without Options.Fsync (batch durability via
+// Sync) unless per-action durability is worth serialized fsync latency.
+// An action the sink cannot represent detaches the mirror like any other
+// failure (store.Store documents its constraints as ErrInvalidAction:
+// principals must be nonempty, at most store.MaxPrincipalLen bytes, and
+// not the reserved redaction marker), so register principals the sink
+// can store.
+type Sink interface {
+	AppendAction(a logs.Action) error
+}
+
+// SetSink installs an action sink mirroring the global log (nil disables
+// mirroring). Actions already logged are not replayed into the sink.
+// Installing a sink clears any previous mirror failure, so a health
+// check on SinkErr reflects the current sink.
+func (n *Net) SetSink(s Sink) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sink = s
+	n.sinkErr = nil
+}
+
+// SinkErr reports the error that stopped the mirror, if any. A failed
+// mirror does not fail the send/receive that triggered it: the in-memory
+// log remains authoritative, mirroring is detached (so the sink holds a
+// consistent prefix of the log rather than a log with a hole in it), and
+// the error is surfaced here for the operator.
+func (n *Net) SinkErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sinkErr
+}
+
+// logLocked appends an action to the global monitor log and mirrors it to
+// the sink; callers hold the net lock. The first sink failure detaches
+// the sink: continuing past a missed action would leave a silent hole
+// mid-log, and a replayed audit against a holed log can return different
+// verdicts than the live one. A prefix is consistent; a hole is not.
+func (n *Net) logLocked(a logs.Action) {
+	n.log = append(n.log, a)
+	if n.sink != nil {
+		if err := n.sink.AppendAction(a); err != nil {
+			n.sinkErr = err
+			n.sink = nil
+		}
+	}
 }
 
 // NewNet creates an empty middleware.
@@ -161,7 +219,7 @@ func (nd *Node) Send(ch syntax.AnnotatedValue, payload ...syntax.AnnotatedValue)
 	msg := &syntax.Message{Chan: ch.V.Name, Payload: make([]syntax.AnnotatedValue, len(payload))}
 	for i, v := range payload {
 		msg.Payload[i] = syntax.Annot(v.V, v.K.Push(ev))
-		n.log = append(n.log, logs.SndAct(nd.principal, logs.NameT(ch.V.Name), logs.NameT(v.V.Name)))
+		n.logLocked(logs.SndAct(nd.principal, logs.NameT(ch.V.Name), logs.NameT(v.V.Name)))
 	}
 	// Fault injection: the send happened (and is logged); the network may
 	// lose or duplicate the message in flight.
@@ -192,7 +250,7 @@ func (n *Net) deliverLocked(w *waiter, branch int, msg *syntax.Message) Delivery
 	out := make([]syntax.AnnotatedValue, len(msg.Payload))
 	for i, v := range msg.Payload {
 		out[i] = syntax.Annot(v.V, v.K.Push(ev))
-		n.log = append(n.log, logs.RcvAct(w.principal, logs.NameT(msg.Chan), logs.NameT(v.V.Name)))
+		n.logLocked(logs.RcvAct(w.principal, logs.NameT(msg.Chan), logs.NameT(v.V.Name)))
 	}
 	return Delivery{Branch: branch, Payload: out}
 }
@@ -287,11 +345,7 @@ func (nd *Node) RecvSum(ch syntax.AnnotatedValue, timeout time.Duration, branche
 func (n *Net) Log() logs.Log {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	l := logs.Nil()
-	for _, a := range n.log {
-		l = logs.Prefix(a, l)
-	}
-	return l
+	return logs.Spine(n.log)
 }
 
 // LogLen returns the number of logged actions.

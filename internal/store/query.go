@@ -1,0 +1,215 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/denote"
+	"repro/internal/logs"
+	"repro/internal/syntax"
+	"repro/internal/wire"
+)
+
+// Queries snapshot shard state under the stripe locks and return copies,
+// so results stay valid while appends continue.
+
+// Principals returns the principals with at least one shard, sorted.
+func (s *Store) Principals() []string {
+	shards := s.snapshotShards()
+	out := make([]string, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.principal
+	}
+	return out
+}
+
+// Len returns the total number of stored records.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.snapshotShards() {
+		st := s.stripeFor(sh.principal)
+		st.Lock()
+		n += len(sh.recs)
+		st.Unlock()
+	}
+	return n
+}
+
+// Records returns a copy of one principal's records in sequence order.
+func (s *Store) Records(principal string) []wire.Record {
+	return s.RecordsTail(principal, -1)
+}
+
+// RecordsTail returns a copy of the n most recent records of one
+// principal (all of them when n is negative). A capped query copies —
+// and holds the shard's stripe lock for — only the tail.
+func (s *Store) RecordsTail(principal string, n int) []wire.Record {
+	s.mu.RLock()
+	sh := s.shards[principal]
+	s.mu.RUnlock()
+	if sh == nil {
+		return nil
+	}
+	st := s.stripeFor(principal)
+	st.Lock()
+	defer st.Unlock()
+	recs := sh.recs
+	if n >= 0 && n < len(recs) {
+		recs = recs[len(recs)-n:]
+	}
+	out := make([]wire.Record, len(recs))
+	copy(out, recs)
+	return out
+}
+
+// tailRecsLocked copies the records at the n most recent index entries
+// (all when n is negative); the caller holds the shard's stripe lock.
+// Capped queries copy — and hold the lock for — only the tail.
+func tailRecsLocked(sh *shard, idx []int, n int) []wire.Record {
+	if n >= 0 && n < len(idx) {
+		idx = idx[len(idx)-n:]
+	}
+	out := make([]wire.Record, len(idx))
+	for i, j := range idx {
+		out[i] = sh.recs[j]
+	}
+	return out
+}
+
+// ByChannel returns the principal's send/receive records on a channel, in
+// sequence order (served from the in-memory channel index).
+func (s *Store) ByChannel(principal, ch string) []wire.Record {
+	return s.ByChannelTail(principal, ch, -1)
+}
+
+// ByChannelTail is ByChannel capped to the n most recent matches.
+func (s *Store) ByChannelTail(principal, ch string, n int) []wire.Record {
+	s.mu.RLock()
+	sh := s.shards[principal]
+	s.mu.RUnlock()
+	if sh == nil {
+		return nil
+	}
+	st := s.stripeFor(principal)
+	st.Lock()
+	defer st.Unlock()
+	return tailRecsLocked(sh, sh.byChan[ch], n)
+}
+
+// ByKind returns the principal's records of one action kind, in sequence
+// order (served from the in-memory kind index).
+func (s *Store) ByKind(principal string, k logs.ActKind) []wire.Record {
+	return s.ByKindTail(principal, k, -1)
+}
+
+// ByKindTail is ByKind capped to the n most recent matches.
+func (s *Store) ByKindTail(principal string, k logs.ActKind, n int) []wire.Record {
+	s.mu.RLock()
+	sh := s.shards[principal]
+	s.mu.RUnlock()
+	if sh == nil || k < 0 || int(k) >= len(sh.byKind) {
+		return nil
+	}
+	st := s.stripeFor(principal)
+	st.Lock()
+	defer st.Unlock()
+	return tailRecsLocked(sh, sh.byKind[int(k)], n)
+}
+
+// globalSnapshot returns the merged cross-shard view (records oldest
+// first, plus the log spine), recomputing it only when appends have
+// happened since the last call. The zero-append case — an audit service
+// over a quiescent or restarted store — is O(1) after the first merge.
+// Callers must not mutate the returned slice.
+func (s *Store) globalSnapshot() ([]wire.Record, logs.Log) {
+	target := s.nextSeq.Load()
+	s.global.mu.Lock()
+	defer s.global.mu.Unlock()
+	if s.global.upTo != target || s.global.log == nil {
+		// Hold every stripe while collecting: releasing one stripe before
+		// locking the next would let an append assign seq N on a visited
+		// shard while seq N+1 lands on an unvisited one, merging a log
+		// with a hole — a state that never existed, against which a
+		// Definition-3 audit could return a wrong verdict. Stripes are
+		// always taken in index order here and singly everywhere else, so
+		// this cannot deadlock.
+		for i := range s.stripes {
+			s.stripes[i].Lock()
+		}
+		var all []wire.Record
+		for _, sh := range s.snapshotShards() {
+			all = append(all, sh.recs...)
+		}
+		for i := range s.stripes {
+			s.stripes[i].Unlock()
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+		acts := make([]logs.Action, len(all))
+		for i, r := range all {
+			acts[i] = r.Act
+		}
+		s.global.recs = all
+		s.global.log = logs.Spine(acts)
+		s.global.upTo = target
+	}
+	return s.global.recs, s.global.log
+}
+
+// GlobalRecords merges every shard on sequence number, oldest first:
+// the durable image of the middleware's global monitor log.
+func (s *Store) GlobalRecords() []wire.Record {
+	return s.TailRecords(-1)
+}
+
+// TailRecords returns a copy of the n most recent records of the merged
+// global view (all of them when n is negative or exceeds the store
+// size), copying only the tail — a capped query against a huge store
+// must not pay an O(store) copy.
+func (s *Store) TailRecords(n int) []wire.Record {
+	recs, _ := s.globalSnapshot()
+	if n >= 0 && n < len(recs) {
+		recs = recs[len(recs)-n:]
+	}
+	out := make([]wire.Record, len(recs))
+	copy(out, recs)
+	return out
+}
+
+// ShardLog returns one principal's actions as a log spine (most recent
+// action at the head). Note the shard log alone cannot justify
+// cross-principal provenance chains; use GlobalLog for Definition-3
+// audits.
+func (s *Store) ShardLog(principal string) logs.Log {
+	recs := s.Records(principal)
+	acts := make([]logs.Action, len(recs))
+	for i, r := range recs {
+		acts[i] = r.Act
+	}
+	return logs.Spine(acts)
+}
+
+// GlobalLog reconstructs the global monitor log φ: the spine of all
+// stored actions in sequence order, most recent first — exactly the log
+// a runtime.Net mirroring into this store holds in memory.
+func (s *Store) GlobalLog() logs.Log {
+	_, l := s.globalSnapshot()
+	return l
+}
+
+// AuditTerm runs the Definition-3 correctness check for one claimed
+// value V:κ against the recovered global log: ⟦V:κ⟧ ≼ φ. V may be the
+// unknown-channel symbol ? (logs.UnknownT).
+func (s *Store) AuditTerm(t logs.Term, k syntax.Prov) error {
+	s.metrics.Audits.Add(1)
+	if !logs.Le(denote.DenoteTerm(t, k), s.GlobalLog()) {
+		s.metrics.AuditFailures.Add(1)
+		return fmt.Errorf("store: value %s:(%s) has provenance not justified by the stored log", t, k)
+	}
+	return nil
+}
+
+// Audit checks an annotated value against the recovered global log
+// (Definition 3), mirroring runtime.Net.AuditValue on the durable state.
+func (s *Store) Audit(v syntax.AnnotatedValue) error {
+	return s.AuditTerm(logs.NameT(v.V.Name), v.K)
+}

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Segment files hold a contiguous run of record frames (see
+// wire.AppendRecordFrame). A shard directory contains one active segment
+// (the append target) plus zero or more sealed segments awaiting
+// compaction. File names embed the first sequence number the segment was
+// opened at, zero-padded so lexicographic order is append order:
+//
+//	seg-<first seq, %016x>.seg
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".seg"
+)
+
+func segName(baseSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, baseSeq, segSuffix)
+}
+
+// segment is an open, appendable segment file.
+type segment struct {
+	path string
+	f    *os.File
+	size int64
+	buf  []byte // frame scratch buffer, reused across appends
+	// poisoned marks a segment whose failed append could not be rolled
+	// back: a torn frame sits mid-file, so further appends would be
+	// silently discarded by recovery. All writes are refused until a
+	// restart truncates the tail.
+	poisoned bool
+}
+
+// errPoisoned is returned for appends to a segment with an
+// un-rolled-back torn frame.
+var errPoisoned = errors.New("store: segment poisoned by failed rollback; restart to truncate and recover")
+
+// openSegment opens (creating if needed) a segment for appending. size
+// must be the current clean length of the file (recovery truncates to it
+// before reopening).
+func openSegment(path string, size int64) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &segment{path: path, f: f, size: size}, nil
+}
+
+// appendRecord writes one framed record, returning the frame size. A
+// failed write or fsync is rolled back by truncating to the last
+// known-good length: leaving a torn frame mid-file would poison the
+// segment (recovery stops at the first bad frame), and leaving a whole
+// frame behind a reported failure would resurrect a nacked append after
+// restart — a retry would then store the action twice.
+func (g *segment) appendRecord(r wire.Record, fsync bool) (int, error) {
+	if g.poisoned {
+		return 0, errPoisoned
+	}
+	g.buf = wire.AppendRecordFrame(g.buf[:0], r)
+	rollback := func(err error) error {
+		if terr := g.f.Truncate(g.size); terr != nil {
+			// The torn frame could not be removed: any later write would
+			// land behind it and be lost at recovery, so fail fast instead.
+			g.poisoned = true
+			return fmt.Errorf("%w (and rollback failed, segment poisoned: %v)", err, terr)
+		}
+		return err
+	}
+	if _, err := g.f.Write(g.buf); err != nil {
+		return 0, rollback(err)
+	}
+	if fsync {
+		if err := g.f.Sync(); err != nil {
+			return 0, rollback(err)
+		}
+	}
+	g.size += int64(len(g.buf))
+	return len(g.buf), nil
+}
+
+func (g *segment) sync() error { return g.f.Sync() }
+
+func (g *segment) close() error { return g.f.Close() }
+
+// scanSegment reads every intact frame of a segment file. It returns the
+// decoded records, the clean prefix length — bytes past cleanLen form a
+// torn or corrupt frame (expected after a crash mid-append) and should be
+// truncated before the segment is appended to again — and the raw file
+// contents, so callers probing the damaged region (tailIsTorn) need not
+// re-read the file. I/O errors are returned as err; frame damage is not
+// an error.
+func scanSegment(path string) (recs []wire.Record, cleanLen int64, data []byte, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	pos := 0
+	for pos < len(data) {
+		r, n, err := wire.ReadRecordFrame(data[pos:])
+		if err != nil {
+			// Truncated tail or checksum damage: everything before pos is
+			// still good.
+			break
+		}
+		recs = append(recs, r)
+		pos += n
+	}
+	return recs, int64(pos), data, nil
+}
+
+// tailIsTorn distinguishes the two ways a segment can fail its scan at
+// offset from: a torn tail (a single interrupted append — nothing after
+// the damage decodes) versus mid-file corruption with intact frames
+// beyond it. Only the former may be truncated; truncating the latter
+// would destroy the intact records after the damage. The probe tries
+// every offset; a false resync requires a 32-bit checksum collision.
+func tailIsTorn(data []byte, from int64) bool {
+	for pos := from + 1; pos < int64(len(data)); pos++ {
+		if _, _, err := wire.ReadRecordFrame(data[pos:]); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// listSegments returns the segment file names of a shard directory in
+// append order.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// truncateSegment trims a damaged tail so the file ends on a frame
+// boundary.
+func truncateSegment(path string, cleanLen int64) error {
+	return os.Truncate(path, cleanLen)
+}
+
+// syncDir fsyncs a directory, persisting renames, creations and
+// removals of its entries.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func segPath(dir, name string) string { return filepath.Join(dir, name) }

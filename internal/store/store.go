@@ -1,0 +1,528 @@
+// Package store is a durable, sharded provenance log store: the global
+// monitor log φ of the paper's monitored systems (§3.3), persisted so
+// that Definition-3 audits survive process restarts and scale past one
+// machine's memory.
+//
+// Layout. Records are sharded by acting principal; each shard is a
+// directory of append-only segment files holding checksummed record
+// frames (internal/wire). Every record carries a global sequence number
+// assigned at append time, so although storage is per-principal, the
+// exact monitored-log spine — the total order of actions the middleware
+// observed — is recoverable by merging shards on sequence number. That
+// totality matters: the Definition-2 denotation of a value is a chain of
+// actions by *different* principals, and the information order ≼ can
+// only justify such a chain against a log that still knows the
+// cross-principal ordering.
+//
+// Concurrency. Appends take one of a fixed set of stripe locks chosen by
+// principal hash, so concurrent appends by different principals proceed
+// in parallel while each shard's segment file sees writes in order.
+// Reads snapshot under the same stripes.
+//
+// Durability. Each record frame is length-prefixed and CRC32C-checksummed;
+// recovery scans segments, truncates a torn tail (the expected state
+// after a crash mid-append), deduplicates on sequence number (possible
+// after a crash mid-compaction) and rebuilds the in-memory indexes. With
+// Options.Fsync set, every append is fsynced before returning.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logs"
+	"repro/internal/trust"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// ErrInvalidAction is returned by Append for an action the wire codec
+// could not round-trip (over-long names, out-of-range kind tags). Such a
+// record must be rejected up front: writing it would produce a frame the
+// recovery scan rejects, silently discarding it — and everything after
+// it in its segment — on restart.
+var ErrInvalidAction = errors.New("store: action not representable on the wire")
+
+// MaxPrincipalLen bounds principal names so the hex-encoded shard
+// directory name (6 + 2·len bytes) stays under the common filesystem
+// NAME_MAX of 255.
+const MaxPrincipalLen = 120
+
+// ErrShardLimit is returned by Append when creating a shard for a new
+// principal would exceed Options.MaxShards. Each shard holds an open
+// file descriptor, so an unbounded principal population (e.g. names
+// minted by an untrusted appender) would exhaust the process fd limit.
+var ErrShardLimit = errors.New("store: shard limit reached")
+
+// validateAction checks that the wire codec can round-trip the action
+// and that the store can shard it (an empty principal has no shard key
+// to recover under).
+func validateAction(a logs.Action) error {
+	if a.Kind < logs.Snd || a.Kind > logs.IfF {
+		return fmt.Errorf("%w: action kind %d", ErrInvalidAction, a.Kind)
+	}
+	if a.Principal == "" {
+		return fmt.Errorf("%w: empty principal", ErrInvalidAction)
+	}
+	if a.Principal == trust.RedactedPrincipal {
+		// The marker is reserved for query-time redaction; storing it
+		// would let an appender forge "a hidden principal acted here"
+		// history indistinguishable from genuine policy redactions.
+		return fmt.Errorf("%w: reserved principal %q", ErrInvalidAction, a.Principal)
+	}
+	if len(a.Principal) > MaxPrincipalLen {
+		return fmt.Errorf("%w: principal name %d bytes long (max %d)", ErrInvalidAction, len(a.Principal), MaxPrincipalLen)
+	}
+	for _, t := range [2]logs.Term{a.A, a.B} {
+		if t.Kind < logs.TName || t.Kind > logs.TUnknown {
+			return fmt.Errorf("%w: term kind %d", ErrInvalidAction, t.Kind)
+		}
+		if len(t.Name) > wire.MaxNameLen {
+			return fmt.Errorf("%w: term name %d bytes long", ErrInvalidAction, len(t.Name))
+		}
+	}
+	return nil
+}
+
+// Options configures a store.
+type Options struct {
+	// Stripes is the number of append lock stripes (default 16).
+	Stripes int
+	// SegmentBytes is the active-segment rotation threshold (default 1 MiB).
+	SegmentBytes int64
+	// Fsync, when set, syncs the segment file on every append. Durable but
+	// slow; provd enables it by default.
+	Fsync bool
+	// MaxShards caps the number of principals (default 4096); each shard
+	// keeps an open file descriptor.
+	MaxShards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Stripes <= 0 {
+		o.Stripes = 16
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.MaxShards <= 0 {
+		o.MaxShards = 4096
+	}
+	return o
+}
+
+// shard holds one principal's records: its segment files and the
+// in-memory index rebuilt at open. recs is ordered by sequence number.
+type shard struct {
+	principal string
+	dir       string
+	active    *segment
+	sealed    []string // sealed segment file names, append order
+	recs      []wire.Record
+	byChan    map[string][]int // recs indexes per channel name (snd/rcv actions)
+	byKind    [4][]int         // recs indexes per ActKind
+	// compacting serialises compactions of this shard (the heavy I/O
+	// runs outside the stripe lock; see Compact).
+	compacting bool
+}
+
+func (sh *shard) addRec(r wire.Record) {
+	i := len(sh.recs)
+	sh.recs = append(sh.recs, r)
+	sh.byKind[int(r.Act.Kind)] = append(sh.byKind[int(r.Act.Kind)], i)
+	if r.Act.Kind == logs.Snd || r.Act.Kind == logs.Rcv {
+		if r.Act.A.Kind == logs.TName {
+			sh.byChan[r.Act.A.Name] = append(sh.byChan[r.Act.A.Name], i)
+		}
+	}
+}
+
+// Store is the sharded, durable provenance log store.
+type Store struct {
+	dir     string
+	opts    Options
+	nextSeq atomic.Uint64
+	closed  atomic.Bool
+
+	mu     sync.RWMutex // guards the shards map (not shard contents)
+	shards map[string]*shard
+
+	stripes []sync.Mutex // shard contents are guarded by their stripe
+
+	// global caches the merged view of all shards (see globalSnapshot):
+	// audits against a quiescent store pay the merge once, not per query.
+	global globalCache
+
+	metrics Metrics
+}
+
+// globalCache memoises the cross-shard merge keyed on the sequence
+// counter: any append bumps the counter and invalidates it.
+type globalCache struct {
+	mu   sync.Mutex
+	upTo uint64 // nextSeq value the cache was built at
+	recs []wire.Record
+	log  logs.Log
+}
+
+// shardDirName maps a principal to a filesystem-safe shard directory
+// name. Lower-case identifier-ish names stay readable; anything else —
+// including names with upper-case letters, which would collide with
+// their lower-case twins on case-insensitive filesystems — is
+// hex-encoded (hex output is lower-case, so encoded names cannot
+// collide with plain ones either).
+func shardDirName(principal string) string {
+	safe := principal != ""
+	for _, r := range principal {
+		if !(r == '_' || r == '-' || ('a' <= r && r <= 'z') || ('0' <= r && r <= '9')) {
+			safe = false
+			break
+		}
+	}
+	if safe && len(principal) <= 64 {
+		return "shard-" + principal
+	}
+	return fmt.Sprintf("shard+%x", principal)
+}
+
+// Open opens (creating if needed) a store rooted at dir and recovers all
+// shards found there.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		shards:  make(map[string]*shard),
+		stripes: make([]sync.Mutex, opts.Stripes),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	maxSeq := uint64(0)
+	haveAny := false
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard") {
+			continue
+		}
+		sh, err := s.recoverShard(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: recovering %s: %w", e.Name(), err)
+		}
+		if sh == nil {
+			continue
+		}
+		if prev, dup := s.shards[sh.principal]; dup {
+			// Two directories resolving to one principal (a stray backup
+			// copy, or a hex twin) must not silently shadow each other:
+			// queries and audits would miss whichever shard loses.
+			return nil, fmt.Errorf("store: principal %q recovered from both %s and %s; remove one",
+				sh.principal, filepath.Base(prev.dir), e.Name())
+		}
+		s.shards[sh.principal] = sh
+		for _, r := range sh.recs {
+			haveAny = true
+			if r.Seq > maxSeq {
+				maxSeq = r.Seq
+			}
+		}
+	}
+	if haveAny {
+		s.nextSeq.Store(maxSeq + 1)
+	}
+	return s, nil
+}
+
+// recoverShard rebuilds one shard from its directory: scan segments,
+// truncate torn tails, deduplicate sequence numbers and reopen the last
+// segment for appending. It returns nil for a shard directory with no
+// surviving records and no segments.
+func (s *Store) recoverShard(dir string) (*shard, error) {
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sh := &shard{dir: dir, byChan: make(map[string][]int)}
+	seen := make(map[uint64]bool)
+	var lastClean int64
+	for i, name := range names {
+		path := segPath(dir, name)
+		recs, cleanLen, data, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) > cleanLen {
+			// A torn tail is expected only in the last segment (the one
+			// that was active at the crash); sealed segments are fully
+			// synced at rotation, so damage there is bit rot or external
+			// meddling — refuse, as Compact does, rather than silently
+			// destroying mid-history records.
+			if i != len(names)-1 {
+				return nil, fmt.Errorf("sealed segment %s damaged at byte %d of %d; refusing to open", name, cleanLen, len(data))
+			}
+			// Even in the last segment, truncation is only safe for a
+			// genuine torn tail: mid-file damage with intact frames after
+			// it must not cost those records.
+			if !tailIsTorn(data, cleanLen) {
+				return nil, fmt.Errorf("segment %s has intact frames after damage at byte %d; refusing to truncate", name, cleanLen)
+			}
+			s.metrics.TruncatedBytes.Add(uint64(int64(len(data)) - cleanLen))
+			if err := truncateSegment(path, cleanLen); err != nil {
+				return nil, err
+			}
+		}
+		for _, r := range recs {
+			if seen[r.Seq] {
+				continue // crash mid-compaction left a merged copy behind
+			}
+			seen[r.Seq] = true
+			if sh.principal == "" {
+				sh.principal = r.Act.Principal
+			}
+			sh.recs = append(sh.recs, r)
+			s.metrics.RecoveredRecords.Add(1)
+		}
+		if i == len(names)-1 {
+			lastClean = cleanLen
+		}
+	}
+	if sh.principal == "" {
+		// Segments exist but hold no records (e.g. a fresh segment created
+		// just before a crash): derive the principal from the directory
+		// name so the shard can be reused.
+		sh.principal = principalFromDir(filepath.Base(dir))
+	}
+	sort.Slice(sh.recs, func(i, j int) bool { return sh.recs[i].Seq < sh.recs[j].Seq })
+	// Rebuild indexes from the (now sorted, deduplicated) records.
+	recs := sh.recs
+	sh.recs = nil
+	for _, r := range recs {
+		sh.addRec(r)
+	}
+	last := names[len(names)-1]
+	sh.sealed = names[:len(names)-1]
+	sh.active, err = openSegment(segPath(dir, last), lastClean)
+	if err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// principalFromDir inverts shardDirName.
+func principalFromDir(name string) string {
+	if p, ok := strings.CutPrefix(name, "shard-"); ok {
+		return p
+	}
+	if h, ok := strings.CutPrefix(name, "shard+"); ok {
+		var b []byte
+		if _, err := fmt.Sscanf(h, "%x", &b); err == nil {
+			return string(b)
+		}
+	}
+	return name
+}
+
+func (s *Store) stripeFor(principal string) *sync.Mutex {
+	// Inline FNV-1a: stripeFor sits on the append hot path and the
+	// hash.Hash32 version allocates per call.
+	h := uint32(2166136261)
+	for i := 0; i < len(principal); i++ {
+		h ^= uint32(principal[i])
+		h *= 16777619
+	}
+	return &s.stripes[h%uint32(len(s.stripes))]
+}
+
+// shardFor returns (creating if needed) the shard for a principal. The
+// caller must NOT hold the principal's stripe lock.
+func (s *Store) shardFor(principal string) (*shard, error) {
+	s.mu.RLock()
+	sh := s.shards[principal]
+	s.mu.RUnlock()
+	if sh != nil {
+		return sh, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh := s.shards[principal]; sh != nil {
+		return sh, nil
+	}
+	if len(s.shards) >= s.opts.MaxShards {
+		return nil, fmt.Errorf("%w: %d principals", ErrShardLimit, len(s.shards))
+	}
+	dir := filepath.Join(s.dir, shardDirName(principal))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if s.opts.Fsync {
+		// Persist the shard directory's own entry in the store root, or
+		// a crash could drop the whole fsync-acknowledged shard.
+		if err := syncDir(s.dir); err != nil {
+			return nil, err
+		}
+	}
+	sh = &shard{principal: principal, dir: dir, byChan: make(map[string][]int)}
+	s.shards[principal] = sh
+	return sh, nil
+}
+
+// Append durably appends one action to the store, assigning and returning
+// its global sequence number. Appends for different principals contend
+// only on their stripe locks.
+func (s *Store) Append(a logs.Action) (uint64, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if err := validateAction(a); err != nil {
+		return 0, err
+	}
+	sh, err := s.shardFor(a.Principal)
+	if err != nil {
+		return 0, err
+	}
+	st := s.stripeFor(a.Principal)
+	st.Lock()
+	defer st.Unlock()
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	seq := s.nextSeq.Add(1) - 1
+	r := wire.Record{Seq: seq, Act: a}
+	if sh.active == nil || sh.active.size >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(sh, seq); err != nil {
+			return 0, err
+		}
+	}
+	n, err := sh.active.appendRecord(r, s.opts.Fsync)
+	if err != nil {
+		return 0, err
+	}
+	sh.addRec(r)
+	s.metrics.Appends.Add(1)
+	s.metrics.AppendedBytes.Add(uint64(n))
+	return seq, nil
+}
+
+// AppendAction adapts Append to the runtime.Sink interface, letting a
+// runtime.Net mirror its global monitor log straight into the store.
+func (s *Store) AppendAction(a logs.Action) error {
+	_, err := s.Append(a)
+	return err
+}
+
+// rotateLocked seals the active segment (if any) and opens a fresh one
+// based at seq; the caller holds the shard's stripe lock.
+func (s *Store) rotateLocked(sh *shard, seq uint64) error {
+	if sh.active != nil {
+		if err := sh.active.sync(); err != nil {
+			return err
+		}
+		if err := sh.active.close(); err != nil {
+			return err
+		}
+		sh.sealed = append(sh.sealed, filepath.Base(sh.active.path))
+		sh.active = nil
+		s.metrics.Rotations.Add(1)
+	}
+	g, err := openSegment(segPath(sh.dir, segName(seq)), 0)
+	if err != nil {
+		return err
+	}
+	if s.opts.Fsync {
+		// Persist the directory entry too, or a crash could drop the new
+		// file together with its fsynced records.
+		if err := syncDir(sh.dir); err != nil {
+			g.close()
+			return err
+		}
+	}
+	sh.active = g
+	return nil
+}
+
+// Sync makes everything appended so far durable: every shard's active
+// segment contents plus the directory entries (segment files created by
+// rotation and shard directories themselves), so batch-durability users
+// (Options.Fsync off) lose at most the appends since the last Sync even
+// across rotations and new shards.
+func (s *Store) Sync() error {
+	for _, sh := range s.snapshotShards() {
+		st := s.stripeFor(sh.principal)
+		st.Lock()
+		var err error
+		if sh.active != nil {
+			err = sh.active.sync()
+		}
+		if err == nil {
+			err = syncDir(sh.dir)
+		}
+		st.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return syncDir(s.dir)
+}
+
+// Close syncs (contents and directory entries, so even Fsync-off stores
+// are fully durable after a clean close) and closes all segments.
+// Further operations return ErrClosed.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var firstErr error
+	for _, sh := range s.snapshotShards() {
+		st := s.stripeFor(sh.principal)
+		st.Lock()
+		if sh.active != nil {
+			if err := sh.active.sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := sh.active.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			sh.active = nil
+		}
+		if err := syncDir(sh.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		st.Unlock()
+	}
+	if err := syncDir(s.dir); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// snapshotShards returns the current shards in stable (principal) order.
+func (s *Store) snapshotShards() []*shard {
+	s.mu.RLock()
+	out := make([]*shard, 0, len(s.shards))
+	for _, sh := range s.shards {
+		out = append(out, sh)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].principal < out[j].principal })
+	return out
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// NextSeq returns the sequence number the next append will receive.
+func (s *Store) NextSeq() uint64 { return s.nextSeq.Load() }

@@ -56,6 +56,14 @@ func (d *DisclosurePolicy) hiddenFor(subject, observer string) bool {
 	return len(set) == 0 || set[observer]
 }
 
+// Hides reports whether subject's events are hidden from observer, for
+// callers that must gate access (rather than redact content) — e.g. a
+// query service refusing to serve a hidden principal's shard, whose very
+// existence the URL would otherwise disclose.
+func (d *DisclosurePolicy) Hides(subject, observer string) bool {
+	return d.hiddenFor(subject, observer)
+}
+
 // View renders the provenance κ as the observer is allowed to see it:
 // events by hiding principals become opaque markers (recursively through
 // channel provenances). The length and event directions are preserved.

@@ -1,0 +1,60 @@
+package trust
+
+import (
+	"fmt"
+
+	"repro/internal/logs"
+)
+
+// Query-time redaction of stored logs: when a log is served to an
+// observing principal, actions performed by a principal that hides from
+// the observer are attributed to the opaque marker _redacted_ rather
+// than dropped. As with provenance redaction, keeping the action (with
+// its position in the spine) preserves the shape of the past — removing
+// it would forge a shorter history. ViewAction is the per-action
+// primitive (cmd/provd applies it record by record); ViewLog lifts it to
+// whole log trees for callers that hold a logs.Log rather than a record
+// stream.
+
+// ViewAction renders one log action as the observer is allowed to see it.
+// Only the acting principal is masked: the terms of the action name data
+// the observer is being shown anyway.
+func (d *DisclosurePolicy) ViewAction(a logs.Action, observer string) logs.Action {
+	if d.hiddenFor(a.Principal, observer) {
+		a.Principal = RedactedPrincipal
+	}
+	return a
+}
+
+// ViewLog applies ViewAction to every action of φ, preserving the tree
+// structure. A fully transparent policy returns a log Equal to the
+// input. Pre spines are rebuilt iteratively: their length is the full
+// history of a run, so recursing per action would exhaust the stack on
+// a large recovered log (recursion depth is bounded by Comp nesting
+// only).
+func (d *DisclosurePolicy) ViewLog(l logs.Log, observer string) logs.Log {
+	switch t := l.(type) {
+	case logs.Empty:
+		return t
+	case *logs.Pre:
+		var acts []logs.Action
+		cur := l
+		for {
+			p, ok := cur.(*logs.Pre)
+			if !ok {
+				break
+			}
+			acts = append(acts, d.ViewAction(p.Act, observer))
+			cur = p.Rest
+		}
+		out := d.ViewLog(cur, observer)
+		for i := len(acts) - 1; i >= 0; i-- {
+			out = &logs.Pre{Act: acts[i], Rest: out}
+		}
+		return out
+	case *logs.Comp:
+		return &logs.Comp{L: d.ViewLog(t.L, observer), R: d.ViewLog(t.R, observer)}
+	default:
+		panic(fmt.Sprintf("trust: ViewLog: unknown log %T", l))
+	}
+}

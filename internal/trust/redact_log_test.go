@@ -1,0 +1,64 @@
+package trust
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logs"
+)
+
+func chainLog() logs.Log {
+	return logs.Spine([]logs.Action{
+		logs.SndAct("a", logs.NameT("m"), logs.NameT("v")),
+		logs.RcvAct("s", logs.NameT("m"), logs.NameT("v")),
+		logs.SndAct("s", logs.NameT("n"), logs.NameT("v")),
+		logs.RcvAct("c", logs.NameT("n"), logs.NameT("v")),
+	})
+}
+
+// TestViewLogRedaction: a hiding subject's actions are masked for the
+// observers it hides from, preserving log shape, and left intact for
+// everyone else.
+func TestViewLogRedaction(t *testing.T) {
+	pol := NewDisclosurePolicy().HideFrom("s", "c")
+	l := chainLog()
+
+	forC := pol.ViewLog(l, "c")
+	if logs.Size(forC) != logs.Size(l) {
+		t.Fatal("redaction must not shorten the log")
+	}
+	sSeen, masked := 0, 0
+	for a := range logs.All(forC) {
+		switch a.Principal {
+		case "s":
+			sSeen++
+		case RedactedPrincipal:
+			masked++
+		}
+	}
+	if sSeen != 0 || masked != 2 {
+		t.Fatalf("observer c: %d unmasked s-actions, %d markers (want 0, 2)", sSeen, masked)
+	}
+	if !strings.Contains(forC.String(), RedactedPrincipal) {
+		t.Fatal("rendered view lacks the opaque marker")
+	}
+
+	// b is not in the hide set: fully transparent, Equal to the input.
+	if forB := pol.ViewLog(l, "b"); !logs.Equal(forB, l) {
+		t.Fatalf("observer b's view differs: %s", forB)
+	}
+}
+
+// TestViewActionTermsIntact: only the acting principal is masked; the
+// action's terms stay.
+func TestViewActionTermsIntact(t *testing.T) {
+	pol := NewDisclosurePolicy().HideFrom("s")
+	a := logs.SndAct("s", logs.NameT("n"), logs.NameT("v"))
+	got := pol.ViewAction(a, "anyone")
+	if got.Principal != RedactedPrincipal {
+		t.Fatalf("principal not masked: %s", got)
+	}
+	if got.A != a.A || got.B != a.B || got.Kind != a.Kind {
+		t.Fatalf("terms or kind changed: %s", got)
+	}
+}

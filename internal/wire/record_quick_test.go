@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logs"
+)
+
+// genAction builds a log action from generator-supplied raw material.
+func genAction(principal, a, b string, kind, ak, bk uint8) logs.Action {
+	term := func(name string, k uint8) logs.Term {
+		switch k % 3 {
+		case 0:
+			return logs.NameT(cleanName(name))
+		case 1:
+			return logs.VarT(cleanName(name))
+		default:
+			return logs.UnknownT()
+		}
+	}
+	return logs.Action{
+		Principal: cleanName(principal),
+		Kind:      logs.ActKind(kind % 4),
+		A:         term(a, ak),
+		B:         term(b, bk),
+	}
+}
+
+// TestQuickRecordRoundTrip: every record survives the envelope codec.
+func TestQuickRecordRoundTrip(t *testing.T) {
+	f := func(seq uint64, principal, a, b string, kind, ak, bk uint8) bool {
+		r := Record{Seq: seq, Act: genAction(principal, a, b, kind, ak, bk)}
+		got, err := DecodeRecord(EncodeRecord(r))
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecordFrameRoundTrip: frames round-trip, report their exact
+// length, and concatenated frames decode back in order — the segment
+// file invariant.
+func TestQuickRecordFrameRoundTrip(t *testing.T) {
+	f := func(seqs []uint64, principal, a, b string, kind, ak, bk uint8) bool {
+		if len(seqs) > 20 {
+			seqs = seqs[:20]
+		}
+		var recs []Record
+		var buf []byte
+		for i, seq := range seqs {
+			r := Record{Seq: seq, Act: genAction(principal, a, b, kind+uint8(i), ak, bk)}
+			recs = append(recs, r)
+			buf = AppendRecordFrame(buf, r)
+		}
+		pos := 0
+		for _, want := range recs {
+			got, n, err := ReadRecordFrame(buf[pos:])
+			if err != nil || got != want || n <= 0 {
+				return false
+			}
+			pos += n
+		}
+		return pos == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecordFrameTruncation: every strict prefix of a frame yields
+// ErrTruncated — the crash-recovery contract for segment tails.
+func TestQuickRecordFrameTruncation(t *testing.T) {
+	f := func(seq uint64, principal string, cut uint16) bool {
+		frame := AppendRecordFrame(nil, Record{
+			Seq: seq,
+			Act: logs.SndAct(cleanName(principal), logs.NameT("m"), logs.NameT("v")),
+		})
+		n := int(cut) % len(frame)
+		_, _, err := ReadRecordFrame(frame[:n])
+		return err == ErrTruncated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecordFrameCorruption: flipping any payload byte of a frame is
+// caught by the checksum (or, for the length prefix, surfaces as a
+// truncation/size error) — never a silent wrong record.
+func TestQuickRecordFrameCorruption(t *testing.T) {
+	f := func(seq uint64, principal string, pos uint16, delta uint8) bool {
+		r := Record{
+			Seq: seq,
+			Act: logs.RcvAct(cleanName(principal), logs.NameT("m"), logs.NameT("v")),
+		}
+		frame := AppendRecordFrame(nil, r)
+		if delta == 0 {
+			delta = 1
+		}
+		i := int(pos) % len(frame)
+		corrupt := bytes.Clone(frame)
+		corrupt[i] ^= delta
+		got, _, err := ReadRecordFrame(corrupt)
+		if err != nil {
+			return true // detected
+		}
+		// A flip in the length prefix can reframe the bytes, but decoding
+		// the original record from corrupted input would be a checksum hole.
+		return got != r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecordFrameNeverPanics: random byte soup yields errors, not
+// panics.
+func TestQuickRecordFrameNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadRecordFrame panicked on %x: %v", b, r)
+			}
+		}()
+		_, _, _ = ReadRecordFrame(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -47,6 +47,8 @@ const (
 	MaxProvDepth = 64
 	// MaxPayload bounds the arity of a message.
 	MaxPayload = 1 << 8
+	// MaxFrameLen bounds the envelope length of a store record frame.
+	MaxFrameLen = 1 << 20
 )
 
 // Decode errors.
@@ -58,6 +60,7 @@ var (
 	ErrTooDeep   = errors.New("wire: provenance nesting exceeds limit")
 	ErrTrailing  = errors.New("wire: trailing bytes after payload")
 	ErrBadTag    = errors.New("wire: invalid tag byte")
+	ErrChecksum  = errors.New("wire: record frame checksum mismatch")
 )
 
 // Encoder accumulates an encoded payload.

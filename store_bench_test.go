@@ -1,0 +1,150 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/store"
+	"repro/internal/syntax"
+)
+
+// --- S1: durable store (internal/store, cmd/provd engine) ---
+
+func benchAction(i int) logs.Action {
+	p := fmt.Sprintf("p%d", i%8)
+	ch := fmt.Sprintf("ch%d", i%16)
+	v := fmt.Sprintf("v%d", i%32)
+	if i%2 == 0 {
+		return logs.SndAct(p, logs.NameT(ch), logs.NameT(v))
+	}
+	return logs.RcvAct(p, logs.NameT(ch), logs.NameT(v))
+}
+
+// BenchmarkStoreAppend measures the sequential durable append path
+// (frame encode + checksum + buffered file write + index update; no
+// fsync, as in a mirrored middleware run).
+func BenchmarkStoreAppend(b *testing.B) {
+	s, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append(benchAction(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreAppendParallel exercises the lock striping: goroutines
+// append as distinct principals, so contention is per-stripe rather
+// than global.
+func BenchmarkStoreAppendParallel(b *testing.B) {
+	s, err := store.Open(b.TempDir(), store.Options{Stripes: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var id atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		me := int(id.Add(1))
+		p := fmt.Sprintf("worker%d", me)
+		i := 0
+		for pb.Next() {
+			a := logs.SndAct(p, logs.NameT(fmt.Sprintf("ch%d", i%16)), logs.NameT("v"))
+			if _, err := s.Append(a); err != nil {
+				// b.Fatal is not allowed off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreAuditQuery measures a server-side Definition-3 audit:
+// reconstructing the global spine from the sharded store and deciding
+// ⟦V:κ⟧ ≼ φ for a genuine cross-principal chain.
+func BenchmarkStoreAuditQuery(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("log%d", size), func(b *testing.B) {
+			s, err := store.Open(b.TempDir(), store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			// A relay chain a -> s -> c buried under unrelated traffic.
+			chain := []logs.Action{
+				logs.SndAct("a", logs.NameT("m"), logs.NameT("v")),
+				logs.RcvAct("s", logs.NameT("m"), logs.NameT("v")),
+				logs.SndAct("s", logs.NameT("n"), logs.NameT("v")),
+				logs.RcvAct("c", logs.NameT("n"), logs.NameT("v")),
+			}
+			for i := 0; i < size; i++ {
+				if _, err := s.Append(benchAction(i)); err != nil {
+					b.Fatal(err)
+				}
+				if i == size/2 {
+					for _, a := range chain {
+						if _, err := s.Append(a); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			claim := syntax.Seq(
+				syntax.InEvent("c", nil), syntax.OutEvent("s", nil),
+				syntax.InEvent("s", nil), syntax.OutEvent("a", nil),
+			)
+			v := syntax.Annot(syntax.Chan("v"), claim)
+			if err := s.Audit(v); err != nil {
+				b.Fatalf("genuine chain rejected: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Audit(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRecover measures cold-start recovery (segment scan,
+// checksum verification, index rebuild) of a store with many segments.
+func BenchmarkStoreRecover(b *testing.B) {
+	dir := b.TempDir()
+	s, err := store.Open(dir, store.Options{SegmentBytes: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := s.Append(benchAction(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := store.Open(dir, store.Options{SegmentBytes: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() != 5000 {
+			b.Fatalf("recovered %d records", r.Len())
+		}
+		b.StopTimer()
+		r.Close()
+		b.StartTimer()
+	}
+}
