@@ -21,6 +21,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/runtime"
 	"repro/internal/semantics"
+	"repro/internal/store"
 	"repro/internal/syntax"
 	"repro/internal/trust"
 	"repro/internal/wire"
@@ -272,6 +273,49 @@ func BenchmarkRuntimeInProc(b *testing.B) {
 		if _, err := bb.Recv(ch, time.Second, any); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRuntimeSinkMirror compares send/receive throughput with a
+// durable store mirror attached synchronously (the pre-pipeline
+// behaviour: sink I/O under the Net mutex) versus through the ordered
+// async pipeline (position assigned under the mutex, batches flushed by
+// a dedicated goroutine). The async variant includes the final Flush,
+// so both measure fully durable mirroring of the same log.
+func BenchmarkRuntimeSinkMirror(b *testing.B) {
+	for _, mode := range []string{"sync", "async"} {
+		b.Run(mode, func(b *testing.B) {
+			st, err := store.Open(b.TempDir(), store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			net := runtime.NewNet()
+			defer net.Close()
+			if mode == "sync" {
+				net.SetSinkSync(st)
+			} else {
+				net.SetSink(st)
+			}
+			a := net.Register("a")
+			bb := net.Register("b")
+			ch := syntax.Fresh(syntax.Chan("bench"))
+			v := syntax.Fresh(syntax.Chan("v"))
+			any := pattern.AnyP()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Send(ch, v); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := bb.Recv(ch, time.Second, any); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := net.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -44,6 +44,14 @@ type AppendResponse struct {
 	Seq uint64 `json:"seq"`
 }
 
+// BatchAppendResponse acknowledges a durable batch append: the batch's
+// actions received the contiguous sequence numbers seq .. seq+count-1,
+// in body order.
+type BatchAppendResponse struct {
+	Seq   uint64 `json:"seq"`
+	Count int    `json:"count"`
+}
+
 // LogResponse serves a (possibly redacted) view of a stored log.
 type LogResponse struct {
 	Principal string      `json:"principal,omitempty"`

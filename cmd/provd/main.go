@@ -7,6 +7,7 @@
 // Endpoints:
 //
 //	POST /append            durably append one action      {"principal":"a","kind":"snd","a":{"name":"m"},"b":{"name":"v"}}
+//	                        or a batch (JSON array of actions; one lock round, contiguous seqs in body order)
 //	GET  /log               recovered global log           ?observer=name redacts; ?limit=N tails
 //	GET  /log/{principal}   one shard                      ?chan= / ?kind= filter via the shard indexes
 //	POST /audit             Definition-3 correctness check {"value":"v","prov":[{"principal":"a","dir":"!"}]}

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -66,12 +68,25 @@ func (s *Server) clientError(w http.ResponseWriter, err error) {
 
 const maxBodyBytes = 1 << 20
 
-// handleAppend durably appends one action and returns its sequence
-// number. This is the ingestion path for middlewares that are not
-// in-process (an in-process runtime.Net uses the sink hook directly).
+// handleAppend durably appends one action — or, when the body is a JSON
+// array, a whole batch in one store lock round — and returns the
+// assigned sequence number(s). This is the ingestion path for
+// middlewares that are not in-process (an in-process runtime.Net uses
+// the sink hook directly); a remote mirror draining its own async
+// pipeline should post batches, matching the store's AppendBatch fast
+// path.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.clientError(w, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if t := bytes.TrimLeft(body, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		s.appendBatch(w, t)
+		return
+	}
 	var dto ActionDTO
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&dto); err != nil {
+	if err := json.Unmarshal(body, &dto); err != nil {
 		s.clientError(w, fmt.Errorf("decoding action: %w", err))
 		return
 	}
@@ -82,17 +97,52 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	seq, err := s.store.Append(a)
 	if err != nil {
-		switch {
-		case errors.Is(err, store.ErrInvalidAction):
-			s.clientError(w, err)
-		case errors.Is(err, store.ErrShardLimit):
-			s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
-		default:
-			s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		}
+		s.appendError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, AppendResponse{Seq: seq})
+}
+
+// appendBatch is the batch arm of /append: all actions are appended in
+// body order under one lock round and receive a contiguous block of
+// sequence numbers starting at the returned seq.
+func (s *Server) appendBatch(w http.ResponseWriter, body []byte) {
+	var dtos []ActionDTO
+	if err := json.Unmarshal(body, &dtos); err != nil {
+		s.clientError(w, fmt.Errorf("decoding action batch: %w", err))
+		return
+	}
+	if len(dtos) == 0 {
+		s.clientError(w, fmt.Errorf("empty action batch"))
+		return
+	}
+	acts := make([]logs.Action, len(dtos))
+	for i, dto := range dtos {
+		a, err := dto.action()
+		if err != nil {
+			s.clientError(w, fmt.Errorf("action %d: %w", i, err))
+			return
+		}
+		acts[i] = a
+	}
+	base, err := s.store.AppendBatch(acts)
+	if err != nil {
+		s.appendError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, BatchAppendResponse{Seq: base, Count: len(acts)})
+}
+
+// appendError maps a store append failure to its HTTP status.
+func (s *Server) appendError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrInvalidAction):
+		s.clientError(w, err)
+	case errors.Is(err, store.ErrShardLimit):
+		s.writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+	default:
+		s.writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
 }
 
 // viewRecords applies the disclosure policy once per record, returning
@@ -300,6 +350,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "provd_redactions_total %d\n", s.redactions.Load())
 	fmt.Fprintf(w, "provd_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
 	fmt.Fprintf(w, "provd_store_appends_total %d\n", st.Appends)
+	fmt.Fprintf(w, "provd_store_batch_appends_total %d\n", st.BatchAppends)
 	fmt.Fprintf(w, "provd_store_appended_bytes_total %d\n", st.AppendedBytes)
 	fmt.Fprintf(w, "provd_store_rotations_total %d\n", st.Rotations)
 	fmt.Fprintf(w, "provd_store_compactions_total %d\n", st.Compactions)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -86,7 +87,7 @@ func TestServerEndToEnd(t *testing.T) {
 		}
 	}
 	<-done
-	if err := net.SinkErr(); err != nil {
+	if err := net.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	if len(held) == 0 {
@@ -270,6 +271,133 @@ func TestServerAuditObserverView(t *testing.T) {
 		}
 		if (i == 0 || i == 3) && e.Principal == trust.RedactedPrincipal {
 			t.Fatalf("event %d over-redacted: %+v", i, e)
+		}
+	}
+}
+
+// TestServerConcurrentBatchAppendRestartParity: the daemon ingests
+// concurrent batched /append traffic (the remote-mirror fast path),
+// then is "restarted" — store closed and recovered purely from segment
+// files — and every audit verdict collected live must be reproduced
+// identically by the replayed store.
+func TestServerConcurrentBatchAppendRestartParity(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{SegmentBytes: 512, Stripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(st, nil))
+
+	// Each worker posts batches that embed a relay chain
+	// aW -snd-> m -rcv-> sW -snd-> n -rcv-> cW amid unrelated traffic, so
+	// there are genuine cross-principal claims to audit afterwards.
+	const workers, batchesPer = 6, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			a, s, c := fmt.Sprintf("a%d", wkr), fmt.Sprintf("s%d", wkr), fmt.Sprintf("c%d", wkr)
+			for b := 0; b < batchesPer; b++ {
+				v := fmt.Sprintf("v%d_%d", wkr, b)
+				batch := []ActionDTO{
+					{Principal: a, Kind: "snd", A: TermDTO{Name: "m"}, B: TermDTO{Name: v}},
+					{Principal: s, Kind: "rcv", A: TermDTO{Name: "m"}, B: TermDTO{Name: v}},
+					{Principal: a, Kind: "ift", A: TermDTO{Name: v}, B: TermDTO{Name: v}},
+					{Principal: s, Kind: "snd", A: TermDTO{Name: "n"}, B: TermDTO{Name: v}},
+					{Principal: c, Kind: "rcv", A: TermDTO{Name: "n"}, B: TermDTO{Name: v}},
+				}
+				body, err := json.Marshal(batch)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/append", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var br BatchAppendResponse
+				err = json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("batch append status %d", resp.StatusCode)
+					return
+				}
+				if br.Count != len(batch) {
+					errs <- fmt.Errorf("batch ack count %d, want %d", br.Count, len(batch))
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Audit claims: one genuine relay chain per worker, plus forgeries
+	// (a principal that never acted; a chain with the hops inverted).
+	claims := make([]AuditRequest, 0, 2*workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		a, s, c := fmt.Sprintf("a%d", wkr), fmt.Sprintf("s%d", wkr), fmt.Sprintf("c%d", wkr)
+		claims = append(claims, AuditRequest{
+			Value: fmt.Sprintf("v%d_0", wkr),
+			Prov: []EventDTO{
+				{Principal: c, Dir: "?"}, {Principal: s, Dir: "!"},
+				{Principal: s, Dir: "?"}, {Principal: a, Dir: "!"},
+			},
+		})
+		claims = append(claims, AuditRequest{
+			Value: fmt.Sprintf("v%d_0", wkr),
+			Prov:  []EventDTO{{Principal: c, Dir: "?"}, {Principal: "zz", Dir: "!"}},
+		})
+	}
+	audit := func(ts *httptest.Server) []AuditResponse {
+		out := make([]AuditResponse, len(claims))
+		for i, req := range claims {
+			if code := postJSON(t, ts, "/audit", req, &out[i]); code != http.StatusOK {
+				t.Fatalf("/audit status %d", code)
+			}
+		}
+		return out
+	}
+	live := audit(ts)
+	liveLen := st.Len()
+	for i, ar := range live {
+		if genuine := i%2 == 0; ar.Correct != genuine {
+			t.Fatalf("live verdict %d = %v, want %v (%s)", i, ar.Correct, genuine, ar.Detail)
+		}
+	}
+	ts.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: recover from disk, replay the same audits.
+	st2, err := store.Open(dir, store.Options{SegmentBytes: 512, Stripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got, want := st2.Len(), liveLen; got != want {
+		t.Fatalf("recovered %d records, live store had %d", got, want)
+	}
+	if got, want := st2.Len(), workers*batchesPer*5; got != want {
+		t.Fatalf("recovered %d records, appended %d", got, want)
+	}
+	ts2 := httptest.NewServer(NewServer(st2, nil))
+	defer ts2.Close()
+	for i, replayed := range audit(ts2) {
+		if replayed.Correct != live[i].Correct {
+			t.Fatalf("audit verdict %d changed across restart: live=%v replayed=%v (%s)",
+				i, live[i].Correct, replayed.Correct, replayed.Detail)
 		}
 	}
 }

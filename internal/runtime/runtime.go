@@ -98,72 +98,67 @@ type Net struct {
 	// faults, when non-nil, injects message loss/duplication (see Faults).
 	faults *Faults
 	// sink, when non-nil, receives a copy of every logged action (e.g. a
-	// durable store.Store); sinkErr records the first mirror failure.
-	sink    Sink
-	sinkErr error
+	// durable store.Store); sinkErr latches the first mirror failure.
+	// Mirroring runs through the ordered async pipeline (pipeline.go)
+	// unless syncMirror is set.
+	sink       Sink
+	sinkErr    error
+	syncMirror bool
+	// pend holds actions logged but not yet handed to the sink, in log
+	// order; maxPend bounds it (backpressure). inflight counts the
+	// actions of the batch the flusher currently holds, mirrored counts
+	// the actions the sink has accepted so far (together they form the
+	// drain watermarks Flush waits on), draining counts setSink calls
+	// waiting out the old sink, stopping marks shutdown, and flusherDone
+	// is closed when the flusher exits. sinkCond (on mu) carries all
+	// pipeline handoffs.
+	pend        []logs.Action
+	maxPend     int
+	inflight    int
+	mirrored    uint64
+	dropped     uint64
+	draining    int
+	stopping    bool
+	flusherDone chan struct{}
+	sinkCond    sync.Cond
 }
 
 // Sink receives every action appended to the global monitor log, in log
 // order. A durable implementation (such as internal/store) makes the
-// monitored run replayable after a restart. AppendAction is called with
-// the middleware lock held — this is what guarantees the mirror sees
-// actions in exactly log order — so implementations must not call back
-// into the Net, and slow sinks throttle every Send/Recv on the network.
+// monitored run replayable after a restart. With SetSink the pipeline
+// calls the sink from a dedicated goroutine outside the middleware lock
+// (see pipeline.go for the ordering/backpressure contract); with
+// SetSinkSync it is called under the lock and throttles every Send/Recv.
 // Mirror into a store opened without Options.Fsync (batch durability via
-// Sync) unless per-action durability is worth serialized fsync latency.
-// An action the sink cannot represent detaches the mirror like any other
+// Sync) unless per-batch durability is worth the fsync latency. An
+// action the sink cannot represent detaches the mirror like any other
 // failure (store.Store documents its constraints as ErrInvalidAction:
 // principals must be nonempty, at most store.MaxPrincipalLen bytes, and
 // not the reserved redaction marker), so register principals the sink
-// can store.
+// can store. Sinks that also implement BatchSink receive whole drained
+// batches.
 type Sink interface {
 	AppendAction(a logs.Action) error
 }
 
-// SetSink installs an action sink mirroring the global log (nil disables
-// mirroring). Actions already logged are not replayed into the sink.
-// Installing a sink clears any previous mirror failure, so a health
-// check on SinkErr reflects the current sink.
-func (n *Net) SetSink(s Sink) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.sink = s
-	n.sinkErr = nil
-}
-
-// SinkErr reports the error that stopped the mirror, if any. A failed
-// mirror does not fail the send/receive that triggered it: the in-memory
-// log remains authoritative, mirroring is detached (so the sink holds a
-// consistent prefix of the log rather than a log with a hole in it), and
-// the error is surfaced here for the operator.
-func (n *Net) SinkErr() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.sinkErr
-}
-
-// logLocked appends an action to the global monitor log and mirrors it to
-// the sink; callers hold the net lock. The first sink failure detaches
-// the sink: continuing past a missed action would leave a silent hole
-// mid-log, and a replayed audit against a holed log can return different
-// verdicts than the live one. A prefix is consistent; a hole is not.
+// logLocked appends an action to the global monitor log and hands it to
+// the mirror pipeline; callers hold the net lock. The action's log
+// position is fixed here, under the lock — everything downstream
+// preserves it.
 func (n *Net) logLocked(a logs.Action) {
 	n.log = append(n.log, a)
-	if n.sink != nil {
-		if err := n.sink.AppendAction(a); err != nil {
-			n.sinkErr = err
-			n.sink = nil
-		}
-	}
+	n.enqueueSinkLocked(a)
 }
 
 // NewNet creates an empty middleware.
 func NewNet() *Net {
-	return &Net{
+	n := &Net{
 		queues:  make(map[string][]*syntax.Message),
 		waiters: make(map[string][]*waiter),
 		nodes:   make(map[string]int),
 	}
+	n.sinkCond.L = &n.mu
+	return n
 }
 
 // Node is a principal's capability to use the middleware. All operations
@@ -184,10 +179,14 @@ func (n *Net) Register(principal string) *Node {
 }
 
 // Close shuts the middleware down; blocked receivers return ErrClosed.
+// The sink pipeline is drained before Close returns, so a clean
+// shutdown leaves the mirror holding the complete log (check SinkErr —
+// or Flush, which is equivalent after Close — for a mirror that failed
+// along the way).
 func (n *Net) Close() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if n.closed {
+		n.mu.Unlock()
 		return
 	}
 	n.closed = true
@@ -197,6 +196,13 @@ func (n *Net) Close() {
 		}
 	}
 	n.waiters = make(map[string][]*waiter)
+	n.stopping = true
+	n.sinkCond.Broadcast() // wake the flusher and any backpressured producers
+	done := n.flusherDone
+	n.mu.Unlock()
+	if done != nil {
+		<-done // the flusher drains the pending queue before exiting
+	}
 }
 
 // Principal returns the principal this node acts for.
@@ -204,7 +210,9 @@ func (nd *Node) Principal() string { return nd.principal }
 
 // Send implements rule R-Send as a middleware operation: each payload is
 // stamped with the output event principal!κₘ and the action is logged.
-// Send is asynchronous and never blocks (messages queue until received).
+// Send never blocks on receivers (messages queue until received), but a
+// backpressured sink pipeline — an attached mirror whose pending queue
+// is full — makes it wait for queue space before logging (see SetSink).
 func (nd *Node) Send(ch syntax.AnnotatedValue, payload ...syntax.AnnotatedValue) error {
 	if ch.V.Kind != syntax.KindChannel {
 		return fmt.Errorf("%w: %s", ErrNotChannel, ch.V.Name)
@@ -212,8 +220,8 @@ func (nd *Node) Send(ch syntax.AnnotatedValue, payload ...syntax.AnnotatedValue)
 	n := nd.net
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.closed {
-		return ErrClosed
+	if err := n.waitSinkSpaceLocked(0); err != nil {
+		return err
 	}
 	ev := syntax.OutEvent(nd.principal, ch.K)
 	msg := &syntax.Message{Chan: ch.V.Name, Payload: make([]syntax.AnnotatedValue, len(payload))}
@@ -280,10 +288,23 @@ func (nd *Node) RecvSum(ch syntax.AnnotatedValue, timeout time.Duration, branche
 		return Delivery{}, fmt.Errorf("%w: receive needs at least one branch", ErrArity)
 	}
 	n := nd.net
+	start := time.Now()
 	n.mu.Lock()
-	if n.closed {
+	// Backpressure gate: a receive that matches a queued message logs
+	// its input actions, so it must wait for sink queue space like a
+	// send does — but bounded by the caller's timeout, which governs
+	// the whole receive (time spent here is deducted from the budget
+	// left for the delivery wait below).
+	if err := n.waitSinkSpaceLocked(timeout); err != nil {
 		n.mu.Unlock()
-		return Delivery{}, ErrClosed
+		return Delivery{}, err
+	}
+	if timeout > 0 {
+		if timeout = timeout - time.Since(start); timeout <= 0 {
+			// Budget spent at the gate, but a queued match is still
+			// served: the queue check below runs before any timer.
+			timeout = time.Nanosecond
+		}
 	}
 	w := &waiter{
 		principal: nd.principal,

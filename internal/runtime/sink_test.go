@@ -50,7 +50,7 @@ func TestSinkMirrorsGlobalLog(t *testing.T) {
 		}
 	}
 	<-done
-	if err := n.SinkErr(); err != nil {
+	if err := n.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	sink.mu.Lock()
@@ -65,7 +65,8 @@ func TestSinkMirrorsGlobalLog(t *testing.T) {
 	}
 }
 
-// TestSetSinkNilDisables: clearing the sink stops mirroring.
+// TestSetSinkNilDisables: clearing the sink drains what was already
+// logged to it, then stops mirroring.
 func TestSetSinkNilDisables(t *testing.T) {
 	n := NewNet()
 	defer n.Close()

@@ -6,6 +6,7 @@ import "sync/atomic"
 // for concurrent use; read them through Stats.
 type Metrics struct {
 	Appends          atomic.Uint64
+	BatchAppends     atomic.Uint64
 	AppendedBytes    atomic.Uint64
 	Rotations        atomic.Uint64
 	Compactions      atomic.Uint64
@@ -18,6 +19,7 @@ type Metrics struct {
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
 	Appends          uint64
+	BatchAppends     uint64
 	AppendedBytes    uint64
 	Rotations        uint64
 	Compactions      uint64
@@ -34,6 +36,7 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	return Stats{
 		Appends:          s.metrics.Appends.Load(),
+		BatchAppends:     s.metrics.BatchAppends.Load(),
 		AppendedBytes:    s.metrics.AppendedBytes.Load(),
 		Rotations:        s.metrics.Rotations.Load(),
 		Compactions:      s.metrics.Compactions.Load(),

@@ -69,7 +69,10 @@ func TestRuntimeMirrorRestartAuditParity(t *testing.T) {
 	// send after the store closes would desync the mirror from the log.
 	<-relayDone
 	<-done
-	if err := net.SinkErr(); err != nil {
+	// Drain the async pipeline: Flush returning nil means the store
+	// holds the complete log (batches arrive via AppendActions, the
+	// store's BatchSink fast path).
+	if err := net.Flush(); err != nil {
 		t.Fatalf("sink error: %v", err)
 	}
 	if len(held) == 0 {
@@ -117,8 +120,8 @@ func TestRuntimeMirrorRestartAuditParity(t *testing.T) {
 	}
 }
 
-// TestSinkErrorSurfaced: a failing sink does not fail sends, but the
-// first error is retained for the operator.
+// TestSinkErrorSurfaced: a failing sink does not fail sends; the first
+// error is latched and observed deterministically via Flush.
 func TestSinkErrorSurfaced(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir, Options{})
@@ -135,19 +138,24 @@ func TestSinkErrorSurfaced(t *testing.T) {
 	if err := a.Send(syntax.Fresh(syntax.Chan("m")), syntax.Fresh(syntax.Chan("v"))); err != nil {
 		t.Fatalf("send must not fail on sink error: %v", err)
 	}
-	if err := net.SinkErr(); err == nil {
+	// The failure surfaces when the flusher reaches the store, not in
+	// the Send that logged the action; Flush waits for that moment.
+	first := net.Flush()
+	if first == nil {
 		t.Fatal("sink error not surfaced")
+	}
+	if net.SinkErr() != first {
+		t.Fatal("SinkErr and Flush must report the same latched error")
 	}
 	if net.LogLen() != 1 {
 		t.Fatalf("in-memory log must remain authoritative, len = %d", net.LogLen())
 	}
 	// The mirror is detached at the first failure (a consistent prefix,
 	// not a log with a hole), so later sends don't re-report.
-	first := net.SinkErr()
 	if err := a.Send(syntax.Fresh(syntax.Chan("m")), syntax.Fresh(syntax.Chan("v2"))); err != nil {
 		t.Fatal(err)
 	}
-	if net.SinkErr() != first {
+	if err := net.Flush(); err != first {
 		t.Fatal("sink not detached after first error")
 	}
 }

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/wire"
+)
+
+// Property suite for the incremental global snapshot: however appends
+// (single and batched), audits/queries and compactions interleave, the
+// cached incremental merge must equal a from-scratch cross-shard merge.
+
+// fullMerge rebuilds the global view the pre-incremental way: copy every
+// shard, sort by sequence number, spine. This is the oracle the cached
+// snapshot is compared against.
+func fullMerge(s *Store) ([]wire.Record, logs.Log) {
+	var all []wire.Record
+	for _, p := range s.Principals() {
+		all = append(all, s.Records(p)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	acts := make([]logs.Action, len(all))
+	for i, r := range all {
+		acts[i] = r.Act
+	}
+	return all, logs.Spine(acts)
+}
+
+func checkSnapshotMatchesRebuild(t *testing.T, s *Store) {
+	t.Helper()
+	gotRecs, gotLog := s.globalSnapshot()
+	wantRecs, wantLog := fullMerge(s)
+	if len(gotRecs) != len(wantRecs) || (len(wantRecs) > 0 && !reflect.DeepEqual(gotRecs, wantRecs)) {
+		t.Fatalf("incremental snapshot has %d records, full rebuild %d (or contents differ)", len(gotRecs), len(wantRecs))
+	}
+	if !logs.Equal(gotLog, wantLog) {
+		t.Fatalf("incremental log spine differs from full rebuild:\n got %s\nwant %s", gotLog, wantLog)
+	}
+}
+
+// randAction draws an action over a small principal/channel population,
+// so shards and stripes genuinely collide.
+func randAction(rng *rand.Rand) logs.Action {
+	p := fmt.Sprintf("p%d", rng.Intn(6))
+	ch := fmt.Sprintf("ch%d", rng.Intn(4))
+	v := fmt.Sprintf("v%d", rng.Intn(8))
+	switch rng.Intn(4) {
+	case 0:
+		return logs.RcvAct(p, logs.NameT(ch), logs.NameT(v))
+	case 1:
+		return logs.IftAct(p, logs.NameT(v), logs.NameT(v))
+	case 2:
+		return logs.IffAct(p, logs.NameT(v), logs.NameT(v))
+	default:
+		return logs.SndAct(p, logs.NameT(ch), logs.NameT(v))
+	}
+}
+
+// applyOp interprets one op byte against the store; the checker runs on
+// every query op and at the end.
+func applyOp(t *testing.T, s *Store, rng *rand.Rand, op byte) {
+	t.Helper()
+	switch op % 5 {
+	case 0, 1: // single append
+		if _, err := s.Append(randAction(rng)); err != nil {
+			t.Fatal(err)
+		}
+	case 2: // batch append, mixed principals, in-order seq block
+		n := 1 + rng.Intn(8)
+		batch := make([]logs.Action, n)
+		for i := range batch {
+			batch[i] = randAction(rng)
+		}
+		base, err := s.AppendBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := s.nextSeq.Load() - uint64(n); base > want {
+			t.Fatalf("batch base seq %d beyond counter %d", base, want)
+		}
+	case 3: // audit-shaped query: snapshot must equal a full rebuild
+		checkSnapshotMatchesRebuild(t, s)
+	case 4: // compaction must never change the merged view
+		if err := s.Compact(fmt.Sprintf("p%d", rng.Intn(6))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotIncrementalEqualsRebuild drives long random interleavings
+// of Append/AppendBatch/snapshot-query/Compact and checks the cached
+// incremental merge against the from-scratch oracle throughout.
+func TestSnapshotIncrementalEqualsRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			// Tiny segments force rotations (and therefore compactable
+			// shards) inside the run.
+			s, err := Open(t.TempDir(), Options{SegmentBytes: 512, Stripes: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			for i := 0; i < 400; i++ {
+				applyOp(t, s, rng, byte(rng.Intn(256)))
+			}
+			checkSnapshotMatchesRebuild(t, s)
+		})
+	}
+}
+
+// TestSnapshotIncrementalConcurrent runs appenders, batch appenders and
+// compactors against concurrent snapshot queries (every query result
+// must be internally consistent: strictly increasing seqs, spine length
+// equal to record count), then checks the final merge against the
+// oracle. Run with -race.
+func TestSnapshotIncrementalConcurrent(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{SegmentBytes: 2048, Stripes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 150; i++ {
+				if i%3 == 0 {
+					batch := make([]logs.Action, 1+rng.Intn(6))
+					for j := range batch {
+						batch[j] = randAction(rng)
+					}
+					if _, err := s.AppendBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, err := s.Append(randAction(rng)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < 3; q++ {
+		qwg.Add(1)
+		go func(q int) {
+			defer qwg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + q)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				recs, log := s.globalSnapshot()
+				for i := 1; i < len(recs); i++ {
+					if recs[i-1].Seq >= recs[i].Seq {
+						t.Errorf("snapshot seqs not strictly increasing at %d: %d then %d", i, recs[i-1].Seq, recs[i].Seq)
+						return
+					}
+				}
+				n := 0
+				for range logs.All(log) {
+					n++
+				}
+				if n != len(recs) {
+					t.Errorf("snapshot spine has %d actions, records %d", n, len(recs))
+					return
+				}
+				if rng.Intn(4) == 0 {
+					if err := s.Compact(fmt.Sprintf("p%d", rng.Intn(6))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	if t.Failed() {
+		return
+	}
+	checkSnapshotMatchesRebuild(t, s)
+	// And the cache survives a pile of quiescent queries untouched.
+	for i := 0; i < 3; i++ {
+		checkSnapshotMatchesRebuild(t, s)
+	}
+}
+
+// FuzzSnapshotIncremental lets the fuzzer drive the op interleaving
+// byte-by-byte; the seed corpus runs in ordinary `go test`.
+func FuzzSnapshotIncremental(f *testing.F) {
+	f.Add([]byte{0, 2, 3, 1, 2, 4, 3, 0, 2, 3})
+	f.Add([]byte{2, 2, 2, 3, 4, 4, 3, 2, 3})
+	f.Add([]byte{3, 0, 3, 1, 3, 2, 3, 4, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		rng := rand.New(rand.NewSource(int64(len(ops))))
+		s, err := Open(t.TempDir(), Options{SegmentBytes: 256, Stripes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		for _, op := range ops {
+			applyOp(t, s, rng, op)
+		}
+		checkSnapshotMatchesRebuild(t, s)
+	})
+}

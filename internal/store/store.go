@@ -165,12 +165,19 @@ type Store struct {
 }
 
 // globalCache memoises the cross-shard merge keyed on the sequence
-// counter: any append bumps the counter and invalidates it.
+// counter: any append bumps the counter and marks it stale. The cache
+// is maintained *incrementally* — consumed tracks how many of each
+// shard's records have already been merged, and a refresh folds only
+// the new suffixes into recs and the persistent logs.Builder — so a
+// mixed append/audit workload pays O(new records) per audit, not
+// O(total log). See globalSnapshot for the invariants.
 type globalCache struct {
-	mu   sync.Mutex
-	upTo uint64 // nextSeq value the cache was built at
-	recs []wire.Record
-	log  logs.Log
+	mu       sync.Mutex
+	upTo     uint64         // nextSeq value the cache was built at
+	consumed map[string]int // per-principal count of records already merged
+	b        *logs.Builder  // persistent spine builder (appends are O(1))
+	recs     []wire.Record
+	log      logs.Log
 }
 
 // shardDirName maps a principal to a filesystem-safe shard directory
@@ -336,15 +343,19 @@ func principalFromDir(name string) string {
 	return name
 }
 
-func (s *Store) stripeFor(principal string) *sync.Mutex {
-	// Inline FNV-1a: stripeFor sits on the append hot path and the
+func (s *Store) stripeIdx(principal string) int {
+	// Inline FNV-1a: this sits on the append hot path and the
 	// hash.Hash32 version allocates per call.
 	h := uint32(2166136261)
 	for i := 0; i < len(principal); i++ {
 		h ^= uint32(principal[i])
 		h *= 16777619
 	}
-	return &s.stripes[h%uint32(len(s.stripes))]
+	return int(h % uint32(len(s.stripes)))
+}
+
+func (s *Store) stripeFor(principal string) *sync.Mutex {
+	return &s.stripes[s.stripeIdx(principal)]
 }
 
 // shardFor returns (creating if needed) the shard for a principal. The
