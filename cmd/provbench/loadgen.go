@@ -1,0 +1,204 @@
+package main
+
+// L1 — ingest load generator: drives the HTTP/JSON single-record
+// append path and the binary pipelined ingest path against the same
+// store and reports the throughput/latency delta. This is the
+// experiment behind the wire-format claim: the store can commit batches
+// far faster than an HTTP/JSON round trip per record can feed it, so
+// the ingest protocol, not the storage engine, sets the fleet-scale
+// ceiling.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/provclient"
+	"repro/internal/provd"
+	"repro/internal/store"
+)
+
+var (
+	loadDur   = flag.Duration("load-dur", time.Second, "L1: drive duration per path")
+	loadConns = flag.Int("load-conns", 4, "L1: concurrent workers (and pool size)")
+	loadBatch = flag.Int("load-batch", 256, "L1: actions per binary request")
+	loadFsync = flag.Bool("load-fsync", false, "L1: fsync every store commit (provd's production default)")
+)
+
+// loadResult is one path's measurement.
+type loadResult struct {
+	records  uint64
+	reqs     uint64
+	elapsed  time.Duration
+	p50, p99 time.Duration
+}
+
+func (r loadResult) perSec() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.records) / r.elapsed.Seconds()
+}
+
+// drive runs workers against one request function until the deadline,
+// sampling per-request latency.
+func drive(workers int, dur time.Duration, req func(worker, iter int) (int, error)) (loadResult, error) {
+	var (
+		records, reqs atomic.Uint64
+		mu            sync.Mutex
+		lats          []time.Duration
+		firstErr      error
+	)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []time.Duration
+			for i := 0; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				n, err := req(w, i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(t0))
+				records.Add(uint64(n))
+				reqs.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return loadResult{}, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res := loadResult{records: records.Load(), reqs: reqs.Load(), elapsed: elapsed}
+	if len(lats) > 0 {
+		res.p50 = lats[len(lats)/2]
+		res.p99 = lats[len(lats)*99/100]
+	}
+	return res, nil
+}
+
+func loadAct(path string, w, i, j int) logs.Action {
+	return logs.SndAct(fmt.Sprintf("%s%d", path, w),
+		logs.NameT(fmt.Sprintf("m%d", i)), logs.NameT(fmt.Sprintf("v%d", j)))
+}
+
+func expL1() {
+	dir, err := os.MkdirTemp("", "provbench-load-*")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(filepath.Join(dir, "store"), store.Options{Fsync: *loadFsync})
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer st.Close()
+
+	// HTTP/JSON single-record path: the real provd handler, loopback
+	// TCP, keep-alive connections, one record per POST.
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	httpSrv := &http.Server{Handler: provd.NewServer(st, nil)}
+	go httpSrv.Serve(httpLn)
+	defer httpSrv.Close()
+	url := "http://" + httpLn.Addr().String() + "/append"
+	httpClient := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *loadConns}}
+	httpRes, err := drive(*loadConns, *loadDur, func(w, i int) (int, error) {
+		body, err := json.Marshal(map[string]any{
+			"principal": fmt.Sprintf("h%d", w), "kind": "snd",
+			"a": map[string]string{"name": fmt.Sprintf("m%d", i)},
+			"b": map[string]string{"name": "v"},
+		})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := httpClient.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		var ack provd.AppendResponse
+		err = json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("append status %d", resp.StatusCode)
+		}
+		return 1, nil
+	})
+	if err != nil {
+		fmt.Println("  http path:", err)
+		return
+	}
+
+	// Binary pipelined path: same store, framed batches, pooled
+	// pipelined connections.
+	ing := ingest.NewServer(st, ingest.Options{})
+	addr, err := ing.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer ing.Close()
+	pc := provclient.New(addr, provclient.Options{Conns: *loadConns})
+	defer pc.Close()
+	binRes, err := drive(*loadConns, *loadDur, func(w, i int) (int, error) {
+		batch := make([]logs.Action, *loadBatch)
+		for j := range batch {
+			batch[j] = loadAct("b", w, i, j)
+		}
+		if _, err := pc.AppendBatch(batch); err != nil {
+			return 0, err
+		}
+		return len(batch), nil
+	})
+	if err != nil {
+		fmt.Println("  binary path:", err)
+		return
+	}
+
+	fmt.Printf("  %d workers, %v per path, %d actions per binary request, fsync=%v\n",
+		*loadConns, *loadDur, *loadBatch, *loadFsync)
+	row("path            ", "records ", "records/s ", "req p50   ", "req p99")
+	row(fmt.Sprintf("http/json single  %8d  %9.0f  %9v  %9v",
+		httpRes.records, httpRes.perSec(), httpRes.p50.Round(time.Microsecond), httpRes.p99.Round(time.Microsecond)))
+	row(fmt.Sprintf("binary pipelined  %8d  %9.0f  %9v  %9v",
+		binRes.records, binRes.perSec(), binRes.p50.Round(time.Microsecond), binRes.p99.Round(time.Microsecond)))
+	ratio := 0.0
+	if httpRes.perSec() > 0 {
+		ratio = binRes.perSec() / httpRes.perSec()
+	}
+	fmt.Printf("  per-record throughput delta: %.1fx\n", ratio)
+	check("binary pipelined path sustains >= 5x the per-record throughput of HTTP/JSON single-record append", ratio >= 5)
+}

@@ -46,6 +46,7 @@ var experiments = []experiment{
 	{"X1", "Extension §5 — trust and adequacy", expX1},
 	{"X2", "Extension §5 — static analysis vs dynamic runs", expX2},
 	{"X3", "Extension — auditing under an unreliable network", expX3},
+	{"L1", "Load — binary pipelined ingest vs HTTP/JSON single-record append", expL1},
 }
 
 func main() {

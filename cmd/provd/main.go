@@ -16,6 +16,13 @@
 //	GET  /healthz           liveness + next sequence number
 //	GET  /metrics           store/server counters (text)
 //
+// Alongside the HTTP surface, provd serves the binary pipelined ingest
+// protocol (-ingest-addr, default :7710; see docs/protocol.md): framed
+// binary batches with per-connection group commit into the store, the
+// path a fleet of monitored runtimes should feed the log through
+// (internal/provclient is the matching client). Shutdown drains it —
+// every request read before the signal is committed and acked.
+//
 // Disclosure policies (-hide) are applied at query time per requesting
 // observer, so the stored log remains complete while each observer sees
 // only what the policy allows. The observer identity is taken from the
@@ -38,19 +45,22 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ingest"
+	"repro/internal/provd"
 	"repro/internal/store"
 	"repro/internal/trust"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7709", "listen address")
-		dir       = flag.String("dir", "provd-data", "store root directory")
-		stripes   = flag.Int("stripes", 16, "append lock stripes")
-		segBytes  = flag.Int64("segment-bytes", 1<<20, "segment rotation threshold")
-		fsync     = flag.Bool("fsync", true, "fsync every append")
-		maxShards = flag.Int("max-shards", 4096, "principal cap (one open segment fd per shard)")
-		grace     = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
+		addr       = flag.String("addr", ":7709", "listen address (HTTP/JSON)")
+		ingestAddr = flag.String("ingest-addr", ":7710", "binary pipelined ingest listen address (empty disables)")
+		dir        = flag.String("dir", "provd-data", "store root directory")
+		stripes    = flag.Int("stripes", 16, "append lock stripes")
+		segBytes   = flag.Int64("segment-bytes", 1<<20, "segment rotation threshold")
+		fsync      = flag.Bool("fsync", true, "fsync every append")
+		maxShards  = flag.Int("max-shards", 4096, "principal cap (one open segment fd per shard)")
+		grace      = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
 	)
 	policy := trust.NewDisclosurePolicy()
 	flag.Func("hide", "hide a principal's actions: subject or subject=obs1,obs2 (repeatable)", func(v string) error {
@@ -75,7 +85,20 @@ func main() {
 	log.Printf("provd: store %s recovered: %d records, %d shards, next seq %d",
 		*dir, stats.Records, stats.Principals, stats.NextSeq)
 
-	srv := &http.Server{Addr: *addr, Handler: NewServer(st, policy)}
+	var ing *ingest.Server
+	if *ingestAddr != "" {
+		ing = ingest.NewServer(st, ingest.Options{})
+		bound, err := ing.Listen(*ingestAddr)
+		if err != nil {
+			st.Close()
+			log.Fatalf("provd: binary ingest listener: %v", err)
+		}
+		log.Printf("provd: binary ingest on %s", bound)
+	}
+
+	app := provd.NewServer(st, policy)
+	app.AttachIngest(ing)
+	srv := &http.Server{Addr: *addr, Handler: app}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -89,6 +112,9 @@ func main() {
 
 	select {
 	case err := <-errc:
+		if ing != nil {
+			ing.Close()
+		}
 		st.Close()
 		log.Fatalf("provd: %v", err)
 	case <-ctx.Done():
@@ -98,6 +124,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("provd: shutdown: %v", err)
+	}
+	if ing != nil {
+		// Drain the binary path before closing the store: every batch a
+		// client managed to get onto the wire is committed and acked.
+		ing.Close()
 	}
 	if err := st.Close(); err != nil {
 		log.Printf("provd: closing store: %v", err)

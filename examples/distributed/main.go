@@ -3,17 +3,28 @@
 // middleware over TCP. Provenance is stamped server-side; the clients
 // never see or touch annotations except as delivered results.
 //
+// The middleware also mirrors its global monitor log to a *remote*
+// durable store over the binary pipelined ingest protocol
+// (internal/provclient → internal/ingest → internal/store), the way a
+// production middleware would feed a provd fleet-wide log — and the
+// audit is replayed against the remote store to show the mirrored log
+// reaches the same Definition-3 verdict.
+//
 //	go run ./examples/distributed
 package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/logs"
 	"repro/internal/pattern"
+	"repro/internal/provclient"
 	"repro/internal/runtime"
+	"repro/internal/store"
 	"repro/internal/syntax"
 )
 
@@ -27,6 +38,28 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Println("middleware listening on", addr)
+
+	// A remote provenance store, fed over the binary ingest protocol.
+	dir, err := os.MkdirTemp("", "distributed-provd-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+	ingSrv := ingest.NewServer(st, ingest.Options{})
+	ingAddr, err := ingSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer ingSrv.Close()
+	mirror := provclient.New(ingAddr, provclient.Options{})
+	defer mirror.Close()
+	srv.Net.SetSink(mirror) // mirror the global log remotely, batched and pipelined
+	fmt.Println("mirroring monitor log to remote store on", ingAddr)
 
 	dial := func(p string) *runtime.Client {
 		c, err := runtime.Dial(addr, p)
@@ -83,5 +116,21 @@ func main() {
 		fmt.Println("audit:", err)
 	} else {
 		fmt.Println("audit: delivered provenance is justified by the log (Definition 3)")
+	}
+
+	// Drain the mirror (runtime pipeline, then the client's batcher) and
+	// replay the audit against the remote store: same verdict, now from
+	// a log that survives the middleware process.
+	if err := srv.Net.Flush(); err != nil {
+		panic(err)
+	}
+	if err := mirror.Flush(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nremote store holds %d records (live log: %d actions)\n", st.Len(), srv.Net.LogLen())
+	if err := st.Audit(got[0]); err != nil {
+		fmt.Println("remote audit:", err)
+	} else {
+		fmt.Println("remote audit: mirrored log justifies the same provenance (Definition 3)")
 	}
 }

@@ -1,0 +1,420 @@
+// Package ingest is the binary pipelined append path into a provenance
+// store: a TCP listener speaking checksummed wire frames (internal/wire
+// stream + ingest codecs; spec in docs/protocol.md), built so a fleet
+// of monitored principals can feed one global log as fast as the store
+// can commit.
+//
+// Pipelining. A connection carries many requests in flight: the client
+// does not wait for an ack before sending the next batch. Each request
+// carries a client-chosen id, echoed in its reply, so replies match
+// requests without ordering assumptions (the server does reply in
+// request order, but clients need not rely on it).
+//
+// Adaptive batching. Each connection splits into a reader and a
+// committer. The reader decodes request frames into a bounded queue;
+// the committer drains whatever has accumulated — across requests —
+// into one store.AppendBatch call, then acks every request in the round
+// with its slice of the assigned contiguous sequence block. While a
+// commit (and its fsync) runs, the queue refills, so batch size adapts
+// to commit latency: the classic group-commit shape, the same one the
+// runtime's sink pipeline uses in process.
+//
+// Failure. A request the store rejects up front (validation) is
+// answered with an error reply and costs nothing else: the connection
+// and the other requests in its round proceed. Frame-level corruption
+// (bad checksum, truncation, an unparseable envelope) closes the
+// connection after an error reply with id 0 — request boundaries can no
+// longer be trusted. Acks are sent only after the store call returns,
+// so an acked batch is as durable as the store's Options.Fsync promises.
+//
+// Drain. Close stops the accept loop, then drains every connection:
+// requests already read are committed and acked, the encoder is
+// flushed, and only then are connections closed. Requests a client
+// wrote but the server had not read are dropped unacked — the client's
+// retry discipline (internal/provclient) covers them.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Options tunes the listener.
+type Options struct {
+	// Queue is the per-connection pending-request bound (default 256).
+	// A full queue blocks that connection's reader — per-connection
+	// backpressure, not global.
+	Queue int
+	// MaxRoundActions caps how many actions one commit round hands to
+	// store.AppendBatch (default 1<<15), bounding the store lock hold
+	// of a single round under a firehose of pipelined requests.
+	MaxRoundActions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Queue <= 0 {
+		o.Queue = 256
+	}
+	if o.MaxRoundActions <= 0 {
+		o.MaxRoundActions = 1 << 15
+	}
+	return o
+}
+
+// Stats is a snapshot of the listener's counters.
+type Stats struct {
+	Accepted  uint64 // connections accepted
+	Active    uint64 // connections currently open
+	Requests  uint64 // batch requests read
+	Records   uint64 // actions acked durable
+	Commits   uint64 // store.AppendBatch rounds
+	Rejects   uint64 // error replies sent
+	ConnFails uint64 // connections dropped on protocol/write errors
+}
+
+// Server is the binary ingest listener over a store.
+type Server struct {
+	store *store.Store
+	opts  Options
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	accepted  atomic.Uint64
+	active    atomic.Int64
+	requests  atomic.Uint64
+	records   atomic.Uint64
+	commits   atomic.Uint64
+	rejects   atomic.Uint64
+	connFails atomic.Uint64
+}
+
+// NewServer wraps a store in an ingest listener.
+func NewServer(st *store.Store, opts Options) *Server {
+	return &Server{
+		store: st,
+		opts:  opts.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(l)
+	return l.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Stats snapshots the listener's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:  s.accepted.Load(),
+		Active:    uint64(max(s.active.Load(), 0)),
+		Requests:  s.requests.Load(),
+		Records:   s.records.Load(),
+		Commits:   s.commits.Load(),
+		Rejects:   s.rejects.Load(),
+		ConnFails: s.connFails.Load(),
+	}
+}
+
+// Close drains and stops the listener: no new connections are accepted,
+// every request already read is committed and acked, then all
+// connections close. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	default:
+		close(s.done)
+	}
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	// Kick every reader out of its blocking read. Frames already in the
+	// readers' userspace buffers still decode (a deadline only fails the
+	// next syscall), so a just-sent request usually still lands; the
+	// committer then drains and acks everything read before the conn
+	// closes.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.active.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// request is one decoded batch request awaiting commit.
+type request struct {
+	id   uint64
+	acts []logs.Action
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.active.Add(-1)
+		s.wg.Done()
+	}()
+
+	reqs := make(chan request, s.opts.Queue)
+	replies := &replyWriter{enc: wire.NewStreamEncoder(conn), scratch: wire.NewEncoder()}
+
+	committerDone := make(chan struct{})
+	go func() {
+		defer close(committerDone)
+		s.commitLoop(replies, conn, reqs)
+	}()
+
+	s.readLoop(conn, replies, reqs)
+	close(reqs)     // reader done: let the committer drain what was read
+	<-committerDone // committed, acked and flushed — now the deferred close is graceful
+}
+
+// replyWriter is a connection's serialised reply channel: the reader's
+// error replies and the committer's acks interleave under one mutex,
+// sharing one scratch envelope encoder so steady-state acks allocate
+// nothing.
+type replyWriter struct {
+	mu      sync.Mutex
+	enc     *wire.StreamEncoder
+	scratch *wire.Encoder
+}
+
+// write frames one reply envelope (no flush), reporting success.
+func (rw *replyWriter) write(build func(*wire.Encoder)) bool {
+	rw.scratch.Reset()
+	build(rw.scratch)
+	return rw.enc.Envelope(rw.scratch.Bytes()) == nil
+}
+
+// sendError writes and flushes one error reply, best effort.
+func (rw *replyWriter) sendError(id uint64, msg string) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.write(func(e *wire.Encoder) { e.IngestError(id, msg) }) {
+		rw.enc.Flush()
+	}
+}
+
+// readLoop decodes request frames until the connection ends (EOF, error
+// or drain kick) and queues them for the committer. Malformed traffic
+// gets an id-0 error reply; frame-level damage ends the loop. A drain
+// kick (the read-deadline Close sets) must end the loop *silently*: the
+// committer is about to ack everything read, and an id-0 error would
+// make the client fail those very requests as connection-scoped.
+func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- request) {
+	dec := wire.NewStreamDecoder(conn)
+	for {
+		env, err := dec.Envelope()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !isConnKick(err) {
+				replies.sendError(0, fmt.Sprintf("closing: %v", err))
+				s.connFails.Add(1)
+			}
+			return
+		}
+		m, err := wire.DecodeIngest(env)
+		if err != nil {
+			replies.sendError(0, fmt.Sprintf("closing: bad ingest message: %v", err))
+			s.connFails.Add(1)
+			return
+		}
+		if m.Op != wire.OpIngestBatch {
+			replies.sendError(0, fmt.Sprintf("closing: unexpected opcode %#x", m.Op))
+			s.connFails.Add(1)
+			return
+		}
+		s.requests.Add(1)
+		select {
+		case reqs <- request{id: m.ID, acts: m.Acts}:
+		case <-s.done:
+			// Drain began while the queue was full: this request was
+			// read but cannot be queued without blocking forever; drop
+			// it unacked, like an unread one.
+			return
+		}
+	}
+}
+
+// isConnKick reports whether a read error is the expected end of a
+// connection (drain deadline kick or a peer reset) rather than protocol
+// damage worth counting as a failure.
+func isConnKick(err error) bool {
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
+}
+
+// commitLoop is the connection's committer: it drains whatever requests
+// have queued, commits them in one store round, and acks each with its
+// sub-block of the assigned sequence range.
+func (s *Server) commitLoop(replies *replyWriter, conn net.Conn, reqs <-chan request) {
+	var round []request
+	for {
+		req, ok := <-reqs
+		if !ok {
+			return
+		}
+		round = append(round[:0], req)
+		total := len(req.acts)
+	coalesce:
+		for total < s.opts.MaxRoundActions {
+			select {
+			case r, more := <-reqs:
+				if !more {
+					s.commitRound(replies, round)
+					return
+				}
+				round = append(round, r)
+				total += len(r.acts)
+			default:
+				break coalesce
+			}
+		}
+		if !s.commitRound(replies, round) {
+			// The peer is unreachable or the store failed mid-write:
+			// further commits would append actions whose acks no one can
+			// trust. Drain the queue so the reader never blocks, but
+			// drop the requests.
+			for range reqs {
+				s.connFails.Add(1)
+			}
+			conn.Close()
+			return
+		}
+	}
+}
+
+// retryableAlone reports whether a failed coalesced AppendBatch is
+// known to have written nothing, making a per-request retry safe.
+// Validation and shard-limit failures are detected before any byte is
+// written; anything else (an I/O error) may have committed a prefix of
+// the round, and re-appending would duplicate records.
+func retryableAlone(err error) bool {
+	return errors.Is(err, store.ErrInvalidAction) || errors.Is(err, store.ErrShardLimit)
+}
+
+// commitRound appends one coalesced round and writes its replies,
+// reporting whether the connection is still usable.
+func (s *Server) commitRound(replies *replyWriter, round []request) bool {
+	total := 0
+	for _, r := range round {
+		total += len(r.acts)
+	}
+	all := make([]logs.Action, 0, total)
+	for _, r := range round {
+		all = append(all, r.acts...)
+	}
+	base, err := s.store.AppendBatch(all)
+	replies.mu.Lock()
+	defer replies.mu.Unlock()
+	if err == nil {
+		s.commits.Add(1)
+		s.records.Add(uint64(len(all)))
+		off := uint64(0)
+		for _, r := range round {
+			if !replies.write(func(e *wire.Encoder) { e.IngestAck(r.id, base+off, uint64(len(r.acts))) }) {
+				return false
+			}
+			off += uint64(len(r.acts))
+		}
+		return replies.enc.Flush() == nil
+	}
+	if !retryableAlone(err) {
+		// The store may hold a prefix of the round: no reply can honour
+		// the protocol's "error means none appended" promise, so report
+		// a connection-scoped failure and let the client's retry
+		// discipline take over (at-least-once, as documented).
+		s.connFails.Add(1)
+		if replies.write(func(e *wire.Encoder) { e.IngestError(0, fmt.Sprintf("closing: commit failed: %v", err)) }) {
+			replies.enc.Flush()
+		}
+		return false
+	}
+	// The coalesced batch was rejected before anything was written.
+	// Retry each request on its own so one bad request rejects alone
+	// instead of failing the round's innocent bystanders.
+	for _, r := range round {
+		rbase, rerr := s.store.AppendBatch(r.acts)
+		ok := true
+		switch {
+		case rerr == nil:
+			s.commits.Add(1)
+			s.records.Add(uint64(len(r.acts)))
+			ok = replies.write(func(e *wire.Encoder) { e.IngestAck(r.id, rbase, uint64(len(r.acts))) })
+		case retryableAlone(rerr):
+			s.rejects.Add(1)
+			ok = replies.write(func(e *wire.Encoder) { e.IngestError(r.id, rerr.Error()) })
+		default: // I/O failure mid-isolation: same unknowable state as above
+			s.connFails.Add(1)
+			if replies.write(func(e *wire.Encoder) { e.IngestError(0, fmt.Sprintf("closing: commit failed: %v", rerr)) }) {
+				replies.enc.Flush()
+			}
+			return false
+		}
+		if !ok {
+			return false
+		}
+	}
+	return replies.enc.Flush() == nil
+}

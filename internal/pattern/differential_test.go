@@ -195,3 +195,23 @@ func TestGroupAlgebra(t *testing.T) {
 		}
 	}
 }
+
+// FuzzDifferentialMemoVsNaive: the fuzzer picks the generator seed, so
+// the corpus walks pattern/provenance shapes the fixed seed sweep never
+// visits; the memoised matcher must agree with the naive oracle on all
+// of them. CI runs this for a short smoke budget on every PR.
+func FuzzDifferentialMemoVsNaive(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(42), int64(7))
+	f.Fuzz(func(t *testing.T, patSeed, provSeed int64) {
+		p := genPat(rand.New(rand.NewSource(patSeed)), 3)
+		m := Compile(p)
+		rng := rand.New(rand.NewSource(provSeed))
+		for i := 0; i < 8; i++ {
+			k := genProv(rng, 5, 2)
+			if got, want := m.Match(k), MatchNaive(p, k); got != want {
+				t.Fatalf("pattern %s on %q: memo=%v naive=%v", p, k.String(), got, want)
+			}
+		}
+	})
+}

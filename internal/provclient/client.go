@@ -1,0 +1,305 @@
+// Package provclient is the client side of the binary pipelined ingest
+// protocol (internal/ingest, spec in docs/protocol.md): a monitored
+// runtime, or any other producer of provenance actions, uses it to
+// mirror its global log into a remote provd over framed binary records
+// instead of HTTP/JSON documents.
+//
+// The client keeps a small pool of connections and pipelines requests
+// over each: many appends are in flight at once, matched to their acks
+// by request id. Single-action appends coalesce through a group-commit
+// batcher — the first append opens a batch, later ones join it, and the
+// batch ships when it reaches Options.MaxBatch or its flush deadline
+// (Options.FlushInterval) passes — so a chatty producer pays one
+// request per batch, not per action.
+//
+// Client implements runtime.Sink and runtime.BatchSink, so it can be
+// installed directly with Net.SetSink: the runtime's ordered async
+// pipeline drains its queue into AppendActions, which forwards each
+// drained batch as one ingest request. On failure the prefix guarantee
+// BatchSink demands holds: a multi-chunk batch stops at the first
+// failed chunk, and within a chunk the store applies a prefix.
+//
+// Delivery semantics are at-least-once across reconnects: a request
+// whose connection died between write and ack is retried on a fresh
+// connection, and if the server had in fact committed it, the actions
+// appear twice (with distinct sequence numbers). Appends are never
+// silently lost: an error return means the batch's tail did not commit.
+package provclient
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("provclient: closed")
+
+// ServerError is a rejection reported by the server itself (validation,
+// protocol misuse) rather than a transport failure; it is not retried —
+// resending the same bytes would be rejected the same way.
+type ServerError struct {
+	Msg string
+}
+
+func (e *ServerError) Error() string { return "provclient: server rejected batch: " + e.Msg }
+
+// Options tunes a client.
+type Options struct {
+	// Conns is the connection pool size (default 4). Requests round-robin
+	// over the pool; each connection pipelines independently.
+	Conns int
+	// MaxBatch caps actions per request (default 1024, hard cap
+	// wire.MaxIngestBatch). Append's group batcher ships at this size;
+	// AppendBatch splits larger batches into chunks of it.
+	MaxBatch int
+	// FlushInterval is the group-commit deadline for Append (default
+	// 2ms): an open batch ships at the deadline even if not full.
+	FlushInterval time.Duration
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one request's wait for its ack (default
+	// 30s); zero waits forever.
+	RequestTimeout time.Duration
+	// Retries is how many times a request is re-sent after a connection
+	// failure (default 2). Server rejections are never retried.
+	Retries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxBatch > wire.MaxIngestBatch {
+		o.MaxBatch = wire.MaxIngestBatch
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	} else if o.Retries == 0 {
+		o.Retries = 2
+	}
+	return o
+}
+
+// group is one open group-commit batch: every Append joining it waits
+// on done and then reads its own seq off base+its offset.
+type group struct {
+	acts []logs.Action
+	done chan struct{}
+	base uint64
+	err  error
+}
+
+// Client is a pooled, pipelined ingest client.
+type Client struct {
+	addr string
+	opts Options
+
+	conns []*conn
+	rr    atomic.Uint64 // round-robin cursor
+
+	mu     sync.Mutex // guards cur and closed
+	cur    *group
+	closed bool
+}
+
+// New returns a client for the ingest listener at addr. Connections are
+// established lazily, so New cannot fail; the first append surfaces
+// unreachability.
+func New(addr string, opts Options) *Client {
+	opts = opts.withDefaults()
+	c := &Client{addr: addr, opts: opts, conns: make([]*conn, opts.Conns)}
+	for i := range c.conns {
+		c.conns[i] = &conn{addr: addr, dialTimeout: opts.DialTimeout}
+	}
+	return c
+}
+
+// Append appends one action, returning its assigned global sequence
+// number. Concurrent Appends coalesce into shared batches (see the
+// package comment); the call returns once the batch holding the action
+// is acked durable.
+func (c *Client) Append(a logs.Action) (uint64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	g := c.cur
+	if g == nil {
+		g = &group{done: make(chan struct{})}
+		c.cur = g
+		// The group ships at the flush deadline unless MaxBatch ships
+		// it first.
+		time.AfterFunc(c.opts.FlushInterval, func() { c.ship(g) })
+	}
+	idx := len(g.acts)
+	g.acts = append(g.acts, a)
+	if len(g.acts) >= c.opts.MaxBatch {
+		c.shipLocked(g)
+	}
+	c.mu.Unlock()
+
+	<-g.done
+	if g.err != nil {
+		return 0, g.err
+	}
+	return g.base + uint64(idx), nil
+}
+
+// ship sends g if it is still the open group (deadline path).
+func (c *Client) ship(g *group) {
+	c.mu.Lock()
+	if c.cur != g {
+		c.mu.Unlock()
+		return
+	}
+	c.shipLocked(g)
+	c.mu.Unlock()
+}
+
+// shipLocked detaches g and sends it asynchronously; the caller holds
+// c.mu. Sending off the caller's goroutine keeps Append's latency at
+// one request round trip and lets the next group fill meanwhile.
+func (c *Client) shipLocked(g *group) {
+	c.cur = nil
+	go func() {
+		g.base, g.err = c.send(g.acts)
+		close(g.done)
+	}()
+}
+
+// AppendBatch appends a batch in order, returning the first assigned
+// sequence number; a batch within MaxBatch gets one contiguous block
+// (base+i for action i). Larger batches are split into MaxBatch-sized
+// requests — still appended in order, but each chunk gets its own
+// block, contiguous only within itself. A failure means a prefix of
+// whole chunks (plus a store-applied prefix of the failing chunk)
+// committed.
+func (c *Client) AppendBatch(acts []logs.Action) (uint64, error) {
+	if c.isClosed() {
+		return 0, ErrClosed
+	}
+	return c.send(acts)
+}
+
+// AppendAction implements runtime.Sink.
+func (c *Client) AppendAction(a logs.Action) error {
+	_, err := c.Append(a)
+	return err
+}
+
+// AppendActions implements runtime.BatchSink: the runtime pipeline's
+// drained batches forward as ingest requests.
+func (c *Client) AppendActions(batch []logs.Action) error {
+	_, err := c.AppendBatch(batch)
+	return err
+}
+
+// send ships acts as one or more requests, chunked to MaxBatch.
+func (c *Client) send(acts []logs.Action) (uint64, error) {
+	if len(acts) == 0 {
+		return 0, nil
+	}
+	first := uint64(0)
+	for start := 0; start < len(acts); start += c.opts.MaxBatch {
+		end := min(start+c.opts.MaxBatch, len(acts))
+		base, err := c.sendChunk(acts[start:end])
+		if err != nil {
+			return 0, err
+		}
+		if start == 0 {
+			first = base
+		}
+	}
+	return first, nil
+}
+
+// sendChunk ships one request with retry-with-reconnect: a connection
+// failure moves to the next pooled connection (redialing as needed) up
+// to Options.Retries times; server rejections return immediately.
+func (c *Client) sendChunk(acts []logs.Action) (uint64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		cn := c.pick()
+		base, err := cn.roundTrip(acts, c.opts.RequestTimeout)
+		if err == nil {
+			return base, nil
+		}
+		var srvErr *ServerError
+		if errors.As(err, &srvErr) || errors.Is(err, ErrClosed) {
+			return 0, err // rejection or closed client: retrying cannot help
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}
+
+// pick rotates through the pool.
+func (c *Client) pick() *conn {
+	return c.conns[(c.rr.Add(1)-1)%uint64(len(c.conns))]
+}
+
+// Flush ships the open group batch, if any, and waits for its ack —
+// after a sequence of Appends from this goroutine, Flush returning nil
+// means they are all durable on the server.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	g := c.cur
+	if g != nil {
+		c.shipLocked(g)
+	}
+	c.mu.Unlock()
+	if g == nil {
+		return nil
+	}
+	<-g.done
+	return g.err
+}
+
+// Close flushes the open batch and tears down the pool. Further calls
+// return ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	g := c.cur
+	if g != nil {
+		c.shipLocked(g)
+	}
+	c.mu.Unlock()
+	var err error
+	if g != nil {
+		<-g.done
+		err = g.err
+	}
+	for _, cn := range c.conns {
+		cn.close()
+	}
+	return err
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}

@@ -1,0 +1,218 @@
+package provclient
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/store"
+)
+
+func newBackend(t *testing.T, opts ingest.Options) (*ingest.Server, *store.Store, string) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := ingest.NewServer(st, opts)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, st, addr
+}
+
+func act(p string, i int) logs.Action {
+	return logs.SndAct(p, logs.NameT(fmt.Sprintf("m%d", i)), logs.NameT("v"))
+}
+
+// TestAppendBatch: a batch lands in order with the acked contiguous
+// sequence block.
+func TestAppendBatch(t *testing.T) {
+	_, st, addr := newBackend(t, ingest.Options{})
+	c := New(addr, Options{})
+	defer c.Close()
+
+	batch := []logs.Action{act("a", 0), act("a", 1), act("b", 2)}
+	base, err := c.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := st.GlobalRecords()
+	if len(recs) != len(batch) {
+		t.Fatalf("store has %d records, want %d", len(recs), len(batch))
+	}
+	for i, r := range recs {
+		if r.Seq != base+uint64(i) || r.Act != batch[i] {
+			t.Fatalf("record %d: %+v (base %d)", i, r, base)
+		}
+	}
+}
+
+// TestAppendCoalesces: concurrent single-action Appends share requests
+// (group commit) and every caller gets the true sequence number of its
+// own action.
+func TestAppendCoalesces(t *testing.T) {
+	srv, st, addr := newBackend(t, ingest.Options{})
+	c := New(addr, Options{FlushInterval: 5 * time.Millisecond})
+	defer c.Close()
+
+	const n = 200
+	var wg sync.WaitGroup
+	seqs := make([]uint64, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seqs[i], errs[i] = c.Append(act("p", i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	recs := st.GlobalRecords()
+	if len(recs) != n {
+		t.Fatalf("store has %d records, want %d", len(recs), n)
+	}
+	bySeq := make(map[uint64]logs.Action, n)
+	for _, r := range recs {
+		bySeq[r.Seq] = r.Act
+	}
+	for i, seq := range seqs {
+		if bySeq[seq] != act("p", i) {
+			t.Fatalf("append %d: seq %d holds %v, want %v", i, seq, bySeq[seq], act("p", i))
+		}
+	}
+	if reqs := srv.Stats().Requests; reqs >= n {
+		t.Fatalf("no coalescing: %d requests for %d appends", reqs, n)
+	}
+}
+
+// TestServerErrorNotRetried: a validation rejection surfaces as
+// *ServerError immediately and leaves the client usable.
+func TestServerErrorNotRetried(t *testing.T) {
+	srv, _, addr := newBackend(t, ingest.Options{})
+	c := New(addr, Options{})
+	defer c.Close()
+
+	_, err := c.AppendBatch([]logs.Action{{Principal: "", Kind: logs.Snd, A: logs.NameT("m"), B: logs.NameT("v")}})
+	var srvErr *ServerError
+	if !errors.As(err, &srvErr) {
+		t.Fatalf("got %v, want *ServerError", err)
+	}
+	if rejects := srv.Stats().Rejects; rejects != 1 {
+		t.Fatalf("server saw %d rejects, want 1 (no retry of a rejection)", rejects)
+	}
+	if _, err := c.AppendBatch([]logs.Action{act("p", 0)}); err != nil {
+		t.Fatalf("client unusable after rejection: %v", err)
+	}
+}
+
+// TestRetryReconnect: a server restart between appends is absorbed by
+// retry-with-reconnect; no append is lost.
+func TestRetryReconnect(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := ingest.NewServer(st, ingest.Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(addr, Options{Conns: 2, RequestTimeout: 5 * time.Second})
+	defer c.Close()
+
+	if _, err := c.AppendBatch([]logs.Action{act("p", 0)}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv2 := ingest.NewServer(st, ingest.Options{})
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	if _, err := c.AppendBatch([]logs.Action{act("p", 1)}); err != nil {
+		t.Fatalf("append after restart: %v", err)
+	}
+	if n := len(st.Records("p")); n != 2 {
+		t.Fatalf("store has %d records, want 2", n)
+	}
+}
+
+// TestFlushAndClose: Flush ships a part-filled group before its
+// deadline; Close flushes and then refuses further work.
+func TestFlushAndClose(t *testing.T) {
+	_, st, addr := newBackend(t, ingest.Options{})
+	c := New(addr, Options{FlushInterval: time.Hour}) // only explicit flushes ship
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Append(act("p", 0))
+		done <- err
+	}()
+	// Wait for the append to join the open group, then flush it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		open := c.cur != nil
+		c.mu.Unlock()
+		if open {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("append never opened a group")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.Records("p")); n != 1 {
+		t.Fatalf("store has %d records, want 1", n)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(act("p", 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+// TestChunkedBatch: a batch larger than MaxBatch splits into ordered
+// chunks; the store sees every action in batch order.
+func TestChunkedBatch(t *testing.T) {
+	_, st, addr := newBackend(t, ingest.Options{})
+	c := New(addr, Options{MaxBatch: 16})
+	defer c.Close()
+
+	batch := make([]logs.Action, 100)
+	for i := range batch {
+		batch[i] = act("p", i)
+	}
+	if _, err := c.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	recs := st.Records("p")
+	if len(recs) != len(batch) {
+		t.Fatalf("store has %d records, want %d", len(recs), len(batch))
+	}
+	for i, r := range recs {
+		if r.Act != batch[i] {
+			t.Fatalf("record %d: got %v want %v", i, r.Act, batch[i])
+		}
+	}
+}

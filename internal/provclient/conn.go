@@ -1,0 +1,215 @@
+package provclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/wire"
+)
+
+// errConnBroken marks results delivered because the connection died
+// rather than because the server replied; requests failing this way are
+// safe to retry on a fresh connection (modulo the documented
+// at-least-once caveat).
+var errConnBroken = errors.New("provclient: connection broken")
+
+// result is one request's outcome, delivered by the connection reader.
+type result struct {
+	base uint64
+	err  error
+}
+
+// conn is one pooled connection. Requests pipeline: the send path
+// registers a waiter under the state mutex, then writes its frame under
+// a separate write mutex — never holding the state mutex across a
+// network write, so the reader's ack dispatch (which needs the state
+// mutex) can always drain replies even while a writer is blocked in a
+// backpressured send. The connection redials lazily after a failure:
+// the next request pays the dial, every later one finds it warm.
+type conn struct {
+	addr        string
+	dialTimeout time.Duration
+
+	mu      sync.Mutex // state: nc/gen/pending/nextID/closed — never held across I/O
+	nc      net.Conn
+	gen     uint64 // bumped per dial so a stale reader cannot kill its successor
+	nextID  uint64
+	pending map[uint64]chan result
+	closed  bool
+
+	wmu     sync.Mutex // serialises frame writes on the live connection
+	enc     *wire.StreamEncoder
+	scratch *wire.Encoder // request envelope buffer, reused under wmu
+}
+
+// roundTrip sends one batch and waits for its ack. A conn-level failure
+// is reported wrapping errConnBroken and the connection is torn down; a
+// server rejection comes back as *ServerError and leaves the connection
+// usable.
+func (cn *conn) roundTrip(acts []logs.Action, timeout time.Duration) (uint64, error) {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if cn.nc == nil {
+		if err := cn.dialLocked(); err != nil {
+			cn.mu.Unlock()
+			return 0, fmt.Errorf("%w: %v", errConnBroken, err)
+		}
+	}
+	if cn.nextID == 0 {
+		cn.nextID = 1 // id 0 is reserved for server connection-scoped errors
+	}
+	id := cn.nextID
+	cn.nextID++
+	ch := make(chan result, 1)
+	cn.pending[id] = ch
+	gen := cn.gen
+	enc := cn.enc
+	cn.mu.Unlock()
+
+	// Write outside the state mutex. A concurrent failure/redial leaves
+	// us writing to the old (closed) socket: the write errors, and
+	// fail(gen) below is a no-op on the stale generation.
+	cn.wmu.Lock()
+	cn.scratch.Reset()
+	cn.scratch.IngestBatch(id, acts)
+	err := enc.Envelope(cn.scratch.Bytes())
+	if err == nil {
+		err = enc.Flush()
+	}
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.fail(gen, err)
+		// fail delivered errConnBroken to ch (or the reader beat us to
+		// this request's reply); either way the waiter map is clean.
+		res := <-ch
+		if res.err != nil {
+			return 0, res.err
+		}
+		return res.base, nil
+	}
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case res := <-ch:
+		return res.base, res.err
+	case <-timer:
+		// The ack may still be in flight, but this request's outcome is
+		// now unknowable in time: kill the connection (failing every
+		// other in-flight request with it — they are retryable) rather
+		// than leave a waiter that can never be matched again.
+		cn.fail(gen, errors.New("request timed out"))
+		select {
+		case res := <-ch:
+			return res.base, res.err
+		default:
+			return 0, fmt.Errorf("%w: request timed out after %v", errConnBroken, timeout)
+		}
+	}
+}
+
+// dialLocked establishes the connection and starts its reader; the
+// caller holds cn.mu.
+func (cn *conn) dialLocked() error {
+	nc, err := net.DialTimeout("tcp", cn.addr, cn.dialTimeout)
+	if err != nil {
+		return err
+	}
+	cn.nc = nc
+	cn.enc = wire.NewStreamEncoder(nc)
+	if cn.scratch == nil {
+		cn.scratch = wire.NewEncoder()
+	}
+	cn.gen++
+	if cn.pending == nil {
+		cn.pending = make(map[uint64]chan result)
+	}
+	go cn.readLoop(nc, cn.gen)
+	return nil
+}
+
+// readLoop dispatches server replies to their waiters until the
+// connection dies, then fails whatever is still pending.
+func (cn *conn) readLoop(nc net.Conn, gen uint64) {
+	dec := wire.NewStreamDecoder(nc)
+	for {
+		env, err := dec.Envelope()
+		if err != nil {
+			cn.fail(gen, err)
+			return
+		}
+		m, err := wire.DecodeIngest(env)
+		if err != nil {
+			cn.fail(gen, err)
+			return
+		}
+		switch m.Op {
+		case wire.OpIngestAck:
+			cn.deliver(m.ID, result{base: m.Base})
+		case wire.OpIngestError:
+			if m.ID == 0 {
+				// Connection-scoped error (the server is closing us;
+				// clients never use id 0): fail everything in flight.
+				cn.fail(gen, fmt.Errorf("server closed connection: %s", m.Msg))
+				return
+			}
+			cn.deliver(m.ID, result{err: &ServerError{Msg: m.Msg}})
+		default:
+			cn.fail(gen, fmt.Errorf("unexpected opcode %#x from server", m.Op))
+			return
+		}
+	}
+}
+
+// deliver hands one reply to its waiter (ignoring ids the connection no
+// longer knows — e.g. a reply racing a timeout kill).
+func (cn *conn) deliver(id uint64, res result) {
+	cn.mu.Lock()
+	ch, ok := cn.pending[id]
+	delete(cn.pending, id)
+	cn.mu.Unlock()
+	if ok {
+		ch <- res
+	}
+}
+
+// fail tears down generation gen of the connection, failing all its
+// in-flight requests. A stale generation (already redialed) is a no-op.
+func (cn *conn) fail(gen uint64, cause error) {
+	cn.mu.Lock()
+	if cn.gen != gen || cn.nc == nil {
+		cn.mu.Unlock()
+		return
+	}
+	nc := cn.nc
+	cn.nc = nil
+	cn.enc = nil
+	waiters := cn.pending
+	cn.pending = make(map[uint64]chan result)
+	cn.mu.Unlock()
+	nc.Close()
+	for _, ch := range waiters {
+		ch <- result{err: fmt.Errorf("%w: %v", errConnBroken, cause)}
+	}
+}
+
+// close tears down the connection for good: in-flight requests fail,
+// and — unlike fail — no later roundTrip may redial it.
+func (cn *conn) close() {
+	cn.mu.Lock()
+	cn.closed = true
+	gen := cn.gen
+	cn.mu.Unlock()
+	cn.fail(gen, ErrClosed)
+}

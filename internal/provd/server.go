@@ -1,4 +1,10 @@
-package main
+// Package provd is the application layer of the provenance log daemon:
+// the HTTP/JSON audit and query service over a store.Store, plus the
+// glue that surfaces the binary ingest listener's counters. cmd/provd
+// wires it to flags and signals; living here (rather than in the
+// command) lets benchmarks and load generators drive the real handlers
+// in process.
+package provd
 
 import (
 	"bytes"
@@ -12,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/logs"
 	"repro/internal/store"
 	"repro/internal/trust"
@@ -27,6 +34,10 @@ type Server struct {
 	policy  *trust.DisclosurePolicy
 	mux     *http.ServeMux
 	started time.Time
+	// ingest, when set, is the binary pipelined listener sharing the
+	// store; its counters join /metrics so one scrape covers both
+	// ingestion surfaces.
+	ingest *ingest.Server
 
 	requests   atomic.Uint64
 	badReqs    atomic.Uint64
@@ -49,6 +60,10 @@ func NewServer(st *store.Store, policy *trust.DisclosurePolicy) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
+
+// AttachIngest joins a binary ingest listener's counters to /metrics,
+// so one scrape covers both ingestion surfaces.
+func (s *Server) AttachIngest(in *ingest.Server) { s.ingest = in }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
@@ -361,4 +376,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "provd_store_principals %d\n", st.Principals)
 	fmt.Fprintf(w, "provd_store_records %d\n", st.Records)
 	fmt.Fprintf(w, "provd_store_next_seq %d\n", st.NextSeq)
+	if s.ingest != nil {
+		in := s.ingest.Stats()
+		fmt.Fprintf(w, "provd_ingest_connections_total %d\n", in.Accepted)
+		fmt.Fprintf(w, "provd_ingest_connections_active %d\n", in.Active)
+		fmt.Fprintf(w, "provd_ingest_requests_total %d\n", in.Requests)
+		fmt.Fprintf(w, "provd_ingest_records_total %d\n", in.Records)
+		fmt.Fprintf(w, "provd_ingest_commits_total %d\n", in.Commits)
+		fmt.Fprintf(w, "provd_ingest_rejects_total %d\n", in.Rejects)
+		fmt.Fprintf(w, "provd_ingest_conn_failures_total %d\n", in.ConnFails)
+	}
 }

@@ -124,8 +124,9 @@ type Net struct {
 }
 
 // Sink receives every action appended to the global monitor log, in log
-// order. A durable implementation (such as internal/store) makes the
-// monitored run replayable after a restart. With SetSink the pipeline
+// order. A durable implementation (such as internal/store, in process,
+// or internal/provclient mirroring to a remote provd over the binary
+// ingest protocol) makes the monitored run replayable after a restart. With SetSink the pipeline
 // calls the sink from a dedicated goroutine outside the middleware lock
 // (see pipeline.go for the ordering/backpressure contract); with
 // SetSinkSync it is called under the lock and throttles every Send/Recv.

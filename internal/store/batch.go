@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/logs"
@@ -38,9 +39,12 @@ func (s *Store) AppendBatch(acts []logs.Action) (uint64, error) {
 	if len(acts) == 0 {
 		return s.nextSeq.Load(), nil
 	}
-	for _, a := range acts {
+	for i, a := range acts {
 		if err := validateAction(a); err != nil {
-			return 0, err
+			// Name the offender: a remote batch appender (the ingest
+			// listener) relays this to a client that sent many actions
+			// in one request.
+			return 0, fmt.Errorf("action %d: %w", i, err)
 		}
 	}
 	// Resolve shards and the stripe set up front: shardFor takes the

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/logs"
+)
+
+// Fuzz targets for the one-shot decoders: the codec's contract is that
+// adversarial bytes error, never panic — the middleware decodes peer
+// input with these. CI runs each target for a short smoke budget on
+// every PR (see .github/workflows/ci.yml).
+
+// FuzzDecodeAction: hostile action envelopes never panic, and valid
+// ones re-encode to the identical envelope (canonical encoding).
+func FuzzDecodeAction(f *testing.F) {
+	f.Add(EncodeAction(logs.SndAct("alice", logs.NameT("m"), logs.NameT("v"))))
+	f.Add(EncodeAction(logs.IffAct("bob", logs.VarT("x"), logs.UnknownT())))
+	f.Add([]byte{magicHi, magicLo, version})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAction(data)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeAction(EncodeAction(a)); err != nil {
+			t.Fatalf("re-encoded action failed to decode: %v", err)
+		}
+	})
+}
+
+// FuzzReadRecordFrame: hostile segment-file frames never panic, never
+// report a frame longer than the input, and valid ones round-trip.
+func FuzzReadRecordFrame(f *testing.F) {
+	r := Record{Seq: 9, Act: logs.RcvAct("carol", logs.NameT("m"), logs.VarT("y"))}
+	f.Add(AppendRecordFrame(nil, r))
+	f.Add(AppendRecordFrame(AppendRecordFrame(nil, r), Record{Seq: 10, Act: r.Act}))
+	f.Add([]byte{0x05, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := ReadRecordFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("frame length %d out of bounds (input %d bytes)", n, len(data))
+		}
+		got, m, err := ReadRecordFrame(AppendRecordFrame(nil, rec))
+		if err != nil || got != rec {
+			t.Fatalf("re-framed record mismatch: %+v %d %v", got, m, err)
+		}
+	})
+}
+
+// FuzzDecodeMessage: hostile message envelopes (the transport payload a
+// malicious peer controls end to end) never panic the decoder.
+func FuzzDecodeMessage(f *testing.F) {
+	f.Add([]byte{magicHi, magicLo, version, 0x01, 'm', 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if _, err := DecodeMessage(EncodeMessage(m)); err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package wire
+
+// Ingest protocol messages: the message layer of the pipelined binary
+// append path (docs/protocol.md). Each message travels as one stream
+// frame (stream.go) whose envelope payload is:
+//
+//	ingest  := op(1) body
+//	batch   := uvarint(id) uvarint(n) action*n      client → server
+//	ack     := uvarint(id) uvarint(base) uvarint(n) server → client
+//	error   := uvarint(id) string(msg)              server → client
+//
+// id is a client-assigned request identifier, opaque to the server and
+// echoed verbatim in the reply, so many requests can be in flight on
+// one connection and replies can be matched out of band. An ack means
+// the batch's n actions were durably appended with the contiguous
+// global sequence numbers base..base+n-1, in batch order. An error
+// means the server appended none of the batch's actions (a request
+// error, e.g. validation); frame-level corruption is answered with id 0
+// and closes the connection, since request boundaries can no longer be
+// trusted.
+
+import (
+	"fmt"
+
+	"repro/internal/logs"
+)
+
+// Ingest opcodes.
+const (
+	OpIngestBatch byte = 0x21
+	OpIngestAck   byte = 0x22
+	OpIngestError byte = 0x23
+)
+
+// MaxIngestBatch bounds the number of actions in one ingest batch
+// frame. Together with MaxFrameLen it caps the memory one request can
+// pin on the server.
+const MaxIngestBatch = 1 << 14
+
+// IngestMsg is one decoded ingest protocol message; which fields are
+// meaningful depends on Op (see the layout above).
+type IngestMsg struct {
+	Op    byte
+	ID    uint64
+	Base  uint64        // OpIngestAck: first assigned sequence number
+	Count uint64        // OpIngestAck: size of the assigned block
+	Msg   string        // OpIngestError: what the server rejected
+	Acts  []logs.Action // OpIngestBatch: the actions to append
+}
+
+// IngestBatch encodes a client append request.
+func (e *Encoder) IngestBatch(id uint64, acts []logs.Action) {
+	e.byte(OpIngestBatch)
+	e.uvarint(id)
+	e.uvarint(uint64(len(acts)))
+	for _, a := range acts {
+		e.Action(a)
+	}
+}
+
+// IngestAck encodes a server ack: the request's actions hold the
+// contiguous sequence block base..base+count-1.
+func (e *Encoder) IngestAck(id, base, count uint64) {
+	e.byte(OpIngestAck)
+	e.uvarint(id)
+	e.uvarint(base)
+	e.uvarint(count)
+}
+
+// IngestError encodes a server rejection. Messages longer than
+// MaxNameLen are truncated so the reply always round-trips the codec's
+// string bound.
+func (e *Encoder) IngestError(id uint64, msg string) {
+	if len(msg) > MaxNameLen {
+		msg = msg[:MaxNameLen]
+	}
+	e.byte(OpIngestError)
+	e.uvarint(id)
+	e.string(msg)
+}
+
+// Ingest decodes one ingest protocol message.
+func (d *Decoder) Ingest() (IngestMsg, error) {
+	op, err := d.byte()
+	if err != nil {
+		return IngestMsg{}, err
+	}
+	m := IngestMsg{Op: op}
+	if m.ID, err = d.uvarint(); err != nil {
+		return IngestMsg{}, err
+	}
+	switch op {
+	case OpIngestBatch:
+		n, err := d.uvarint()
+		if err != nil {
+			return IngestMsg{}, err
+		}
+		if n > MaxIngestBatch {
+			return IngestMsg{}, fmt.Errorf("%w: ingest batch of %d actions", ErrTooLarge, n)
+		}
+		// Cap the up-front allocation: the claimed count is attacker
+		// chosen and the body may be truncated, so grow into large
+		// batches rather than trusting n before the actions decode.
+		m.Acts = make([]logs.Action, 0, min(n, 1024))
+		for i := uint64(0); i < n; i++ {
+			a, err := d.Action()
+			if err != nil {
+				return IngestMsg{}, err
+			}
+			m.Acts = append(m.Acts, a)
+		}
+	case OpIngestAck:
+		if m.Base, err = d.uvarint(); err != nil {
+			return IngestMsg{}, err
+		}
+		if m.Count, err = d.uvarint(); err != nil {
+			return IngestMsg{}, err
+		}
+	case OpIngestError:
+		if m.Msg, err = d.string(); err != nil {
+			return IngestMsg{}, err
+		}
+	default:
+		return IngestMsg{}, ErrBadTag
+	}
+	return m, nil
+}
+
+// DecodeIngest is a convenience one-shot ingest message decoder.
+func DecodeIngest(env []byte) (IngestMsg, error) {
+	d, err := NewDecoder(env)
+	if err != nil {
+		return IngestMsg{}, err
+	}
+	m, err := d.Ingest()
+	if err != nil {
+		return IngestMsg{}, err
+	}
+	if err := d.Done(); err != nil {
+		return IngestMsg{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/logs"
+)
+
+func encodeIngest(build func(e *Encoder)) []byte {
+	e := NewEncoder()
+	build(e)
+	return e.Bytes()
+}
+
+// TestIngestBatchRoundTrip: a batch request survives the codec with its
+// id, order and every action intact.
+func TestIngestBatchRoundTrip(t *testing.T) {
+	acts := []logs.Action{
+		logs.SndAct("alice", logs.NameT("m"), logs.NameT("v")),
+		logs.RcvAct("bob", logs.NameT("m"), logs.VarT("x")),
+		{Principal: "carol", Kind: logs.IfT, A: logs.NameT("c"), B: logs.UnknownT()},
+	}
+	env := encodeIngest(func(e *Encoder) { e.IngestBatch(7, acts) })
+	m, err := DecodeIngest(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpIngestBatch || m.ID != 7 || len(m.Acts) != len(acts) {
+		t.Fatalf("got %+v", m)
+	}
+	for i := range acts {
+		if m.Acts[i] != acts[i] {
+			t.Fatalf("action %d: got %+v want %+v", i, m.Acts[i], acts[i])
+		}
+	}
+}
+
+// TestIngestAckErrorRoundTrip: acks and errors round-trip, and error
+// messages are truncated to the codec's string bound rather than
+// producing an unencodable reply.
+func TestIngestAckErrorRoundTrip(t *testing.T) {
+	m, err := DecodeIngest(encodeIngest(func(e *Encoder) { e.IngestAck(3, 100, 17) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpIngestAck || m.ID != 3 || m.Base != 100 || m.Count != 17 {
+		t.Fatalf("ack: got %+v", m)
+	}
+
+	long := strings.Repeat("x", MaxNameLen+100)
+	m, err = DecodeIngest(encodeIngest(func(e *Encoder) { e.IngestError(9, long) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpIngestError || m.ID != 9 || m.Msg != long[:MaxNameLen] {
+		t.Fatalf("error: got op=%#x id=%d len(msg)=%d", m.Op, m.ID, len(m.Msg))
+	}
+}
+
+// TestIngestDecodeRejects: bad opcodes, oversized counts and trailing
+// bytes are errors, not misparses.
+func TestIngestDecodeRejects(t *testing.T) {
+	bad := encodeIngest(func(e *Encoder) { e.byte(0x77); e.uvarint(1) })
+	if _, err := DecodeIngest(bad); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("bad op: got %v", err)
+	}
+
+	big := encodeIngest(func(e *Encoder) {
+		e.byte(OpIngestBatch)
+		e.uvarint(1)
+		e.uvarint(MaxIngestBatch + 1)
+	})
+	if _, err := DecodeIngest(big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized count: got %v", err)
+	}
+
+	trailing := append(encodeIngest(func(e *Encoder) { e.IngestAck(1, 2, 3) }), 0x00)
+	if _, err := DecodeIngest(trailing); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("trailing bytes: got %v", err)
+	}
+}
+
+// FuzzDecodeIngest: hostile ingest envelopes error instead of panicking
+// or over-reading, and whatever decodes re-encodes to an envelope that
+// decodes to the same message (codec idempotence on the valid subset).
+func FuzzDecodeIngest(f *testing.F) {
+	f.Add(encodeIngest(func(e *Encoder) {
+		e.IngestBatch(1, []logs.Action{logs.SndAct("a", logs.NameT("m"), logs.NameT("v"))})
+	}))
+	f.Add(encodeIngest(func(e *Encoder) { e.IngestAck(2, 50, 4) }))
+	f.Add(encodeIngest(func(e *Encoder) { e.IngestError(3, "nope") }))
+	f.Add([]byte{magicHi, magicLo, version, OpIngestBatch, 0x01, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeIngest(data)
+		if err != nil {
+			return
+		}
+		reenc := encodeIngest(func(e *Encoder) {
+			switch m.Op {
+			case OpIngestBatch:
+				e.IngestBatch(m.ID, m.Acts)
+			case OpIngestAck:
+				e.IngestAck(m.ID, m.Base, m.Count)
+			case OpIngestError:
+				e.IngestError(m.ID, m.Msg)
+			}
+		})
+		m2, err := DecodeIngest(reenc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		if m2.Op != m.Op || m2.ID != m.ID || m2.Base != m.Base || m2.Count != m.Count || m2.Msg != m.Msg || len(m2.Acts) != len(m.Acts) {
+			t.Fatalf("round-trip changed message: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package wire
+
+// Streaming frame codec: the record-frame layout segment files use on
+// disk (uvarint length prefix, versioned envelope, CRC32C trailer),
+// generalised to any io.Reader/io.Writer so the same frames can cross a
+// socket. This is the framing layer of the binary ingest protocol (see
+// ingest.go for the message layer and docs/protocol.md for the spec):
+// each frame is independently checksummed, so a receiver detects
+// corruption per frame, and a truncated stream is distinguished from a
+// cleanly closed one by *where* the bytes run out — at a frame boundary
+// (io.EOF) or inside a frame (ErrTruncated).
+//
+// Both directions are allocation-frugal: the encoder reuses one
+// envelope buffer across writes, and the decoder reads each frame into
+// a buffer it owns and hands out a view of it, so a pipelined
+// connection encodes and decodes frames without per-frame garbage.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+)
+
+// streamBufSize is the bufio buffer on each side of a stream. Frames
+// are typically a few hundred bytes (one record) to a few hundred KiB
+// (a large ingest batch); 64 KiB batches syscalls well for both.
+const streamBufSize = 64 << 10
+
+// StreamEncoder writes checksummed frames to an underlying writer
+// through a buffer. It is not safe for concurrent use; a connection
+// writer serialises access. Call Flush to push buffered frames to the
+// underlying writer.
+type StreamEncoder struct {
+	w       *bufio.Writer
+	scratch *Encoder
+}
+
+// NewStreamEncoder returns an encoder framing onto w.
+func NewStreamEncoder(w io.Writer) *StreamEncoder {
+	return &StreamEncoder{w: bufio.NewWriterSize(w, streamBufSize), scratch: NewEncoder()}
+}
+
+// Envelope writes one frame holding the given envelope bytes (as
+// produced by Encoder.Bytes): uvarint(len) env crc32c(env).
+func (e *StreamEncoder) Envelope(env []byte) error {
+	if len(env) > MaxFrameLen {
+		return ErrTooLarge
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(env)))
+	if _, err := e.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(env); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(env, crcTable))
+	_, err := e.w.Write(sum[:])
+	return err
+}
+
+// Record writes one framed record, reusing the encoder's scratch
+// envelope buffer.
+func (e *StreamEncoder) Record(r Record) error {
+	e.scratch.Reset()
+	e.scratch.Record(r)
+	return e.Envelope(e.scratch.Bytes())
+}
+
+// Flush pushes all buffered frames to the underlying writer.
+func (e *StreamEncoder) Flush() error { return e.w.Flush() }
+
+// StreamDecoder reads checksummed frames from an underlying reader
+// through a buffer. It is not safe for concurrent use.
+type StreamDecoder struct {
+	r   *bufio.Reader
+	buf []byte // reused frame buffer; Envelope returns views into it
+}
+
+// NewStreamDecoder returns a decoder framing off r.
+func NewStreamDecoder(r io.Reader) *StreamDecoder {
+	return &StreamDecoder{r: bufio.NewReaderSize(r, streamBufSize)}
+}
+
+// Envelope reads the next frame and returns its envelope payload,
+// checksum verified. The returned slice aliases the decoder's internal
+// buffer and is valid only until the next call.
+//
+// Errors are precise about stream state: io.EOF means the stream ended
+// cleanly at a frame boundary; ErrTruncated means it ended inside a
+// frame; ErrTooLarge means the length prefix exceeds MaxFrameLen (the
+// decoder refuses before reading — or allocating — the body, so an
+// adversarial length cannot balloon memory); ErrChecksum means the
+// frame arrived complete but corrupt.
+func (d *StreamDecoder) Envelope() ([]byte, error) {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTruncated // stream died inside the length prefix
+		}
+		return nil, err // io.EOF at a frame boundary, or a transport error
+	}
+	if n > MaxFrameLen {
+		return nil, ErrTooLarge
+	}
+	need := int(n) + 4
+	if cap(d.buf) < need {
+		d.buf = make([]byte, need)
+	}
+	buf := d.buf[:need]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrTruncated
+		}
+		return nil, err
+	}
+	env := buf[:n]
+	if crc32.Checksum(env, crcTable) != binary.LittleEndian.Uint32(buf[n:]) {
+		return nil, ErrChecksum
+	}
+	return env, nil
+}
+
+// Record reads the next frame and decodes it as a record.
+func (d *StreamDecoder) Record() (Record, error) {
+	env, err := d.Envelope()
+	if err != nil {
+		return Record{}, err
+	}
+	return DecodeRecord(env)
+}

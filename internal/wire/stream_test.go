@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func streamRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Seq: uint64(i),
+			Act: genAction("p", "chan", "val", uint8(i), uint8(i>>2), uint8(i>>4)),
+		}
+	}
+	return recs
+}
+
+// TestStreamRoundTrip: records written through a StreamEncoder decode
+// back in order, and the stream ends with a clean io.EOF.
+func TestStreamRoundTrip(t *testing.T) {
+	recs := streamRecords(200)
+	var buf bytes.Buffer
+	enc := NewStreamEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Record(r); err != nil {
+			t.Fatalf("Record: %v", err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	dec := NewStreamDecoder(&buf)
+	for i, want := range recs {
+		got, err := dec.Record()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := dec.Record(); err != io.EOF {
+		t.Fatalf("at end of stream: got %v, want io.EOF", err)
+	}
+}
+
+// TestStreamMatchesSegmentFrames: the stream layer emits byte-for-byte
+// the frames segment files use, so a segment can be replayed over a
+// socket and vice versa.
+func TestStreamMatchesSegmentFrames(t *testing.T) {
+	recs := streamRecords(20)
+	var want []byte
+	for _, r := range recs {
+		want = AppendRecordFrame(want, r)
+	}
+	var buf bytes.Buffer
+	enc := NewStreamEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("stream bytes differ from segment frame bytes")
+	}
+}
+
+// TestStreamTruncation: cutting the stream at every byte boundary
+// yields ErrTruncated (mid-frame) or io.EOF (exactly between frames) —
+// never a panic, a wrong record, or an over-read.
+func TestStreamTruncation(t *testing.T) {
+	recs := streamRecords(5)
+	var buf bytes.Buffer
+	enc := NewStreamEncoder(&buf)
+	boundaries := map[int]bool{0: true}
+	for _, r := range recs {
+		if err := enc.Record(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		boundaries[buf.Len()] = true
+	}
+	full := buf.Bytes()
+	for cut := 0; cut <= len(full); cut++ {
+		dec := NewStreamDecoder(bytes.NewReader(full[:cut]))
+		var err error
+		for err == nil {
+			_, err = dec.Record()
+		}
+		if boundaries[cut] || cut == len(full) {
+			if err != io.EOF {
+				t.Fatalf("cut %d (boundary): got %v, want io.EOF", cut, err)
+			}
+		} else if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d (mid-frame): got %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestStreamCorruption: flipping any byte of a frame is detected — as a
+// checksum mismatch, a codec error, or a reframing error — and never
+// silently yields a different record than was written.
+func TestStreamCorruption(t *testing.T) {
+	r := Record{Seq: 42, Act: genAction("alice", "m", "v", 0, 0, 0)}
+	var buf bytes.Buffer
+	enc := NewStreamEncoder(&buf)
+	if err := enc.Record(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := range full {
+		for _, flip := range []byte{0x01, 0x80, 0xFF} {
+			mut := bytes.Clone(full)
+			mut[i] ^= flip
+			dec := NewStreamDecoder(bytes.NewReader(mut))
+			got, err := dec.Record()
+			if err == nil && got != r {
+				t.Fatalf("byte %d ^ %#x: decoded wrong record %+v", i, flip, got)
+			}
+		}
+	}
+}
+
+// TestStreamOversizedFrame: a length prefix beyond MaxFrameLen is
+// rejected up front — the decoder must not allocate for or wait on the
+// claimed body.
+func TestStreamOversizedFrame(t *testing.T) {
+	var hdr [16]byte
+	dec := NewStreamDecoder(bytes.NewReader(append(putUvarint(hdr[:0], MaxFrameLen+1), make([]byte, 64)...)))
+	if _, err := dec.Envelope(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func putUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// FuzzStreamDecoder: arbitrary bytes — truncated, corrupt, oversized,
+// or hostile — must produce errors, never a panic or an over-read past
+// the frame bound.
+func FuzzStreamDecoder(f *testing.F) {
+	var seed bytes.Buffer
+	enc := NewStreamEncoder(&seed)
+	for _, r := range streamRecords(3) {
+		if err := enc.Record(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:seed.Len()-3])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewStreamDecoder(bytes.NewReader(data))
+		for i := 0; i < 1024; i++ {
+			if _, err := dec.Record(); err != nil {
+				return
+			}
+		}
+	})
+}

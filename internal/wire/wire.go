@@ -76,6 +76,13 @@ func NewEncoder() *Encoder {
 // Bytes returns the encoded envelope.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Reset rewinds the encoder to a fresh envelope header, keeping the
+// underlying buffer so steady-state encoders (the streaming frame
+// writer, a connection's ack encoder) stop allocating once warm.
+func (e *Encoder) Reset() {
+	e.buf = append(e.buf[:0], magicHi, magicLo, version)
+}
+
 func (e *Encoder) byte(b byte) { e.buf = append(e.buf, b) }
 
 func (e *Encoder) uvarint(v uint64) {
