@@ -1,0 +1,132 @@
+// Command doccheck is the documentation gate CI runs on every PR
+// (.github/workflows/ci.yml, job "docs"). It enforces the two
+// documentation invariants the repo promises:
+//
+//  1. every Go package — internal/*, cmd/*, examples/* — carries a
+//     package-level doc comment, so `go doc` is never empty;
+//  2. every relative link in the markdown docs (README.md, docs/*.md,
+//     ROADMAP.md, the example READMEs, …) resolves to a file or
+//     directory that actually exists.
+//
+// It prints one line per violation and exits non-zero if there are any.
+//
+//	go run ./cmd/doccheck [root]
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	violations = append(violations, checkPackageDocs(root)...)
+	violations = append(violations, checkMarkdownLinks(root)...)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Printf("doccheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// skippedDir reports directories that hold no documented packages.
+func skippedDir(name string) bool {
+	return name == ".git" || name == "testdata" || strings.HasPrefix(name, ".")
+}
+
+// checkPackageDocs walks every directory containing Go files and
+// requires a package doc comment on at least one non-test file.
+func checkPackageDocs(root string) []string {
+	var out []string
+	fset := token.NewFileSet()
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if skippedDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		pkgs, err := parser.ParseDir(fset, path, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				out = append(out, fmt.Sprintf("%s: package %s has no package doc comment", path, name))
+			}
+		}
+		return nil
+	})
+	return out
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks resolves every relative link of every markdown
+// file against the filesystem. External schemes and pure fragments are
+// skipped; a `#fragment` suffix on a relative target is stripped (the
+// file must exist; anchors are not verified).
+func checkMarkdownLinks(root string) []string {
+	var out []string
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skippedDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				out = append(out, fmt.Sprintf("%s: broken link %q", path, m[1]))
+			}
+		}
+		return nil
+	})
+	return out
+}

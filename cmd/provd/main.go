@@ -20,7 +20,11 @@
 // protocol (-ingest-addr, default :7710; see docs/protocol.md): framed
 // binary batches with per-connection group commit into the store, the
 // path a fleet of monitored runtimes should feed the log through
-// (internal/provclient is the matching client). Shutdown drains it —
+// (internal/provclient is the matching client). Sessioned (v2) clients
+// get exactly-once delivery: replayed batches are recognised by the
+// durable session table and re-acked instead of re-appended, with the
+// dedup window per session set by -dedup-window and the session
+// population capped by -max-sessions. Shutdown drains the listener —
 // every request read before the signal is committed and acked.
 //
 // Disclosure policies (-hide) are applied at query time per requesting
@@ -53,14 +57,16 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":7709", "listen address (HTTP/JSON)")
-		ingestAddr = flag.String("ingest-addr", ":7710", "binary pipelined ingest listen address (empty disables)")
-		dir        = flag.String("dir", "provd-data", "store root directory")
-		stripes    = flag.Int("stripes", 16, "append lock stripes")
-		segBytes   = flag.Int64("segment-bytes", 1<<20, "segment rotation threshold")
-		fsync      = flag.Bool("fsync", true, "fsync every append")
-		maxShards  = flag.Int("max-shards", 4096, "principal cap (one open segment fd per shard)")
-		grace      = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
+		addr        = flag.String("addr", ":7709", "listen address (HTTP/JSON)")
+		ingestAddr  = flag.String("ingest-addr", ":7710", "binary pipelined ingest listen address (empty disables)")
+		dir         = flag.String("dir", "provd-data", "store root directory")
+		stripes     = flag.Int("stripes", 16, "append lock stripes")
+		segBytes    = flag.Int64("segment-bytes", 1<<20, "segment rotation threshold")
+		fsync       = flag.Bool("fsync", true, "fsync every append")
+		maxShards   = flag.Int("max-shards", 4096, "principal cap (one open segment fd per shard)")
+		dedupWindow = flag.Int("dedup-window", 1024, "per-session ingest dedup window (batch sequences remembered for replay re-acks)")
+		maxSessions = flag.Int("max-sessions", 1024, "live ingest session cap (least-recently-used session evicted beyond it)")
+		grace       = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
 	)
 	policy := trust.NewDisclosurePolicy()
 	flag.Func("hide", "hide a principal's actions: subject or subject=obs1,obs2 (repeatable)", func(v string) error {
@@ -77,7 +83,10 @@ func main() {
 	})
 	flag.Parse()
 
-	st, err := store.Open(*dir, store.Options{Stripes: *stripes, SegmentBytes: *segBytes, Fsync: *fsync, MaxShards: *maxShards})
+	st, err := store.Open(*dir, store.Options{
+		Stripes: *stripes, SegmentBytes: *segBytes, Fsync: *fsync, MaxShards: *maxShards,
+		SessionWindow: *dedupWindow, MaxSessions: *maxSessions,
+	})
 	if err != nil {
 		log.Fatalf("provd: opening store: %v", err)
 	}

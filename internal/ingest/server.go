@@ -19,13 +19,28 @@
 // to commit latency: the classic group-commit shape, the same one the
 // runtime's sink pipeline uses in process.
 //
+// Exactly-once. A connection that opens with the v2 session handshake
+// (wire.OpIngestHello) gets replay protection: every sessioned batch
+// carries the session's monotonic batch sequence, and a sequence the
+// store's session table already holds is *re-acked* with its original
+// global sequence block instead of being appended again. The table is
+// checkpointed through the store (one sessions.log entry per committed
+// batch, written before the ack) and recovered on open, so dedup
+// survives a provd restart. The lookup → append → checkpoint round runs
+// under the table lock, so a replay racing its original commit on
+// another connection serialises behind it. Sessionless (v1) batches are
+// accepted unchanged and get no replay protection.
+//
 // Failure. A request the store rejects up front (validation) is
 // answered with an error reply and costs nothing else: the connection
-// and the other requests in its round proceed. Frame-level corruption
-// (bad checksum, truncation, an unparseable envelope) closes the
-// connection after an error reply with id 0 — request boundaries can no
-// longer be trusted. Acks are sent only after the store call returns,
-// so an acked batch is as durable as the store's Options.Fsync promises.
+// and the other requests in its round proceed. A sessioned batch whose
+// sequence has fallen out of the dedup window is likewise rejected per
+// request (committing it blind could duplicate records). Frame-level
+// corruption (bad checksum, truncation, an unparseable envelope) closes
+// the connection after an error reply with id 0 — request boundaries
+// can no longer be trusted. Acks are sent only after the store call
+// returns, so an acked batch is as durable as the store's Options.Fsync
+// promises.
 //
 // Drain. Close stops the accept loop, then drains every connection:
 // requests already read are committed and acked, the encoder is
@@ -72,13 +87,18 @@ func (o Options) withDefaults() Options {
 
 // Stats is a snapshot of the listener's counters.
 type Stats struct {
-	Accepted  uint64 // connections accepted
-	Active    uint64 // connections currently open
-	Requests  uint64 // batch requests read
-	Records   uint64 // actions acked durable
-	Commits   uint64 // store.AppendBatch rounds
-	Rejects   uint64 // error replies sent
-	ConnFails uint64 // connections dropped on protocol/write errors
+	Accepted        uint64 // connections accepted
+	Active          uint64 // connections currently open
+	Requests        uint64 // batch requests read
+	Records         uint64 // actions acked durable
+	Commits         uint64 // store.AppendBatch rounds
+	Rejects         uint64 // error replies sent
+	ConnFails       uint64 // connections dropped on protocol/write errors
+	Sessions        uint64 // v2 session handshakes accepted
+	DedupReplays    uint64 // replayed batches re-acked without appending
+	DedupRecords    uint64 // actions the dedup window kept out of the log
+	DedupEvicted    uint64 // sessioned batches refused as outside the dedup window
+	CheckpointFails uint64 // session-table checkpoint writes that failed (acks still truthful; replay protection for those batches lost)
 }
 
 // Server is the binary ingest listener over a store.
@@ -92,13 +112,18 @@ type Server struct {
 	done     chan struct{}
 	wg       sync.WaitGroup
 
-	accepted  atomic.Uint64
-	active    atomic.Int64
-	requests  atomic.Uint64
-	records   atomic.Uint64
-	commits   atomic.Uint64
-	rejects   atomic.Uint64
-	connFails atomic.Uint64
+	accepted        atomic.Uint64
+	active          atomic.Int64
+	requests        atomic.Uint64
+	records         atomic.Uint64
+	commits         atomic.Uint64
+	rejects         atomic.Uint64
+	connFails       atomic.Uint64
+	sessions        atomic.Uint64
+	dedupReplays    atomic.Uint64
+	dedupRecords    atomic.Uint64
+	dedupEvicted    atomic.Uint64
+	checkpointFails atomic.Uint64
 }
 
 // NewServer wraps a store in an ingest listener.
@@ -139,13 +164,18 @@ func (s *Server) Addr() string {
 // Stats snapshots the listener's counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Accepted:  s.accepted.Load(),
-		Active:    uint64(max(s.active.Load(), 0)),
-		Requests:  s.requests.Load(),
-		Records:   s.records.Load(),
-		Commits:   s.commits.Load(),
-		Rejects:   s.rejects.Load(),
-		ConnFails: s.connFails.Load(),
+		Accepted:        s.accepted.Load(),
+		Active:          uint64(max(s.active.Load(), 0)),
+		Requests:        s.requests.Load(),
+		Records:         s.records.Load(),
+		Commits:         s.commits.Load(),
+		Rejects:         s.rejects.Load(),
+		ConnFails:       s.connFails.Load(),
+		Sessions:        s.sessions.Load(),
+		DedupReplays:    s.dedupReplays.Load(),
+		DedupRecords:    s.dedupRecords.Load(),
+		DedupEvicted:    s.dedupEvicted.Load(),
+		CheckpointFails: s.checkpointFails.Load(),
 	}
 }
 
@@ -201,10 +231,14 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
-// request is one decoded batch request awaiting commit.
+// request is one decoded batch request awaiting commit. A sessioned
+// (v2) request carries the connection's idempotency session and its
+// batch sequence number; a v1 request leaves session empty.
 type request struct {
-	id   uint64
-	acts []logs.Action
+	id       uint64
+	acts     []logs.Action
+	session  string
+	batchSeq uint64
 }
 
 func (s *Server) handle(conn net.Conn) {
@@ -257,6 +291,18 @@ func (rw *replyWriter) sendError(id uint64, msg string) {
 	}
 }
 
+// sendHelloAck writes and flushes the session handshake reply, best
+// effort. Flushing immediately (rather than with the first ack) lets a
+// resuming client learn its replay floor before deciding what to
+// re-send.
+func (rw *replyWriter) sendHelloAck(maxBatchSeq uint64) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.write(func(e *wire.Encoder) { e.IngestHelloAck(wire.IngestV2, maxBatchSeq) }) {
+		rw.enc.Flush()
+	}
+}
+
 // readLoop decodes request frames until the connection ends (EOF, error
 // or drain kick) and queues them for the committer. Malformed traffic
 // gets an id-0 error reply; frame-level damage ends the loop. A drain
@@ -265,6 +311,7 @@ func (rw *replyWriter) sendError(id uint64, msg string) {
 // make the client fail those very requests as connection-scoped.
 func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- request) {
 	dec := wire.NewStreamDecoder(conn)
+	session := "" // set by the v2 hello; "" = sessionless (v1) connection
 	for {
 		env, err := dec.Envelope()
 		if err != nil {
@@ -280,14 +327,44 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			s.connFails.Add(1)
 			return
 		}
-		if m.Op != wire.OpIngestBatch {
+		var req request
+		switch m.Op {
+		case wire.OpIngestHello:
+			// The handshake binds the connection to an idempotency
+			// session; it must come first and only once, so a batch can
+			// never be ambiguous about its session.
+			switch {
+			case session != "":
+				replies.sendError(0, "closing: duplicate hello")
+			case m.Version != wire.IngestV2:
+				replies.sendError(0, fmt.Sprintf("closing: unsupported ingest protocol version %d", m.Version))
+			case m.Session == "":
+				replies.sendError(0, "closing: empty session id")
+			default:
+				session = m.Session
+				s.sessions.Add(1)
+				replies.sendHelloAck(s.store.Sessions().Max(session))
+				continue
+			}
+			s.connFails.Add(1)
+			return
+		case wire.OpIngestBatch:
+			req = request{id: m.ID, acts: m.Acts}
+		case wire.OpIngestBatch2:
+			if session == "" {
+				replies.sendError(0, "closing: sessioned batch before hello")
+				s.connFails.Add(1)
+				return
+			}
+			req = request{id: m.ID, acts: m.Acts, session: session, batchSeq: m.BatchSeq}
+		default:
 			replies.sendError(0, fmt.Sprintf("closing: unexpected opcode %#x", m.Op))
 			s.connFails.Add(1)
 			return
 		}
 		s.requests.Add(1)
 		select {
-		case reqs <- request{id: m.ID, acts: m.Acts}:
+		case reqs <- req:
 		case <-s.done:
 			// Drain began while the queue was full: this request was
 			// read but cannot be queued without blocking forever; drop
@@ -354,67 +431,191 @@ func retryableAlone(err error) bool {
 	return errors.Is(err, store.ErrInvalidAction) || errors.Is(err, store.ErrShardLimit)
 }
 
+// outcome is one request's resolved reply, computed during the commit
+// phase and written afterwards.
+type outcome struct {
+	kind  byte // oNone (unresolved), oAck, oReject, oAlias
+	base  uint64
+	count uint64
+	msg   string
+	alias int // oAlias: index of the round-mate this request duplicates
+}
+
+const (
+	oNone byte = iota
+	oAck
+	oReject
+	oAlias
+)
+
 // commitRound appends one coalesced round and writes its replies,
 // reporting whether the connection is still usable.
+//
+// Sessioned requests go through the store's session table first: a
+// batch sequence the table holds is re-acked with its original block
+// (never re-appended), one outside the dedup window is rejected, and
+// everything genuinely new is committed and then checkpointed — entry
+// before ack — under the table lock, so a replay racing its original
+// commit on another connection blocks and then dedups. Store work runs
+// first and replies are written afterwards, preserving round order.
 func (s *Server) commitRound(replies *replyWriter, round []request) bool {
-	total := 0
-	for _, r := range round {
-		total += len(r.acts)
+	outcomes := make([]outcome, len(round))
+	fatal := "" // set: the connection must close after the resolved replies
+
+	sessioned := false
+	for i := range round {
+		if round[i].session != "" {
+			sessioned = true
+			break
+		}
 	}
-	all := make([]logs.Action, 0, total)
-	for _, r := range round {
-		all = append(all, r.acts...)
+	var tab *store.Sessions
+	if sessioned {
+		tab = s.store.Sessions()
+		tab.Lock()
 	}
-	base, err := s.store.AppendBatch(all)
+
+	// Classify: replays and evictions resolve now; the rest commits.
+	type dedupKey struct {
+		session  string
+		batchSeq uint64
+	}
+	var claimed map[dedupKey]int
+	toCommit := make([]int, 0, len(round))
+	for i, r := range round {
+		if r.session == "" {
+			toCommit = append(toCommit, i)
+			continue
+		}
+		if claimed == nil {
+			claimed = make(map[dedupKey]int)
+		}
+		key := dedupKey{r.session, r.batchSeq}
+		if j, dup := claimed[key]; dup {
+			// The same batch sequence twice in one round (a client bug,
+			// or a replay racing its original through one connection):
+			// resolve to whatever its twin gets.
+			outcomes[i] = outcome{kind: oAlias, alias: j}
+			continue
+		}
+		base, count, res := tab.LookupLocked(r.session, r.batchSeq)
+		switch res {
+		case store.SessionReplay:
+			outcomes[i] = outcome{kind: oAck, base: base, count: count}
+			s.dedupReplays.Add(1)
+			s.dedupRecords.Add(uint64(len(r.acts)))
+		case store.SessionEvicted:
+			outcomes[i] = outcome{kind: oReject, msg: fmt.Sprintf("batch seq %d of session %q evicted from dedup window: commit state unknowable", r.batchSeq, r.session)}
+			s.dedupEvicted.Add(1)
+		default:
+			claimed[key] = i
+			toCommit = append(toCommit, i)
+		}
+	}
+
+	var entries []wire.SessionEntry
+	record := func(i int, base uint64) {
+		r := round[i]
+		outcomes[i] = outcome{kind: oAck, base: base, count: uint64(len(r.acts))}
+		if r.session != "" {
+			entries = append(entries, wire.SessionEntry{Session: r.session, BatchSeq: r.batchSeq, Base: base, Count: uint64(len(r.acts))})
+		}
+	}
+	if len(toCommit) > 0 {
+		total := 0
+		for _, i := range toCommit {
+			total += len(round[i].acts)
+		}
+		all := make([]logs.Action, 0, total)
+		for _, i := range toCommit {
+			all = append(all, round[i].acts...)
+		}
+		base, err := s.store.AppendBatch(all)
+		switch {
+		case err == nil:
+			s.commits.Add(1)
+			s.records.Add(uint64(len(all)))
+			off := uint64(0)
+			for _, i := range toCommit {
+				record(i, base+off)
+				off += uint64(len(round[i].acts))
+			}
+		case !retryableAlone(err):
+			// The store may hold a prefix of the round: no reply can
+			// honour the protocol's "error means none appended" promise,
+			// so report a connection-scoped failure and let the client's
+			// replay discipline take over.
+			s.connFails.Add(1)
+			fatal = fmt.Sprintf("closing: commit failed: %v", err)
+		default:
+			// The coalesced batch was rejected before anything was
+			// written. Retry each request on its own so one bad request
+			// rejects alone instead of failing the round's innocent
+			// bystanders.
+			for _, i := range toCommit {
+				r := round[i]
+				rbase, rerr := s.store.AppendBatch(r.acts)
+				switch {
+				case rerr == nil:
+					s.commits.Add(1)
+					s.records.Add(uint64(len(r.acts)))
+					record(i, rbase)
+				case retryableAlone(rerr):
+					s.rejects.Add(1)
+					outcomes[i] = outcome{kind: oReject, msg: rerr.Error()}
+				default: // I/O failure mid-isolation: same unknowable state as above
+					s.connFails.Add(1)
+					fatal = fmt.Sprintf("closing: commit failed: %v", rerr)
+				}
+				if fatal != "" {
+					break
+				}
+			}
+		}
+	}
+	if len(entries) > 0 {
+		// Checkpoint before any ack leaves the process: a re-ack after
+		// restart is only trustworthy if every acked sessioned batch has
+		// its entry on disk first. A failed checkpoint does not undo the
+		// commit — the acks below stay truthful — it just loses replay
+		// protection for these batches, which the counter surfaces.
+		if err := tab.AppendLocked(entries); err != nil {
+			s.checkpointFails.Add(uint64(len(entries)))
+		}
+	}
+	if sessioned {
+		tab.Unlock()
+	}
+
+	// Write the resolved replies in round order, then any fatal notice.
 	replies.mu.Lock()
 	defer replies.mu.Unlock()
-	if err == nil {
-		s.commits.Add(1)
-		s.records.Add(uint64(len(all)))
-		off := uint64(0)
-		for _, r := range round {
-			if !replies.write(func(e *wire.Encoder) { e.IngestAck(r.id, base+off, uint64(len(r.acts))) }) {
-				return false
+	for i, o := range outcomes {
+		if o.kind == oAlias {
+			o = outcomes[o.alias]
+			if o.kind == oAck {
+				s.dedupReplays.Add(1)
+				s.dedupRecords.Add(uint64(len(round[i].acts)))
 			}
-			off += uint64(len(r.acts))
 		}
-		return replies.enc.Flush() == nil
-	}
-	if !retryableAlone(err) {
-		// The store may hold a prefix of the round: no reply can honour
-		// the protocol's "error means none appended" promise, so report
-		// a connection-scoped failure and let the client's retry
-		// discipline take over (at-least-once, as documented).
-		s.connFails.Add(1)
-		if replies.write(func(e *wire.Encoder) { e.IngestError(0, fmt.Sprintf("closing: commit failed: %v", err)) }) {
-			replies.enc.Flush()
-		}
-		return false
-	}
-	// The coalesced batch was rejected before anything was written.
-	// Retry each request on its own so one bad request rejects alone
-	// instead of failing the round's innocent bystanders.
-	for _, r := range round {
-		rbase, rerr := s.store.AppendBatch(r.acts)
-		ok := true
-		switch {
-		case rerr == nil:
-			s.commits.Add(1)
-			s.records.Add(uint64(len(r.acts)))
-			ok = replies.write(func(e *wire.Encoder) { e.IngestAck(r.id, rbase, uint64(len(r.acts))) })
-		case retryableAlone(rerr):
-			s.rejects.Add(1)
-			ok = replies.write(func(e *wire.Encoder) { e.IngestError(r.id, rerr.Error()) })
-		default: // I/O failure mid-isolation: same unknowable state as above
-			s.connFails.Add(1)
-			if replies.write(func(e *wire.Encoder) { e.IngestError(0, fmt.Sprintf("closing: commit failed: %v", rerr)) }) {
-				replies.enc.Flush()
-			}
-			return false
+		var ok bool
+		switch o.kind {
+		case oAck:
+			ok = replies.write(func(e *wire.Encoder) { e.IngestAck(round[i].id, o.base, o.count) })
+		case oReject:
+			ok = replies.write(func(e *wire.Encoder) { e.IngestError(round[i].id, o.msg) })
+		default: // unresolved: the fatal failure struck before this request committed
+			continue
 		}
 		if !ok {
 			return false
 		}
+	}
+	if fatal != "" {
+		if replies.write(func(e *wire.Encoder) { e.IngestError(0, fatal) }) {
+			replies.enc.Flush()
+		}
+		return false
 	}
 	return replies.enc.Flush() == nil
 }

@@ -19,14 +19,24 @@
 // BatchSink demands holds: a multi-chunk batch stops at the first
 // failed chunk, and within a chunk the store applies a prefix.
 //
-// Delivery semantics are at-least-once across reconnects: a request
-// whose connection died between write and ack is retried on a fresh
-// connection, and if the server had in fact committed it, the actions
-// appear twice (with distinct sequence numbers). Appends are never
-// silently lost: an error return means the batch's tail did not commit.
+// Delivery is exactly-once. Every client owns an idempotency session
+// (Options.Session, random by default): each connection opens with the
+// v2 session handshake, and every batch carries the session's monotonic
+// batch sequence number. A request whose connection died between write
+// and ack is replayed on a fresh connection *with the same sequence*,
+// so a server that had in fact committed it re-acks the original global
+// sequence block instead of appending a duplicate — and because the
+// server's dedup window is durably checkpointed, this holds across
+// provd restarts too. Appends are never silently lost: an error return
+// means the batch's tail did not commit. (Options.Legacy restores the
+// sessionless v1 protocol, whose delivery is at-least-once across
+// reconnects.)
 package provclient
 
 import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -68,6 +78,21 @@ type Options struct {
 	// Retries is how many times a request is re-sent after a connection
 	// failure (default 2). Server rejections are never retried.
 	Retries int
+	// Session is the client's idempotency session identifier (default: a
+	// random 128-bit hex string; one longer than wire.MaxSessionLen is
+	// replaced by its SHA-256 hex digest, so distinct long names stay
+	// distinct). All batches of one client instance share it, keyed by a
+	// monotonic batch sequence, which is what makes replays after
+	// reconnect dedupable. Name it explicitly only to resume a crashed
+	// producer's session — two live clients must never share one. A
+	// resumed session continues its sequence numbering after the
+	// server's committed floor (learned in the connection handshake), so
+	// new appends can never collide with a previous incarnation's
+	// batches; see CommittedFloor for re-sending an unacked journal.
+	Session string
+	// Legacy, when set, speaks the sessionless v1 protocol: no handshake,
+	// no replay protection, at-least-once delivery across reconnects.
+	Legacy bool
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +138,15 @@ type Client struct {
 
 	conns []*conn
 	rr    atomic.Uint64 // round-robin cursor
+	seq   atomic.Uint64 // session batch sequence; the next batch gets seq.Add(1)
+
+	// seedMu/seeded gate the one-time floor seeding (see ensureSeeded):
+	// no batch sequence is assigned until the server has reported the
+	// session's committed floor, so a resumed session continues after
+	// its previous incarnation instead of colliding with it.
+	seedMu sync.Mutex
+	seeded atomic.Bool
+	floor  atomic.Uint64
 
 	mu     sync.Mutex // guards cur and closed
 	cur    *group
@@ -124,11 +158,90 @@ type Client struct {
 // unreachability.
 func New(addr string, opts Options) *Client {
 	opts = opts.withDefaults()
+	if opts.Legacy {
+		opts.Session = "" // v1 has no session; an empty session keys the conns to the v1 frames
+	} else if opts.Session == "" {
+		var b [16]byte
+		rand.Read(b[:]) // never fails (crypto/rand panics rather than returning short)
+		opts.Session = hex.EncodeToString(b[:])
+	} else if len(opts.Session) > wire.MaxSessionLen {
+		// Hash rather than truncate: truncation would silently merge two
+		// long names sharing a prefix into one session, whose colliding
+		// sequence numbers dedup each other's data away.
+		sum := sha256.Sum256([]byte(opts.Session))
+		opts.Session = hex.EncodeToString(sum[:])
+	}
 	c := &Client{addr: addr, opts: opts, conns: make([]*conn, opts.Conns)}
 	for i := range c.conns {
-		c.conns[i] = &conn{addr: addr, dialTimeout: opts.DialTimeout}
+		c.conns[i] = &conn{addr: addr, dialTimeout: opts.DialTimeout, session: opts.Session}
 	}
 	return c
+}
+
+// Session returns the client's idempotency session identifier ("" in
+// legacy mode). A producer that persists its unsent batches can store
+// this beside them and resume the session after a crash with
+// Options.Session; see CommittedFloor for trimming the journal before
+// re-sending.
+func (c *Client) Session() string { return c.opts.Session }
+
+// CommittedFloor reports the highest batch sequence the server had
+// durably committed for this session when the client first handshook
+// (0 for a fresh session), connecting to learn it if necessary.
+//
+// This is the crash-resume contract: a producer that journals its
+// batches in send order with the sequence each was assigned (the order
+// of its AppendBatch calls when Conns is 1) resumes by trimming the
+// journal to entries *above* this floor and re-sending the rest — the
+// trimmed ones are provably durable, the re-sent ones get fresh
+// sequences after the floor and so are appended exactly once. With
+// Conns > 1 batches commit out of order and the floor may overstate
+// the contiguous committed prefix, so in-order producers that need
+// this guarantee should use a single connection.
+func (c *Client) CommittedFloor() (uint64, error) {
+	if c.opts.Legacy {
+		return 0, nil
+	}
+	if c.isClosed() {
+		return 0, ErrClosed
+	}
+	if err := c.ensureSeeded(); err != nil {
+		return 0, err
+	}
+	return c.floor.Load(), nil
+}
+
+// ensureSeeded performs the one-time floor seeding: before the first
+// batch sequence is assigned, learn the session's committed floor from
+// the server and start the counter past it. Without this, a resumed
+// session's counter would restart at 1 and its *new* batches would be
+// classified as replays of the previous incarnation's — acked against
+// old data and silently dropped.
+func (c *Client) ensureSeeded() error {
+	if c.opts.Legacy || c.seeded.Load() {
+		return nil
+	}
+	c.seedMu.Lock()
+	defer c.seedMu.Unlock()
+	if c.seeded.Load() {
+		return nil
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		cn := c.pick()
+		floor, err := cn.sessionFloor()
+		if err == nil {
+			c.floor.Store(floor)
+			c.seq.Store(floor)
+			c.seeded.Store(true)
+			return nil
+		}
+		if errors.Is(err, ErrClosed) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
 }
 
 // Append appends one action, returning its assigned global sequence
@@ -231,14 +344,24 @@ func (c *Client) send(acts []logs.Action) (uint64, error) {
 	return first, nil
 }
 
-// sendChunk ships one request with retry-with-reconnect: a connection
-// failure moves to the next pooled connection (redialing as needed) up
-// to Options.Retries times; server rejections return immediately.
+// sendChunk ships one request with replay-on-reconnect: the chunk is
+// assigned its session batch sequence once, and a connection failure
+// re-sends it — same sequence — on the next pooled connection (redialing
+// as needed) up to Options.Retries times, so a server that committed the
+// first attempt re-acks the original block instead of duplicating it.
+// Server rejections return immediately.
 func (c *Client) sendChunk(acts []logs.Action) (uint64, error) {
+	batchSeq := uint64(0)
+	if !c.opts.Legacy {
+		if err := c.ensureSeeded(); err != nil {
+			return 0, err
+		}
+		batchSeq = c.seq.Add(1)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		cn := c.pick()
-		base, err := cn.roundTrip(acts, c.opts.RequestTimeout)
+		base, err := cn.roundTrip(acts, batchSeq, c.opts.RequestTimeout)
 		if err == nil {
 			return base, nil
 		}

@@ -3,6 +3,9 @@ package provclient
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -10,6 +13,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/logs"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 func newBackend(t *testing.T, opts ingest.Options) (*ingest.Server, *store.Store, string) {
@@ -148,6 +152,215 @@ func TestRetryReconnect(t *testing.T) {
 	}
 	if n := len(st.Records("p")); n != 2 {
 		t.Fatalf("store has %d records, want 2", n)
+	}
+}
+
+// ackDropProxy sits between client and server. Its first accepted
+// connection is frame-aware: it forwards everything except the first
+// batch ack, which it swallows before killing the connection — the
+// precise "server committed, client never learned" window. Every later
+// connection pipes transparently.
+type ackDropProxy struct {
+	t        *testing.T
+	ln       net.Listener
+	backend  string
+	first    sync.Once
+	dropped  chan struct{} // closed once the ack has been swallowed
+	accepted int
+	mu       sync.Mutex
+}
+
+func newAckDropProxy(t *testing.T, backend string) *ackDropProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &ackDropProxy{t: t, ln: ln, backend: backend, dropped: make(chan struct{})}
+	t.Cleanup(func() { ln.Close() })
+	go p.accept()
+	return p
+}
+
+func (p *ackDropProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		b, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			c.Close()
+			return
+		}
+		p.mu.Lock()
+		p.accepted++
+		firstConn := p.accepted == 1
+		p.mu.Unlock()
+		go func() { io.Copy(b, c); b.Close() }() // client → server, always transparent
+		if !firstConn {
+			go func() { io.Copy(c, b); c.Close() }()
+			continue
+		}
+		go p.dropFirstAck(c, b)
+	}
+}
+
+// dropFirstAck relays server→client frames until the first batch ack,
+// which it discards before closing both sides.
+func (p *ackDropProxy) dropFirstAck(c, b net.Conn) {
+	dec := wire.NewStreamDecoder(b)
+	enc := wire.NewStreamEncoder(c)
+	for {
+		env, err := dec.Envelope()
+		if err != nil {
+			c.Close()
+			b.Close()
+			return
+		}
+		m, err := wire.DecodeIngest(env)
+		if err == nil && m.Op == wire.OpIngestAck {
+			close(p.dropped)
+			c.Close()
+			b.Close()
+			return
+		}
+		if enc.Envelope(env) != nil || enc.Flush() != nil {
+			c.Close()
+			b.Close()
+			return
+		}
+	}
+}
+
+// TestReplayAfterLostAck: the server commits a batch but its ack never
+// reaches the client (the connection dies in between). The client's
+// replay carries the same session batch sequence, so the server re-acks
+// the original block instead of appending again: the caller gets the
+// true sequence numbers and the store holds exactly one copy —
+// exactly-once where the v1 protocol would have duplicated.
+func TestReplayAfterLostAck(t *testing.T) {
+	srv, st, addr := newBackend(t, ingest.Options{})
+	proxy := newAckDropProxy(t, addr)
+	c := New(proxy.ln.Addr().String(), Options{Conns: 1, RequestTimeout: 5 * time.Second})
+	defer c.Close()
+
+	batch := []logs.Action{act("p", 0), act("p", 1), act("p", 2)}
+	base, err := c.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-proxy.dropped:
+	default:
+		t.Fatal("proxy never dropped an ack; the test exercised nothing")
+	}
+	recs := st.GlobalRecords()
+	if len(recs) != len(batch) {
+		t.Fatalf("store has %d records, want %d (replay must not duplicate)", len(recs), len(batch))
+	}
+	for i, r := range recs {
+		if r.Seq != base+uint64(i) || r.Act != batch[i] {
+			t.Fatalf("record %d: %+v (client told base %d)", i, r, base)
+		}
+	}
+	stats := srv.Stats()
+	if stats.DedupReplays != 1 {
+		t.Fatalf("DedupReplays = %d, want 1", stats.DedupReplays)
+	}
+}
+
+// TestSessionResumeContinues: a producer that resumes its session by
+// name learns the committed floor in the handshake and continues its
+// sequence numbering past it — the second incarnation's *new* batches
+// are appended, never misclassified as replays of the first
+// incarnation's committed sequences.
+func TestSessionResumeContinues(t *testing.T) {
+	srv, st, addr := newBackend(t, ingest.Options{})
+
+	batch1 := []logs.Action{act("p", 0), act("p", 1)}
+	c1 := New(addr, Options{Conns: 1})
+	if c1.Session() == "" {
+		t.Fatal("no default session")
+	}
+	base1, err := c1.AppendBatch(batch1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := c1.Session()
+	c1.Close() // the producer crashes
+
+	c2 := New(addr, Options{Conns: 1, Session: session})
+	defer c2.Close()
+	floor, err := c2.CommittedFloor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != 1 {
+		t.Fatalf("CommittedFloor = %d, want 1 (one committed batch)", floor)
+	}
+	batch2 := []logs.Action{act("p", 2), act("p", 3), act("p", 4)}
+	base2, err := c2.AppendBatch(batch2) // NEW data from the resumed session
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base2 != base1+uint64(len(batch1)) {
+		t.Fatalf("resumed batch got base %d, want %d (appended after the committed prefix)", base2, base1+uint64(len(batch1)))
+	}
+	if n := st.Len(); n != len(batch1)+len(batch2) {
+		t.Fatalf("store has %d records, want %d — resume must not drop new data", n, len(batch1)+len(batch2))
+	}
+	if got := srv.Stats().DedupReplays; got != 0 {
+		t.Fatalf("DedupReplays = %d, want 0 (new data is not a replay)", got)
+	}
+}
+
+// TestLongSessionHashedNotTruncated: two long session names sharing a
+// 128-byte prefix must not silently merge into one session — the client
+// hashes over-long names, so each producer keeps its own dedup window.
+func TestLongSessionHashedNotTruncated(t *testing.T) {
+	_, st, addr := newBackend(t, ingest.Options{})
+	prefix := strings.Repeat("x", 200)
+	cA := New(addr, Options{Conns: 1, Session: prefix + "A"})
+	defer cA.Close()
+	cB := New(addr, Options{Conns: 1, Session: prefix + "B"})
+	defer cB.Close()
+	if cA.Session() == cB.Session() {
+		t.Fatalf("distinct long sessions collapsed to %q", cA.Session())
+	}
+	batch := []logs.Action{act("p", 0)}
+	if _, err := cA.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cB.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.Len(); n != 2 {
+		t.Fatalf("store has %d records, want 2 — B's batch must not dedup against A's", n)
+	}
+}
+
+// TestLegacyMode: Options.Legacy speaks the sessionless v1 protocol —
+// no handshake, no dedup, a resend appends twice.
+func TestLegacyMode(t *testing.T) {
+	srv, st, addr := newBackend(t, ingest.Options{})
+	c := New(addr, Options{Conns: 1, Legacy: true})
+	defer c.Close()
+	if c.Session() != "" {
+		t.Fatalf("legacy client has session %q", c.Session())
+	}
+	batch := []logs.Action{act("p", 0)}
+	if _, err := c.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.Len(); n != 2 {
+		t.Fatalf("store has %d records, want 2 (v1 has no dedup)", n)
+	}
+	if got := srv.Stats().Sessions; got != 0 {
+		t.Fatalf("legacy client performed %d handshakes", got)
 	}
 }
 

@@ -13,8 +13,8 @@ import (
 
 // errConnBroken marks results delivered because the connection died
 // rather than because the server replied; requests failing this way are
-// safe to retry on a fresh connection (modulo the documented
-// at-least-once caveat).
+// replayed on a fresh connection under the same session batch sequence,
+// so the server dedups any attempt that had in fact committed.
 var errConnBroken = errors.New("provclient: connection broken")
 
 // result is one request's outcome, delivered by the connection reader.
@@ -29,28 +29,33 @@ type result struct {
 // network write, so the reader's ack dispatch (which needs the state
 // mutex) can always drain replies even while a writer is blocked in a
 // backpressured send. The connection redials lazily after a failure:
-// the next request pays the dial, every later one finds it warm.
+// the next request pays the dial, every later one finds it warm. A
+// sessioned connection (session != "") opens every dial with the v2
+// hello, binding its batches to the client's idempotency session.
 type conn struct {
 	addr        string
 	dialTimeout time.Duration
+	session     string // "" = legacy v1 connection
 
-	mu      sync.Mutex // state: nc/gen/pending/nextID/closed — never held across I/O
+	mu      sync.Mutex // state: nc/gen/pending/nextID/closed — held across the dial handshake, never across request I/O
 	nc      net.Conn
 	gen     uint64 // bumped per dial so a stale reader cannot kill its successor
 	nextID  uint64
 	pending map[uint64]chan result
 	closed  bool
+	floor   uint64 // last helloack's committed batch sequence (sessioned conns)
 
 	wmu     sync.Mutex // serialises frame writes on the live connection
 	enc     *wire.StreamEncoder
 	scratch *wire.Encoder // request envelope buffer, reused under wmu
 }
 
-// roundTrip sends one batch and waits for its ack. A conn-level failure
-// is reported wrapping errConnBroken and the connection is torn down; a
-// server rejection comes back as *ServerError and leaves the connection
-// usable.
-func (cn *conn) roundTrip(acts []logs.Action, timeout time.Duration) (uint64, error) {
+// roundTrip sends one batch under the given session batch sequence
+// (ignored on a legacy connection) and waits for its ack. A conn-level
+// failure is reported wrapping errConnBroken and the connection is torn
+// down; a server rejection comes back as *ServerError and leaves the
+// connection usable.
+func (cn *conn) roundTrip(acts []logs.Action, batchSeq uint64, timeout time.Duration) (uint64, error) {
 	cn.mu.Lock()
 	if cn.closed {
 		cn.mu.Unlock()
@@ -78,7 +83,11 @@ func (cn *conn) roundTrip(acts []logs.Action, timeout time.Duration) (uint64, er
 	// fail(gen) below is a no-op on the stale generation.
 	cn.wmu.Lock()
 	cn.scratch.Reset()
-	cn.scratch.IngestBatch(id, acts)
+	if cn.session != "" {
+		cn.scratch.IngestBatch2(id, batchSeq, acts)
+	} else {
+		cn.scratch.IngestBatch(id, acts)
+	}
 	err := enc.Envelope(cn.scratch.Bytes())
 	if err == nil {
 		err = enc.Flush()
@@ -120,7 +129,12 @@ func (cn *conn) roundTrip(acts []logs.Action, timeout time.Duration) (uint64, er
 }
 
 // dialLocked establishes the connection and starts its reader; the
-// caller holds cn.mu.
+// caller holds cn.mu. A sessioned connection performs the v2 handshake
+// synchronously before the reader starts: hello out, helloack back,
+// the session's committed floor recorded — so by the time any batch
+// can be written, the client knows where the committed prefix ends
+// (Client.ensureSeeded relies on this to keep a resumed session's new
+// sequences from colliding with a previous incarnation's).
 func (cn *conn) dialLocked() error {
 	nc, err := net.DialTimeout("tcp", cn.addr, cn.dialTimeout)
 	if err != nil {
@@ -131,18 +145,55 @@ func (cn *conn) dialLocked() error {
 	if cn.scratch == nil {
 		cn.scratch = wire.NewEncoder()
 	}
+	dec := wire.NewStreamDecoder(nc)
+	if cn.session != "" {
+		if err := cn.handshakeLocked(nc, dec); err != nil {
+			nc.Close()
+			cn.nc, cn.enc = nil, nil
+			return err
+		}
+	}
 	cn.gen++
 	if cn.pending == nil {
 		cn.pending = make(map[uint64]chan result)
 	}
-	go cn.readLoop(nc, cn.gen)
+	go cn.readLoop(dec, cn.gen)
+	return nil
+}
+
+// handshakeLocked runs the blocking hello/helloack exchange on a fresh
+// connection, bounded by the dial timeout; the caller holds cn.mu.
+func (cn *conn) handshakeLocked(nc net.Conn, dec *wire.StreamDecoder) error {
+	e := wire.NewEncoder()
+	e.IngestHello(wire.IngestV2, cn.session)
+	if err := cn.enc.Envelope(e.Bytes()); err != nil {
+		return err
+	}
+	if err := cn.enc.Flush(); err != nil {
+		return err
+	}
+	nc.SetReadDeadline(time.Now().Add(cn.dialTimeout))
+	defer nc.SetReadDeadline(time.Time{})
+	env, err := dec.Envelope()
+	if err != nil {
+		return fmt.Errorf("session handshake: %w", err)
+	}
+	m, err := wire.DecodeIngest(env)
+	if err != nil {
+		return fmt.Errorf("session handshake: %w", err)
+	}
+	if m.Op != wire.OpIngestHelloAck || m.Version != wire.IngestV2 {
+		return fmt.Errorf("session handshake: unexpected reply op %#x version %d", m.Op, m.Version)
+	}
+	cn.floor = m.BatchSeq
 	return nil
 }
 
 // readLoop dispatches server replies to their waiters until the
-// connection dies, then fails whatever is still pending.
-func (cn *conn) readLoop(nc net.Conn, gen uint64) {
-	dec := wire.NewStreamDecoder(nc)
+// connection dies, then fails whatever is still pending. It takes over
+// the dial's stream decoder (the handshake reply was consumed there, so
+// a helloack here is a protocol violation handled by the default arm).
+func (cn *conn) readLoop(dec *wire.StreamDecoder, gen uint64) {
 	for {
 		env, err := dec.Envelope()
 		if err != nil {
@@ -170,6 +221,23 @@ func (cn *conn) readLoop(nc net.Conn, gen uint64) {
 			return
 		}
 	}
+}
+
+// sessionFloor returns the session's committed batch-sequence floor as
+// reported by this connection's handshake, dialing (and handshaking)
+// first if the connection is down.
+func (cn *conn) sessionFloor() (uint64, error) {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	if cn.closed {
+		return 0, ErrClosed
+	}
+	if cn.nc == nil {
+		if err := cn.dialLocked(); err != nil {
+			return 0, fmt.Errorf("%w: %v", errConnBroken, err)
+		}
+	}
+	return cn.floor, nil
 }
 
 // deliver hands one reply to its waiter (ignoring ids the connection no

@@ -375,6 +375,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "provd_store_truncated_bytes_total %d\n", st.TruncatedBytes)
 	fmt.Fprintf(w, "provd_store_principals %d\n", st.Principals)
 	fmt.Fprintf(w, "provd_store_records %d\n", st.Records)
+	fmt.Fprintf(w, "provd_store_sessions %d\n", st.Sessions)
+	fmt.Fprintf(w, "provd_store_session_entries %d\n", st.SessionEntries)
+	fmt.Fprintf(w, "provd_store_session_compactions_total %d\n", st.SessionCompactions)
+	fmt.Fprintf(w, "provd_store_sessions_evicted_total %d\n", st.SessionsEvicted)
 	fmt.Fprintf(w, "provd_store_next_seq %d\n", st.NextSeq)
 	if s.ingest != nil {
 		in := s.ingest.Stats()
@@ -385,5 +389,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "provd_ingest_commits_total %d\n", in.Commits)
 		fmt.Fprintf(w, "provd_ingest_rejects_total %d\n", in.Rejects)
 		fmt.Fprintf(w, "provd_ingest_conn_failures_total %d\n", in.ConnFails)
+		fmt.Fprintf(w, "provd_ingest_sessions_total %d\n", in.Sessions)
+		fmt.Fprintf(w, "provd_ingest_dedup_replays_total %d\n", in.DedupReplays)
+		fmt.Fprintf(w, "provd_ingest_dedup_records_total %d\n", in.DedupRecords)
+		fmt.Fprintf(w, "provd_ingest_dedup_evicted_total %d\n", in.DedupEvicted)
+		fmt.Fprintf(w, "provd_ingest_dedup_checkpoint_failures_total %d\n", in.CheckpointFails)
 	}
 }

@@ -5,47 +5,57 @@ import "sync/atomic"
 // Metrics holds the store's operational counters. All fields are safe
 // for concurrent use; read them through Stats.
 type Metrics struct {
-	Appends          atomic.Uint64
-	BatchAppends     atomic.Uint64
-	AppendedBytes    atomic.Uint64
-	Rotations        atomic.Uint64
-	Compactions      atomic.Uint64
-	Audits           atomic.Uint64
-	AuditFailures    atomic.Uint64
-	RecoveredRecords atomic.Uint64
-	TruncatedBytes   atomic.Uint64
+	Appends            atomic.Uint64
+	BatchAppends       atomic.Uint64
+	AppendedBytes      atomic.Uint64
+	Rotations          atomic.Uint64
+	Compactions        atomic.Uint64
+	SessionCompactions atomic.Uint64
+	SessionsEvicted    atomic.Uint64
+	Audits             atomic.Uint64
+	AuditFailures      atomic.Uint64
+	RecoveredRecords   atomic.Uint64
+	TruncatedBytes     atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the store's counters.
 type Stats struct {
-	Appends          uint64
-	BatchAppends     uint64
-	AppendedBytes    uint64
-	Rotations        uint64
-	Compactions      uint64
-	Audits           uint64
-	AuditFailures    uint64
-	RecoveredRecords uint64
-	TruncatedBytes   uint64
-	Principals       int
-	Records          int
-	NextSeq          uint64
+	Appends            uint64
+	BatchAppends       uint64
+	AppendedBytes      uint64
+	Rotations          uint64
+	Compactions        uint64
+	SessionCompactions uint64
+	SessionsEvicted    uint64
+	Audits             uint64
+	AuditFailures      uint64
+	RecoveredRecords   uint64
+	TruncatedBytes     uint64
+	Principals         int
+	Records            int
+	Sessions           int
+	SessionEntries     int
+	NextSeq            uint64
 }
 
 // Stats snapshots the metrics together with basic size figures.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Appends:          s.metrics.Appends.Load(),
-		BatchAppends:     s.metrics.BatchAppends.Load(),
-		AppendedBytes:    s.metrics.AppendedBytes.Load(),
-		Rotations:        s.metrics.Rotations.Load(),
-		Compactions:      s.metrics.Compactions.Load(),
-		Audits:           s.metrics.Audits.Load(),
-		AuditFailures:    s.metrics.AuditFailures.Load(),
-		RecoveredRecords: s.metrics.RecoveredRecords.Load(),
-		TruncatedBytes:   s.metrics.TruncatedBytes.Load(),
-		Principals:       len(s.Principals()),
-		Records:          s.Len(),
-		NextSeq:          s.nextSeq.Load(),
+		Appends:            s.metrics.Appends.Load(),
+		BatchAppends:       s.metrics.BatchAppends.Load(),
+		AppendedBytes:      s.metrics.AppendedBytes.Load(),
+		Rotations:          s.metrics.Rotations.Load(),
+		Compactions:        s.metrics.Compactions.Load(),
+		SessionCompactions: s.metrics.SessionCompactions.Load(),
+		SessionsEvicted:    s.metrics.SessionsEvicted.Load(),
+		Audits:             s.metrics.Audits.Load(),
+		AuditFailures:      s.metrics.AuditFailures.Load(),
+		RecoveredRecords:   s.metrics.RecoveredRecords.Load(),
+		TruncatedBytes:     s.metrics.TruncatedBytes.Load(),
+		Principals:         len(s.Principals()),
+		Records:            s.Len(),
+		Sessions:           s.sessions.Count(),
+		SessionEntries:     s.sessions.EntryCount(),
+		NextSeq:            s.nextSeq.Load(),
 	}
 }

@@ -1,0 +1,269 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/wire"
+)
+
+func sessAct(i int) logs.Action {
+	return logs.SndAct("p", logs.NameT("m"), logs.NameT("v"))
+}
+
+// commitSessioned appends a batch and checkpoints it under (session,
+// batchSeq) the way the ingest listener does: lookup, append, entry.
+func commitSessioned(t *testing.T, s *Store, session string, batchSeq uint64, n int) uint64 {
+	t.Helper()
+	tab := s.Sessions()
+	tab.Lock()
+	defer tab.Unlock()
+	if _, _, res := tab.LookupLocked(session, batchSeq); res != SessionNew {
+		t.Fatalf("batch %d of %s already known (%d)", batchSeq, session, res)
+	}
+	acts := make([]logs.Action, n)
+	for i := range acts {
+		acts[i] = sessAct(i)
+	}
+	base, err := s.AppendBatch(acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendLocked([]wire.SessionEntry{{Session: session, BatchSeq: batchSeq, Base: base, Count: uint64(n)}}); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestSessionsReplayAcrossReopen: a committed batch sequence is
+// recognised as a replay with its original block, both live and after
+// the store is closed and recovered from disk.
+func TestSessionsReplayAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base1 := commitSessioned(t, s, "c1", 1, 3)
+	base2 := commitSessioned(t, s, "c1", 2, 5)
+
+	check := func(s *Store) {
+		t.Helper()
+		tab := s.Sessions()
+		tab.Lock()
+		defer tab.Unlock()
+		if b, n, res := tab.LookupLocked("c1", 1); res != SessionReplay || b != base1 || n != 3 {
+			t.Fatalf("batch 1: got base=%d count=%d res=%d", b, n, res)
+		}
+		if b, n, res := tab.LookupLocked("c1", 2); res != SessionReplay || b != base2 || n != 5 {
+			t.Fatalf("batch 2: got base=%d count=%d res=%d", b, n, res)
+		}
+		if _, _, res := tab.LookupLocked("c1", 3); res != SessionNew {
+			t.Fatalf("batch 3 should be new, got %d", res)
+		}
+		if _, _, res := tab.LookupLocked("other", 1); res != SessionNew {
+			t.Fatalf("unknown session should be new, got %d", res)
+		}
+	}
+	check(s)
+	if got := s.Sessions().Max("c1"); got != 2 {
+		t.Fatalf("Max = %d, want 2", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	check(s2)
+	if st := s2.Stats(); st.Sessions != 1 || st.SessionEntries != 2 {
+		t.Fatalf("stats: %d sessions, %d entries", st.Sessions, st.SessionEntries)
+	}
+}
+
+// TestSessionsUnbackedEntryDropped: a checkpoint entry claiming
+// sequences the recovered shards do not hold is discarded on open — the
+// table must never promise a re-ack for data the store lost.
+func TestSessionsUnbackedEntryDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitSessioned(t, s, "c1", 1, 2)
+	// Forge a checkpoint that outran its records: claim a block that was
+	// never appended.
+	tab := s.Sessions()
+	tab.Lock()
+	if err := tab.AppendLocked([]wire.SessionEntry{{Session: "c1", BatchSeq: 2, Base: 900, Count: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	tab.Unlock()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tab2 := s2.Sessions()
+	tab2.Lock()
+	defer tab2.Unlock()
+	if _, _, res := tab2.LookupLocked("c1", 1); res != SessionReplay {
+		t.Fatalf("backed entry lost: %d", res)
+	}
+	if _, _, res := tab2.LookupLocked("c1", 2); res != SessionNew {
+		t.Fatalf("unbacked entry survived recovery: %d", res)
+	}
+}
+
+// TestSessionsTornTailTruncated: a crash mid-checkpoint leaves half a
+// frame at the session-log tail; recovery truncates it and keeps every
+// whole entry before the tear.
+func TestSessionsTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitSessioned(t, s, "c1", 1, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, sessionLogName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := wire.AppendSessionFrame(nil, wire.SessionEntry{Session: "c1", BatchSeq: 2, Base: 2, Count: 2})
+	if _, err := f.Write(half[:len(half)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tab := s2.Sessions()
+	tab.Lock()
+	defer tab.Unlock()
+	if _, _, res := tab.LookupLocked("c1", 1); res != SessionReplay {
+		t.Fatalf("entry before the tear lost: %d", res)
+	}
+	if _, _, res := tab.LookupLocked("c1", 2); res != SessionNew {
+		t.Fatalf("torn entry survived: %d", res)
+	}
+}
+
+// TestSessionsWindowEviction: a batch sequence far enough behind the
+// session's newest leaves the window and probes for it report evicted,
+// while in-window gaps stay new.
+func TestSessionsWindowEviction(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{SessionWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for seq := uint64(1); seq <= 10; seq++ {
+		if seq != 7 { // leave an in-window gap
+			commitSessioned(t, s, "c1", seq, 1)
+		}
+	}
+	tab := s.Sessions()
+	tab.Lock()
+	defer tab.Unlock()
+	if _, _, res := tab.LookupLocked("c1", 2); res != SessionEvicted {
+		t.Fatalf("old sequence not evicted: %d", res)
+	}
+	if _, _, res := tab.LookupLocked("c1", 9); res != SessionReplay {
+		t.Fatalf("recent sequence not a replay: %d", res)
+	}
+	if _, _, res := tab.LookupLocked("c1", 7); res != SessionNew {
+		t.Fatalf("in-window gap not new: %d", res)
+	}
+}
+
+// TestSessionsCompaction: the session log is rewritten once it outgrows
+// its threshold, stays bounded by the live window, and the compacted
+// table still answers replays correctly after a reopen.
+func TestSessionsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SessionWindow: 8, SessionLogBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastBase uint64
+	for seq := uint64(1); seq <= 200; seq++ {
+		lastBase = commitSessioned(t, s, "c1", seq, 1)
+	}
+	if got := s.Stats().SessionCompactions; got == 0 {
+		t.Fatal("no compaction despite tiny threshold")
+	}
+	fi, err := os.Stat(filepath.Join(dir, sessionLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 2*512 {
+		t.Fatalf("session log still %d bytes after compaction", fi.Size())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{SessionWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tab := s2.Sessions()
+	tab.Lock()
+	defer tab.Unlock()
+	if b, n, res := tab.LookupLocked("c1", 200); res != SessionReplay || b != lastBase || n != 1 {
+		t.Fatalf("latest batch after compaction+reopen: base=%d count=%d res=%d", b, n, res)
+	}
+	if _, _, res := tab.LookupLocked("c1", 10); res != SessionEvicted {
+		t.Fatalf("ancient batch should be evicted: %d", res)
+	}
+}
+
+// TestSessionsLRUEviction: beyond MaxSessions the least-recently-used
+// session is evicted — new producers are never refused, the coldest
+// session just loses its replay protection.
+func TestSessionsLRUEviction(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{MaxSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	commitSessioned(t, s, "a", 1, 1)
+	commitSessioned(t, s, "b", 1, 1)
+	commitSessioned(t, s, "a", 2, 1) // touch a, so b is now the coldest
+	commitSessioned(t, s, "c", 1, 1) // over the cap: b evicted
+
+	st := s.Stats()
+	if st.Sessions != 2 || st.SessionsEvicted != 1 {
+		t.Fatalf("stats after eviction: %d sessions, %d evicted", st.Sessions, st.SessionsEvicted)
+	}
+	tab := s.Sessions()
+	tab.Lock()
+	defer tab.Unlock()
+	if _, _, res := tab.LookupLocked("a", 2); res != SessionReplay {
+		t.Fatalf("warm session lost: %d", res)
+	}
+	if _, _, res := tab.LookupLocked("c", 1); res != SessionReplay {
+		t.Fatalf("new session not admitted: %d", res)
+	}
+	if _, _, res := tab.LookupLocked("b", 1); res != SessionNew {
+		t.Fatalf("evicted session still known: %d", res)
+	}
+}

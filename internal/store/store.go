@@ -104,6 +104,22 @@ type Options struct {
 	// MaxShards caps the number of principals (default 4096); each shard
 	// keeps an open file descriptor.
 	MaxShards int
+	// SessionWindow is the per-session ingest dedup window (default
+	// 1024): how many batch sequence numbers behind a session's newest
+	// the store still recognises as replays. A batch older than that is
+	// refused (ErrSessionEvicted) rather than risked as a duplicate, so
+	// size it above a client's maximum in-flight batch count.
+	SessionWindow int
+	// MaxSessions caps the live ingest session population (default
+	// 1024); each session pins a dedup window in memory and in the
+	// session log. Beyond the cap the least-recently-committed session
+	// is evicted — it loses replay protection (the pre-session
+	// baseline), but new producers are never turned away by old churn.
+	MaxSessions int
+	// SessionLogBytes is the session-log compaction threshold (default
+	// 4 MiB): past it the log is rewritten with only the live windowed
+	// entries.
+	SessionLogBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -115,6 +131,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxShards <= 0 {
 		o.MaxShards = 4096
+	}
+	if o.SessionWindow <= 0 {
+		o.SessionWindow = 1024
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	if o.SessionLogBytes <= 0 {
+		o.SessionLogBytes = 4 << 20
 	}
 	return o
 }
@@ -160,6 +185,10 @@ type Store struct {
 	// global caches the merged view of all shards (see globalSnapshot):
 	// audits against a quiescent store pay the merge once, not per query.
 	global globalCache
+
+	// sessions is the durable ingest dedup table (session.go), recovered
+	// from sessions.log on Open.
+	sessions *Sessions
 
 	metrics Metrics
 }
@@ -247,6 +276,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	if haveAny {
 		s.nextSeq.Store(maxSeq + 1)
+	}
+	// The session table verifies its entries against the recovered
+	// shards, so it must open last.
+	if err := s.openSessions(); err != nil {
+		return nil, fmt.Errorf("store: recovering session table: %w", err)
 	}
 	return s, nil
 }
@@ -471,6 +505,9 @@ func (s *Store) rotateLocked(sh *shard, seq uint64) error {
 // (Options.Fsync off) lose at most the appends since the last Sync even
 // across rotations and new shards.
 func (s *Store) Sync() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	for _, sh := range s.snapshotShards() {
 		st := s.stripeFor(sh.principal)
 		st.Lock()
@@ -485,6 +522,12 @@ func (s *Store) Sync() error {
 		if err != nil {
 			return err
 		}
+	}
+	s.sessions.mu.Lock()
+	err := s.sessions.syncLocked()
+	s.sessions.mu.Unlock()
+	if err != nil {
+		return err
 	}
 	return syncDir(s.dir)
 }
@@ -514,6 +557,14 @@ func (s *Store) Close() error {
 		}
 		st.Unlock()
 	}
+	s.sessions.mu.Lock()
+	if err := s.sessions.syncLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := s.sessions.closeLocked(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.sessions.mu.Unlock()
 	if err := syncDir(s.dir); err != nil && firstErr == nil {
 		firstErr = err
 	}

@@ -4,10 +4,13 @@ package wire
 // append path (docs/protocol.md). Each message travels as one stream
 // frame (stream.go) whose envelope payload is:
 //
-//	ingest  := op(1) body
-//	batch   := uvarint(id) uvarint(n) action*n      client → server
-//	ack     := uvarint(id) uvarint(base) uvarint(n) server → client
-//	error   := uvarint(id) string(msg)              server → client
+//	ingest   := op(1) body
+//	batch    := uvarint(id) uvarint(n) action*n                client → server  (v1)
+//	ack      := uvarint(id) uvarint(base) uvarint(n)           server → client
+//	error    := uvarint(id) string(msg)                        server → client
+//	hello    := uvarint(proto) string(session)                 client → server  (v2)
+//	helloack := uvarint(proto) uvarint(maxBatchSeq)            server → client  (v2)
+//	batch2   := uvarint(id) uvarint(batchSeq) uvarint(n) action*n  client → server  (v2)
 //
 // id is a client-assigned request identifier, opaque to the server and
 // echoed verbatim in the reply, so many requests can be in flight on
@@ -18,6 +21,15 @@ package wire
 // error, e.g. validation); frame-level corruption is answered with id 0
 // and closes the connection, since request boundaries can no longer be
 // trusted.
+//
+// The v2 handshake upgrades delivery to exactly-once: hello names a
+// client-chosen idempotency session, and every batch2 carries the
+// session's monotonic batch sequence number, so the server can
+// recognise a replayed batch and re-ack its original sequence block
+// instead of appending it again. The helloack tells a resuming client
+// the highest batch sequence the server has committed for the session
+// (0 = none). The v1 batch message stays fully decodable and accepted;
+// it simply gets no replay protection.
 
 import (
 	"fmt"
@@ -27,10 +39,23 @@ import (
 
 // Ingest opcodes.
 const (
-	OpIngestBatch byte = 0x21
-	OpIngestAck   byte = 0x22
-	OpIngestError byte = 0x23
+	OpIngestBatch    byte = 0x21
+	OpIngestAck      byte = 0x22
+	OpIngestError    byte = 0x23
+	OpIngestHello    byte = 0x24
+	OpIngestHelloAck byte = 0x25
+	OpIngestBatch2   byte = 0x26
 )
+
+// IngestV2 is the protocol revision the session handshake negotiates.
+// (Revision 1, the sessionless protocol, has no hello message at all: a
+// v1 client just starts sending batch frames.)
+const IngestV2 = 2
+
+// MaxSessionLen bounds the ingest session identifier, keeping hello
+// frames — and every durable session-table entry derived from them —
+// small.
+const MaxSessionLen = 128
 
 // MaxIngestBatch bounds the number of actions in one ingest batch
 // frame. Together with MaxFrameLen it caps the memory one request can
@@ -40,18 +65,57 @@ const MaxIngestBatch = 1 << 14
 // IngestMsg is one decoded ingest protocol message; which fields are
 // meaningful depends on Op (see the layout above).
 type IngestMsg struct {
-	Op    byte
-	ID    uint64
-	Base  uint64        // OpIngestAck: first assigned sequence number
-	Count uint64        // OpIngestAck: size of the assigned block
-	Msg   string        // OpIngestError: what the server rejected
-	Acts  []logs.Action // OpIngestBatch: the actions to append
+	Op       byte
+	ID       uint64
+	Base     uint64        // OpIngestAck: first assigned sequence number
+	Count    uint64        // OpIngestAck: size of the assigned block
+	Msg      string        // OpIngestError: what the server rejected
+	Acts     []logs.Action // OpIngestBatch/OpIngestBatch2: the actions to append
+	Version  uint64        // OpIngestHello/OpIngestHelloAck: negotiated protocol revision
+	Session  string        // OpIngestHello: the client's idempotency session
+	BatchSeq uint64        // OpIngestBatch2: per-session batch sequence; OpIngestHelloAck: highest committed batch sequence (0 = none)
 }
 
-// IngestBatch encodes a client append request.
+// IngestBatch encodes a v1 (sessionless) client append request.
 func (e *Encoder) IngestBatch(id uint64, acts []logs.Action) {
 	e.byte(OpIngestBatch)
 	e.uvarint(id)
+	e.uvarint(uint64(len(acts)))
+	for _, a := range acts {
+		e.Action(a)
+	}
+}
+
+// IngestHello encodes the v2 session handshake: the first frame a
+// sessioned client sends on every connection. Sessions longer than
+// MaxSessionLen are truncated so the frame always round-trips the
+// codec's bound (servers reject such sessions anyway).
+func (e *Encoder) IngestHello(version uint64, session string) {
+	if len(session) > MaxSessionLen {
+		session = session[:MaxSessionLen]
+	}
+	e.byte(OpIngestHello)
+	e.uvarint(version)
+	e.string(session)
+}
+
+// IngestHelloAck encodes the server's handshake reply: the negotiated
+// protocol revision and the highest batch sequence number the server
+// has durably committed for the session (0 = a fresh session), so a
+// resuming client can trim its replay queue.
+func (e *Encoder) IngestHelloAck(version, maxBatchSeq uint64) {
+	e.byte(OpIngestHelloAck)
+	e.uvarint(version)
+	e.uvarint(maxBatchSeq)
+}
+
+// IngestBatch2 encodes a v2 append request: a v1 batch plus the
+// session's monotonic batch sequence number, the key the server's
+// dedup window recognises replays by.
+func (e *Encoder) IngestBatch2(id, batchSeq uint64, acts []logs.Action) {
+	e.byte(OpIngestBatch2)
+	e.uvarint(id)
+	e.uvarint(batchSeq)
 	e.uvarint(uint64(len(acts)))
 	for _, a := range acts {
 		e.Action(a)
@@ -86,11 +150,37 @@ func (d *Decoder) Ingest() (IngestMsg, error) {
 		return IngestMsg{}, err
 	}
 	m := IngestMsg{Op: op}
+	switch op {
+	case OpIngestHello:
+		if m.Version, err = d.uvarint(); err != nil {
+			return IngestMsg{}, err
+		}
+		if m.Session, err = d.string(); err != nil {
+			return IngestMsg{}, err
+		}
+		if len(m.Session) > MaxSessionLen {
+			return IngestMsg{}, fmt.Errorf("%w: session id of %d bytes", ErrTooLarge, len(m.Session))
+		}
+		return m, nil
+	case OpIngestHelloAck:
+		if m.Version, err = d.uvarint(); err != nil {
+			return IngestMsg{}, err
+		}
+		if m.BatchSeq, err = d.uvarint(); err != nil {
+			return IngestMsg{}, err
+		}
+		return m, nil
+	}
 	if m.ID, err = d.uvarint(); err != nil {
 		return IngestMsg{}, err
 	}
 	switch op {
-	case OpIngestBatch:
+	case OpIngestBatch, OpIngestBatch2:
+		if op == OpIngestBatch2 {
+			if m.BatchSeq, err = d.uvarint(); err != nil {
+				return IngestMsg{}, err
+			}
+		}
 		n, err := d.uvarint()
 		if err != nil {
 			return IngestMsg{}, err

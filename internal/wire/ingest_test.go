@@ -82,8 +82,88 @@ func TestIngestDecodeRejects(t *testing.T) {
 	}
 }
 
-// FuzzDecodeIngest: hostile ingest envelopes error instead of panicking
-// or over-reading, and whatever decodes re-encodes to an envelope that
+// TestIngestHandshakeRoundTrip: the v2 hello/helloack handshake and
+// sessioned batch survive the codec with session, sequence and actions
+// intact.
+func TestIngestHandshakeRoundTrip(t *testing.T) {
+	m, err := DecodeIngest(encodeIngest(func(e *Encoder) { e.IngestHello(IngestV2, "sess-abc") }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpIngestHello || m.Version != IngestV2 || m.Session != "sess-abc" {
+		t.Fatalf("hello: got %+v", m)
+	}
+
+	m, err = DecodeIngest(encodeIngest(func(e *Encoder) { e.IngestHelloAck(IngestV2, 41) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpIngestHelloAck || m.Version != IngestV2 || m.BatchSeq != 41 {
+		t.Fatalf("helloack: got %+v", m)
+	}
+
+	acts := []logs.Action{
+		logs.SndAct("alice", logs.NameT("m"), logs.NameT("v")),
+		logs.RcvAct("bob", logs.NameT("m"), logs.VarT("x")),
+	}
+	m, err = DecodeIngest(encodeIngest(func(e *Encoder) { e.IngestBatch2(7, 13, acts) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpIngestBatch2 || m.ID != 7 || m.BatchSeq != 13 || len(m.Acts) != len(acts) {
+		t.Fatalf("batch2: got %+v", m)
+	}
+	for i := range acts {
+		if m.Acts[i] != acts[i] {
+			t.Fatalf("action %d: got %+v want %+v", i, m.Acts[i], acts[i])
+		}
+	}
+}
+
+// TestIngestHandshakeRejects: over-long sessions are refused both on
+// decode (a hand-rolled frame) and truncated on encode, so a hostile
+// hello cannot smuggle an unbounded session id into the durable table.
+func TestIngestHandshakeRejects(t *testing.T) {
+	long := strings.Repeat("s", MaxSessionLen+1)
+	raw := encodeIngest(func(e *Encoder) {
+		e.byte(OpIngestHello)
+		e.uvarint(IngestV2)
+		e.string(long)
+	})
+	if _, err := DecodeIngest(raw); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized session: got %v", err)
+	}
+	m, err := DecodeIngest(encodeIngest(func(e *Encoder) { e.IngestHello(IngestV2, long) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Session != long[:MaxSessionLen] {
+		t.Fatalf("encoder did not truncate session: %d bytes", len(m.Session))
+	}
+}
+
+// TestSessionFrameRoundTrip: session-log frames round-trip, and a torn
+// or corrupt frame yields the same precise errors as record frames.
+func TestSessionFrameRoundTrip(t *testing.T) {
+	se := SessionEntry{Session: "client-1", BatchSeq: 9, Base: 1024, Count: 256}
+	frame := AppendSessionFrame(nil, se)
+	got, n, err := ReadSessionFrame(frame)
+	if err != nil || n != len(frame) || got != se {
+		t.Fatalf("round-trip: %+v %d %v", got, n, err)
+	}
+	if _, _, err := ReadSessionFrame(frame[:len(frame)-2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn frame: got %v", err)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, _, err := ReadSessionFrame(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt frame: got %v", err)
+	}
+}
+
+// FuzzDecodeIngest: hostile ingest envelopes — v1 batches, v2
+// handshakes, acks, errors — error instead of panicking or
+// over-reading, and whatever decodes re-encodes to an envelope that
 // decodes to the same message (codec idempotence on the valid subset).
 func FuzzDecodeIngest(f *testing.F) {
 	f.Add(encodeIngest(func(e *Encoder) {
@@ -91,7 +171,13 @@ func FuzzDecodeIngest(f *testing.F) {
 	}))
 	f.Add(encodeIngest(func(e *Encoder) { e.IngestAck(2, 50, 4) }))
 	f.Add(encodeIngest(func(e *Encoder) { e.IngestError(3, "nope") }))
+	f.Add(encodeIngest(func(e *Encoder) { e.IngestHello(IngestV2, "s-1") }))
+	f.Add(encodeIngest(func(e *Encoder) { e.IngestHelloAck(IngestV2, 7) }))
+	f.Add(encodeIngest(func(e *Encoder) {
+		e.IngestBatch2(4, 11, []logs.Action{logs.RcvAct("b", logs.NameT("m"), logs.VarT("x"))})
+	}))
 	f.Add([]byte{magicHi, magicLo, version, OpIngestBatch, 0x01, 0xFF})
+	f.Add([]byte{magicHi, magicLo, version, OpIngestHello, 0x02, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeIngest(data)
 		if err != nil {
@@ -105,14 +191,43 @@ func FuzzDecodeIngest(f *testing.F) {
 				e.IngestAck(m.ID, m.Base, m.Count)
 			case OpIngestError:
 				e.IngestError(m.ID, m.Msg)
+			case OpIngestHello:
+				e.IngestHello(m.Version, m.Session)
+			case OpIngestHelloAck:
+				e.IngestHelloAck(m.Version, m.BatchSeq)
+			case OpIngestBatch2:
+				e.IngestBatch2(m.ID, m.BatchSeq, m.Acts)
 			}
 		})
 		m2, err := DecodeIngest(reenc)
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded message failed: %v", err)
 		}
-		if m2.Op != m.Op || m2.ID != m.ID || m2.Base != m.Base || m2.Count != m.Count || m2.Msg != m.Msg || len(m2.Acts) != len(m.Acts) {
+		if m2.Op != m.Op || m2.ID != m.ID || m2.Base != m.Base || m2.Count != m.Count ||
+			m2.Msg != m.Msg || len(m2.Acts) != len(m.Acts) ||
+			m2.Version != m.Version || m2.Session != m.Session || m2.BatchSeq != m.BatchSeq {
 			t.Fatalf("round-trip changed message: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// FuzzReadSessionFrame: hostile session-log bytes never panic the
+// recovery scan, never claim a frame longer than the input, and valid
+// entries round-trip through the frame codec.
+func FuzzReadSessionFrame(f *testing.F) {
+	f.Add(AppendSessionFrame(nil, SessionEntry{Session: "s", BatchSeq: 1, Base: 2, Count: 3}))
+	f.Add([]byte{0x05, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		se, n, err := ReadSessionFrame(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("frame length %d out of bounds (input %d bytes)", n, len(data))
+		}
+		got, _, err := ReadSessionFrame(AppendSessionFrame(nil, se))
+		if err != nil || got != se {
+			t.Fatalf("re-framed entry mismatch: %+v %v", got, err)
 		}
 	})
 }

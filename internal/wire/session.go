@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// SessionEntry is one durable checkpoint of the ingest dedup window: it
+// records that batch sequence BatchSeq of idempotency session Session
+// was committed with the contiguous global sequence block
+// Base..Base+Count-1. internal/store persists these in the session log
+// (sessions.log), and the ingest listener consults the recovered table
+// to re-ack a replayed batch instead of appending it twice.
+type SessionEntry struct {
+	// Session is the client-chosen idempotency session identifier
+	// (≤ MaxSessionLen bytes).
+	Session string
+	// BatchSeq is the session's monotonic batch sequence number.
+	BatchSeq uint64
+	// Base is the first global sequence number the batch was assigned.
+	Base uint64
+	// Count is the size of the assigned block.
+	Count uint64
+}
+
+// SessionEntry encodes a session-table entry.
+func (e *Encoder) SessionEntry(se SessionEntry) {
+	e.string(se.Session)
+	e.uvarint(se.BatchSeq)
+	e.uvarint(se.Base)
+	e.uvarint(se.Count)
+}
+
+// SessionEntry decodes a session-table entry.
+func (d *Decoder) SessionEntry() (SessionEntry, error) {
+	se := SessionEntry{}
+	var err error
+	if se.Session, err = d.string(); err != nil {
+		return SessionEntry{}, err
+	}
+	if len(se.Session) > MaxSessionLen {
+		return SessionEntry{}, ErrTooLarge
+	}
+	if se.BatchSeq, err = d.uvarint(); err != nil {
+		return SessionEntry{}, err
+	}
+	if se.Base, err = d.uvarint(); err != nil {
+		return SessionEntry{}, err
+	}
+	if se.Count, err = d.uvarint(); err != nil {
+		return SessionEntry{}, err
+	}
+	return se, nil
+}
+
+// AppendSessionFrame appends the session-log frame for se to dst, using
+// the same checksummed frame layout as segment records
+// (AppendRecordFrame), so the session log shares the store's recovery
+// discipline: scan frames, stop at the first damaged one, truncate the
+// torn tail.
+func AppendSessionFrame(dst []byte, se SessionEntry) []byte {
+	e := NewEncoder()
+	e.SessionEntry(se)
+	env := e.Bytes()
+	dst = binary.AppendUvarint(dst, uint64(len(env)))
+	dst = append(dst, env...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(env, crcTable))
+}
+
+// ReadSessionFrame decodes the frame at the head of b, returning the
+// entry and the total number of bytes the frame occupies. Errors follow
+// ReadRecordFrame: ErrTruncated for an incomplete frame (the expected
+// session-log tail after a crash mid-checkpoint), ErrChecksum for a
+// complete but corrupt one.
+func ReadSessionFrame(b []byte) (SessionEntry, int, error) {
+	n, ln := binary.Uvarint(b)
+	if ln <= 0 {
+		return SessionEntry{}, 0, ErrTruncated
+	}
+	if n > MaxFrameLen {
+		return SessionEntry{}, 0, ErrTooLarge
+	}
+	total := ln + int(n) + 4
+	if len(b) < total {
+		return SessionEntry{}, 0, ErrTruncated
+	}
+	env := b[ln : ln+int(n)]
+	sum := binary.LittleEndian.Uint32(b[ln+int(n) : total])
+	if crc32.Checksum(env, crcTable) != sum {
+		return SessionEntry{}, 0, ErrChecksum
+	}
+	d, err := NewDecoder(env)
+	if err != nil {
+		return SessionEntry{}, 0, err
+	}
+	se, err := d.SessionEntry()
+	if err != nil {
+		return SessionEntry{}, 0, err
+	}
+	if err := d.Done(); err != nil {
+		return SessionEntry{}, 0, err
+	}
+	return se, total, nil
+}
