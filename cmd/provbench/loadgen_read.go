@@ -1,0 +1,212 @@
+package main
+
+// L2 — read/mixed load generator: filtered queries and a live follow
+// running against the binary read path while the binary ingest path
+// sustains concurrent append load on the same store. This is the
+// experiment behind the query-engine claim: the read surface serves
+// bounded, cursor-stable pages whose cost tracks the result size, and
+// a follower keeps up with the live log, without either stalling
+// ingestion.
+//
+// With -load-out the measurements are merged into a BENCH_results.json
+// artifact (the same layout cmd/benchjson emits), so the read-path
+// trajectory is recorded beside the ingest benchmarks.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/provclient"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+var (
+	loadQueryWorkers = flag.Int("load-query-workers", 2, "L2: concurrent filtered-query workers")
+	loadOut          = flag.String("load-out", "", "L2: merge results into this BENCH_results.json (empty: report only)")
+)
+
+func expL2() {
+	dir, err := os.MkdirTemp("", "provbench-read-*")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(filepath.Join(dir, "store"), store.Options{Fsync: *loadFsync})
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer st.Close()
+	srv := ingest.NewServer(st, ingest.Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer srv.Close()
+	wc := provclient.New(addr, provclient.Options{Conns: *loadConns}) // writers
+	defer wc.Close()
+	rc := provclient.New(addr, provclient.Options{Conns: 1}) // readers (queries dial their own conns)
+	defer rc.Close()
+
+	// Seed some history so the first queries have pages to serve.
+	seed := make([]logs.Action, 2048)
+	for j := range seed {
+		seed[j] = loadAct("s", 0, j%2, j)
+	}
+	if _, err := wc.AppendBatch(seed); err != nil {
+		fmt.Println("  seed:", err)
+		return
+	}
+
+	// Live follower: counts every record the read path streams while
+	// the workload runs.
+	follower, err := rc.Query(wire.QuerySpec{Follow: true})
+	if err != nil {
+		fmt.Println("  follow:", err)
+		return
+	}
+	var followed atomic.Uint64
+	followDone := make(chan error, 1)
+	go func() {
+		for {
+			chunk, err := follower.Next()
+			if err != nil {
+				followDone <- err
+				return
+			}
+			followed.Add(uint64(len(chunk)))
+		}
+	}()
+
+	// Concurrent drives: binary batched ingest + filtered tail queries.
+	var wg sync.WaitGroup
+	var ingestRes, queryRes loadResult
+	var ingestErr, queryErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ingestRes, ingestErr = drive(*loadConns, *loadDur, func(w, i int) (int, error) {
+			batch := make([]logs.Action, *loadBatch)
+			for j := range batch {
+				batch[j] = loadAct("w", w, i%2, j)
+			}
+			if _, err := wc.AppendBatch(batch); err != nil {
+				return 0, err
+			}
+			return len(batch), nil
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		queryRes, queryErr = drive(*loadQueryWorkers, *loadDur, func(w, i int) (int, error) {
+			recs, _, err := rc.QueryAll(wire.QuerySpec{
+				Channel: fmt.Sprintf("m%d", i%2), Tail: true, Limit: 256,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return len(recs), nil
+		})
+	}()
+	wg.Wait()
+	if ingestErr != nil {
+		fmt.Println("  ingest drive:", ingestErr)
+		return
+	}
+	if queryErr != nil {
+		fmt.Println("  query drive:", queryErr)
+		return
+	}
+
+	// Let the follower catch the tail, then stop it.
+	total := uint64(st.Len())
+	caughtUp := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if followed.Load() >= total {
+			caughtUp = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	follower.Cancel()
+	<-followDone
+	follower.Close()
+
+	fmt.Printf("  %d ingest workers (%d-action batches), %d query workers (filtered tail 256), %v, fsync=%v\n",
+		*loadConns, *loadBatch, *loadQueryWorkers, *loadDur, *loadFsync)
+	row("path             ", "ops     ", "records/s ", "req p50   ", "req p99")
+	row(fmt.Sprintf("binary ingest      %8d  %9.0f  %9v  %9v",
+		ingestRes.reqs, ingestRes.perSec(), ingestRes.p50.Round(time.Microsecond), ingestRes.p99.Round(time.Microsecond)))
+	row(fmt.Sprintf("filtered queries   %8d  %9.0f  %9v  %9v",
+		queryRes.reqs, queryRes.perSec(), queryRes.p50.Round(time.Microsecond), queryRes.p99.Round(time.Microsecond)))
+	fmt.Printf("  follow: %d of %d records streamed live\n", followed.Load(), total)
+	check("filtered queries served pages while ingest sustained load", queryRes.reqs > 0 && ingestRes.records > 0)
+	check("every query page stayed result-bounded (256 records)", queryRes.records == queryRes.reqs*256)
+	check("follower caught up with the live log after ingest stopped", caughtUp)
+
+	if *loadOut != "" {
+		entries := map[string]float64{
+			"L2/ingest_ns_per_record":   float64(*loadDur) / max(float64(ingestRes.records), 1),
+			"L2/query_filtered_p50_ns":  float64(queryRes.p50),
+			"L2/query_filtered_p99_ns":  float64(queryRes.p99),
+			"L2/follow_records_total":   float64(followed.Load()),
+			"L2/query_pages_per_second": queryRes.perSec() / 256,
+		}
+		if err := mergeBenchResults(*loadOut, entries); err != nil {
+			fmt.Println("  merging", *loadOut+":", err)
+			return
+		}
+		fmt.Printf("  merged %d entries into %s\n", len(entries), *loadOut)
+	}
+}
+
+// mergeBenchResults folds L2 measurements into a cmd/benchjson artifact,
+// replacing same-named entries and preserving everything else in the
+// file.
+func mergeBenchResults(path string, entries map[string]float64) error {
+	art := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &art); err != nil {
+			return fmt.Errorf("existing artifact unreadable: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	benches, _ := art["benchmarks"].([]any)
+	kept := benches[:0:0]
+	for _, b := range benches {
+		if m, ok := b.(map[string]any); ok {
+			name, _ := m["name"].(string)
+			if _, replaced := entries[name]; replaced {
+				continue // replaced below
+			}
+		}
+		kept = append(kept, b)
+	}
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names) // stable artifact ordering keeps diffs reviewable
+	for _, name := range names {
+		kept = append(kept, map[string]any{"name": name, "samples": 1, "ns_per_op": entries[name]})
+	}
+	art["benchmarks"] = kept
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

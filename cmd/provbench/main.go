@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"X2", "Extension §5 — static analysis vs dynamic runs", expX2},
 	{"X3", "Extension — auditing under an unreliable network", expX3},
 	{"L1", "Load — binary pipelined ingest vs HTTP/JSON single-record append", expL1},
+	{"L2", "Load — filtered queries + live follow under concurrent binary ingest", expL2},
 }
 
 func main() {

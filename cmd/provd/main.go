@@ -8,13 +8,21 @@
 //
 //	POST /append            durably append one action      {"principal":"a","kind":"snd","a":{"name":"m"},"b":{"name":"v"}}
 //	                        or a batch (JSON array of actions; one lock round, contiguous seqs in body order)
-//	GET  /log               recovered global log           ?observer=name redacts; ?limit=N tails
-//	GET  /log/{principal}   one shard                      ?chan= / ?kind= filter via the shard indexes
+//	GET  /log               recovered global log           ?observer= redacts; ?limit= pages; ?cursor= resumes;
+//	                                                       ?chan= / ?kind= filter; ?from=seq walks forward
+//	GET  /log/{principal}   one shard                      same parameters, served from the shard indexes
 //	POST /audit             Definition-3 correctness check {"value":"v","prov":[{"principal":"a","dir":"!"}]}
 //	POST /compact           merge sealed segments          ?principal= for one shard
-//	GET  /principals        known shards                   ?observer= omits principals hiding from it
+//	GET  /principals        known shards                   ?observer= omits principals hiding from it;
+//	                                                       ?limit=/?cursor= pages with per-shard record counts
 //	GET  /healthz           liveness + next sequence number
-//	GET  /metrics           store/server counters (text)
+//	GET  /metrics           store/engine/server counters (text)
+//
+// Every read endpoint is an adapter over the typed query engine
+// (internal/query): one filter/pagination/redaction semantics for the
+// whole read surface, with opaque cursors that stay valid while
+// appends continue (a page walk never sees records past its first
+// page's snapshot).
 //
 // Alongside the HTTP surface, provd serves the binary pipelined ingest
 // protocol (-ingest-addr, default :7710; see docs/protocol.md): framed
@@ -24,8 +32,13 @@
 // get exactly-once delivery: replayed batches are recognised by the
 // durable session table and re-acked instead of re-appended, with the
 // dedup window per session set by -dedup-window and the session
-// population capped by -max-sessions. Shutdown drains the listener —
-// every request read before the signal is committed and acked.
+// population capped by -max-sessions. The same listener serves the
+// binary read path — typed queries with cursor pagination and a Follow
+// mode streaming new records as they commit (remote replication and
+// off-box audit; provclient.Query is the client side), redacted under
+// the same -hide policy as HTTP. Shutdown drains the listener — every
+// request read before the signal is committed and acked, and every
+// live follow ends with a resume cursor.
 //
 // Disclosure policies (-hide) are applied at query time per requesting
 // observer, so the stored log remains complete while each observer sees
@@ -94,9 +107,12 @@ func main() {
 	log.Printf("provd: store %s recovered: %d records, %d shards, next seq %d",
 		*dir, stats.Records, stats.Principals, stats.NextSeq)
 
+	app := provd.NewServer(st, policy)
 	var ing *ingest.Server
 	if *ingestAddr != "" {
-		ing = ingest.NewServer(st, ingest.Options{})
+		// Share the HTTP app's query engine: both read surfaces apply
+		// one policy and accumulate one set of counters.
+		ing = ingest.NewServer(st, ingest.Options{Engine: app.Engine()})
 		bound, err := ing.Listen(*ingestAddr)
 		if err != nil {
 			st.Close()
@@ -104,8 +120,6 @@ func main() {
 		}
 		log.Printf("provd: binary ingest on %s", bound)
 	}
-
-	app := provd.NewServer(st, policy)
 	app.AttachIngest(ing)
 	srv := &http.Server{Addr: *addr, Handler: app}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

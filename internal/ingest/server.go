@@ -42,11 +42,19 @@
 // returns, so an acked batch is as durable as the store's Options.Fsync
 // promises.
 //
+// Reads. The same listener serves the binary read path (query.go in
+// this package): OpQuery runs a typed query (internal/query) and
+// streams its results back as chunk frames, with cursor pagination and
+// an optional Follow mode that tails the live log — the remote
+// replication and off-box audit primitive. Queries pipeline and
+// interleave freely with ingest traffic on a connection.
+//
 // Drain. Close stops the accept loop, then drains every connection:
-// requests already read are committed and acked, the encoder is
-// flushed, and only then are connections closed. Requests a client
-// wrote but the server had not read are dropped unacked — the client's
-// retry discipline (internal/provclient) covers them.
+// requests already read are committed and acked, running queries end
+// with a resume cursor, the encoder is flushed, and only then are
+// connections closed. Requests a client wrote but the server had not
+// read are dropped unacked — the client's retry discipline
+// (internal/provclient) covers them.
 package ingest
 
 import (
@@ -59,7 +67,9 @@ import (
 	"time"
 
 	"repro/internal/logs"
+	"repro/internal/query"
 	"repro/internal/store"
+	"repro/internal/trust"
 	"repro/internal/wire"
 )
 
@@ -73,6 +83,24 @@ type Options struct {
 	// store.AppendBatch (default 1<<15), bounding the store lock hold
 	// of a single round under a firehose of pipelined requests.
 	MaxRoundActions int
+	// Policy is the disclosure policy queries are redacted under (nil =
+	// full disclosure) — the same policy provd's HTTP surface applies,
+	// so the binary read path discloses exactly what HTTP would.
+	Policy *trust.DisclosurePolicy
+	// Engine, when set, serves queries instead of an engine built from
+	// Policy. Pass provd's engine (provd.Server.Engine) so both read
+	// surfaces share one set of redaction/denial counters.
+	Engine *query.Engine
+	// MaxQueriesPerConn caps concurrently running queries (including
+	// follows) per connection (default 8); one past the cap is rejected
+	// with a query-end error, the connection survives.
+	MaxQueriesPerConn int
+	// DrainWriteTimeout bounds reply writes once Close begins (default
+	// 5s). Healthy clients drain their acks and query ends well inside
+	// it; a stalled reader (full TCP buffer under a live follow) has
+	// its blocked writes failed after the timeout instead of wedging
+	// Close forever.
+	DrainWriteTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +109,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRoundActions <= 0 {
 		o.MaxRoundActions = 1 << 15
+	}
+	if o.MaxQueriesPerConn <= 0 {
+		o.MaxQueriesPerConn = 8
+	}
+	if o.DrainWriteTimeout <= 0 {
+		o.DrainWriteTimeout = 5 * time.Second
 	}
 	return o
 }
@@ -99,12 +133,17 @@ type Stats struct {
 	DedupRecords    uint64 // actions the dedup window kept out of the log
 	DedupEvicted    uint64 // sessioned batches refused as outside the dedup window
 	CheckpointFails uint64 // session-table checkpoint writes that failed (acks still truthful; replay protection for those batches lost)
+	Queries         uint64 // query requests started (including follows)
+	QueryRecords    uint64 // records served over the query ops
+	Follows         uint64 // queries opened in follow mode
+	QueryRejects    uint64 // queries answered with a query-end error
 }
 
 // Server is the binary ingest listener over a store.
 type Server struct {
-	store *store.Store
-	opts  Options
+	store  *store.Store
+	opts   Options
+	engine *query.Engine
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -124,15 +163,25 @@ type Server struct {
 	dedupRecords    atomic.Uint64
 	dedupEvicted    atomic.Uint64
 	checkpointFails atomic.Uint64
+	queries         atomic.Uint64
+	queryRecords    atomic.Uint64
+	follows         atomic.Uint64
+	queryRejects    atomic.Uint64
 }
 
 // NewServer wraps a store in an ingest listener.
 func NewServer(st *store.Store, opts Options) *Server {
+	opts = opts.withDefaults()
+	engine := opts.Engine
+	if engine == nil {
+		engine = query.NewEngine(st, opts.Policy)
+	}
 	return &Server{
-		store: st,
-		opts:  opts.withDefaults(),
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+		store:  st,
+		opts:   opts,
+		engine: engine,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
 	}
 }
 
@@ -176,6 +225,10 @@ func (s *Server) Stats() Stats {
 		DedupRecords:    s.dedupRecords.Load(),
 		DedupEvicted:    s.dedupEvicted.Load(),
 		CheckpointFails: s.checkpointFails.Load(),
+		Queries:         s.queries.Load(),
+		QueryRecords:    s.queryRecords.Load(),
+		Follows:         s.follows.Load(),
+		QueryRejects:    s.queryRejects.Load(),
 	}
 }
 
@@ -199,9 +252,15 @@ func (s *Server) Close() {
 	// readers' userspace buffers still decode (a deadline only fails the
 	// next syscall), so a just-sent request usually still lands; the
 	// committer then drains and acks everything read before the conn
-	// closes.
+	// closes. Writes get a grace deadline rather than an immediate
+	// kick: drain acks and query-end frames to healthy clients must
+	// still land, but a peer that stopped reading (a stalled follow
+	// consumer) cannot block its writer goroutines — and therefore this
+	// Wait — forever.
+	now := time.Now()
 	for c := range s.conns {
-		c.SetReadDeadline(time.Now())
+		c.SetReadDeadline(now)
+		c.SetWriteDeadline(now.Add(s.opts.DrainWriteTimeout))
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -253,6 +312,7 @@ func (s *Server) handle(conn net.Conn) {
 
 	reqs := make(chan request, s.opts.Queue)
 	replies := &replyWriter{enc: wire.NewStreamEncoder(conn), scratch: wire.NewEncoder()}
+	cq := newConnQueries()
 
 	committerDone := make(chan struct{})
 	go func() {
@@ -260,8 +320,10 @@ func (s *Server) handle(conn net.Conn) {
 		s.commitLoop(replies, conn, reqs)
 	}()
 
-	s.readLoop(conn, replies, reqs)
+	s.readLoop(conn, replies, reqs, cq)
 	close(reqs)     // reader done: let the committer drain what was read
+	close(cq.done)  // and stop this connection's queries and follows
+	cq.wg.Wait()    // every query has written its end frame (or given up)
 	<-committerDone // committed, acked and flushed — now the deferred close is graceful
 }
 
@@ -304,12 +366,14 @@ func (rw *replyWriter) sendHelloAck(maxBatchSeq uint64) {
 }
 
 // readLoop decodes request frames until the connection ends (EOF, error
-// or drain kick) and queues them for the committer. Malformed traffic
-// gets an id-0 error reply; frame-level damage ends the loop. A drain
-// kick (the read-deadline Close sets) must end the loop *silently*: the
-// committer is about to ack everything read, and an id-0 error would
-// make the client fail those very requests as connection-scoped.
-func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- request) {
+// or drain kick), queueing ingest requests for the committer and
+// dispatching query-family frames to their own goroutines. Malformed
+// traffic gets an id-0 error reply; frame-level damage ends the loop. A
+// drain kick (the read-deadline Close sets) must end the loop
+// *silently*: the committer is about to ack everything read, and an
+// id-0 error would make the client fail those very requests as
+// connection-scoped.
+func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- request, cq *connQueries) {
 	dec := wire.NewStreamDecoder(conn)
 	session := "" // set by the v2 hello; "" = sessionless (v1) connection
 	for {
@@ -320,6 +384,12 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 				s.connFails.Add(1)
 			}
 			return
+		}
+		if op, err := wire.PeekOp(env); err == nil && wire.IsQueryOp(op) {
+			if !s.handleQueryMsg(cq, replies, env) {
+				return
+			}
+			continue
 		}
 		m, err := wire.DecodeIngest(env)
 		if err != nil {

@@ -31,6 +31,11 @@
 // means the batch's tail did not commit. (Options.Legacy restores the
 // sessionless v1 protocol, whose delivery is at-least-once across
 // reconnects.)
+//
+// The client also speaks the binary read path (query.go): Query runs a
+// typed, cursor-paginated remote query — or a live Follow of the log
+// as it grows — over a dedicated connection, which is what remote
+// replication and off-box audit are built on.
 package provclient
 
 import (

@@ -1,0 +1,172 @@
+package provclient
+
+// Remote queries: the client side of the binary read path. A
+// QueryStream runs one query (or live follow) over its own dedicated
+// connection — reads are streaming and potentially long-lived, so they
+// never contend with the pooled, pipelined append connections — and
+// yields the server's chunks as they arrive. This is what makes a provd
+// remotely replicable and auditable off-box: Follow the log into a
+// local store, replay the Definition-3 audit against the replica.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// QueryStream is one running remote query. Next is not safe for
+// concurrent use; Cancel and Close may race Next freely.
+type QueryStream struct {
+	nc  net.Conn
+	dec *wire.StreamDecoder
+	id  uint64
+
+	wmu sync.Mutex // guards enc (Cancel racing a future writer)
+	enc *wire.StreamEncoder
+
+	done   bool
+	cursor string
+}
+
+// Query opens a dedicated connection and starts the query described by
+// spec (see wire.QuerySpec: filters, sequence window, observer, limit,
+// cursor, tail/follow). The stream must be Closed when done.
+func (c *Client) Query(spec wire.QuerySpec) (*QueryStream, error) {
+	if c.isClosed() {
+		return nil, ErrClosed
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("provclient: query dial: %w", err)
+	}
+	qs := &QueryStream{nc: nc, enc: wire.NewStreamEncoder(nc), dec: wire.NewStreamDecoder(nc), id: 1}
+	e := wire.NewEncoder()
+	e.Query(qs.id, spec)
+	qs.wmu.Lock()
+	err = qs.enc.Envelope(e.Bytes())
+	if err == nil {
+		err = qs.enc.Flush()
+	}
+	qs.wmu.Unlock()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("provclient: sending query: %w", err)
+	}
+	return qs, nil
+}
+
+// Next returns the next chunk of results: records in ascending
+// sequence order within the chunk. At the end of the query it returns
+// io.EOF (check Cursor for the resume token); a server-side failure
+// comes back as *ServerError. For a follow, Next blocks until records
+// commit, the follow is Cancelled, or the server drains.
+func (qs *QueryStream) Next() ([]wire.Record, error) {
+	if qs.done {
+		return nil, io.EOF
+	}
+	for {
+		env, err := qs.dec.Envelope()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("%w: connection closed before query end", errConnBroken)
+			}
+			return nil, err
+		}
+		op, err := wire.PeekOp(env)
+		if err != nil {
+			return nil, err
+		}
+		if !wire.IsQueryOp(op) {
+			// An id-0 ingest error is the server closing the connection.
+			if m, err := wire.DecodeIngest(env); err == nil && m.Op == wire.OpIngestError {
+				return nil, &ServerError{Msg: m.Msg}
+			}
+			return nil, fmt.Errorf("provclient: unexpected opcode %#x on query stream", op)
+		}
+		m, err := wire.DecodeQuery(env)
+		if err != nil {
+			return nil, err
+		}
+		switch m.Op {
+		case wire.OpQueryChunk:
+			if m.ID != qs.id {
+				return nil, fmt.Errorf("provclient: chunk for unknown query id %d", m.ID)
+			}
+			if len(m.Recs) == 0 {
+				continue // heartbeat-shaped; nothing to surface
+			}
+			return m.Recs, nil
+		case wire.OpQueryEnd:
+			if m.Err != "" {
+				// The server sends exactly one end per query; mark the
+				// stream finished so a retried Next cannot block on a
+				// reply that will never come.
+				qs.done = true
+				return nil, &ServerError{Msg: m.Err}
+			}
+			qs.done, qs.cursor = true, m.Cursor
+			return nil, io.EOF
+		default:
+			return nil, fmt.Errorf("provclient: unexpected query opcode %#x from server", m.Op)
+		}
+	}
+}
+
+// Cursor is the query's resume token, valid once Next has returned
+// io.EOF: "" means the walk is exhausted; anything else resumes in a
+// later Query (same filters) exactly where this one ended — including
+// where a cancelled or drained follow stopped.
+func (qs *QueryStream) Cursor() string { return qs.cursor }
+
+// Cancel asks the server to end the query (most usefully a live
+// follow). Results already in flight still arrive; Next returns io.EOF
+// once the server's end frame lands.
+func (qs *QueryStream) Cancel() error {
+	e := wire.NewEncoder()
+	e.QueryCancel(qs.id)
+	qs.wmu.Lock()
+	defer qs.wmu.Unlock()
+	if err := qs.enc.Envelope(e.Bytes()); err != nil {
+		return err
+	}
+	return qs.enc.Flush()
+}
+
+// Close tears the stream's connection down. A Next blocked in a follow
+// is unblocked with an error; prefer Cancel first to collect the
+// resume cursor.
+func (qs *QueryStream) Close() error { return qs.nc.Close() }
+
+// QueryAll runs a (non-follow) query to completion and returns all its
+// records in ascending sequence order, plus the final resume cursor
+// ("" when the walk is exhausted). Tail queries page newest-first on
+// the wire; QueryAll reassembles them into ascending order.
+func (c *Client) QueryAll(spec wire.QuerySpec) ([]wire.Record, string, error) {
+	if spec.Follow {
+		return nil, "", fmt.Errorf("provclient: QueryAll cannot run a follow; use Query")
+	}
+	qs, err := c.Query(spec)
+	if err != nil {
+		return nil, "", err
+	}
+	defer qs.Close()
+	var recs []wire.Record
+	for {
+		chunk, err := qs.Next()
+		if errors.Is(err, io.EOF) {
+			if spec.Tail {
+				sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+			}
+			return recs, qs.Cursor(), nil
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		recs = append(recs, chunk...)
+	}
+}

@@ -52,12 +52,30 @@ type BatchAppendResponse struct {
 	Count int    `json:"count"`
 }
 
-// LogResponse serves a (possibly redacted) view of a stored log.
+// LogResponse serves a (possibly redacted) view of a stored log. A
+// nonempty Cursor means the walk has more pages: pass it back as
+// ?cursor= (with the same filters) to continue — backwards through
+// older history for a default (tail) request, forward toward the
+// snapshot for a ?from= walk.
 type LogResponse struct {
 	Principal string      `json:"principal,omitempty"`
 	Observer  string      `json:"observer,omitempty"`
 	Records   []RecordDTO `json:"records"`
 	Log       string      `json:"log"`
+	Cursor    string      `json:"cursor,omitempty"`
+}
+
+// PrincipalDTO is one shard in a paginated /principals response.
+type PrincipalDTO struct {
+	Principal string `json:"principal"`
+	Records   int    `json:"records"`
+}
+
+// PrincipalsResponse is the paginated /principals shape (the
+// unpaginated endpoint keeps its historical bare-array response).
+type PrincipalsResponse struct {
+	Principals []PrincipalDTO `json:"principals"`
+	Cursor     string         `json:"cursor,omitempty"`
 }
 
 // AuditRequest asks for a Definition-3 correctness check of the claim

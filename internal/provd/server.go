@@ -8,11 +8,13 @@ package provd
 
 import (
 	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -20,18 +22,21 @@ import (
 
 	"repro/internal/ingest"
 	"repro/internal/logs"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/trust"
 	"repro/internal/wire"
 )
 
-// Server is the audit/query front end over a store.Store, following the
-// layered app/engine split: the store is the engine, this type is the
-// HTTP application layer. All provenance disclosure decisions are made
-// here, at query time, against the requesting observer.
+// Server is the audit/query front end over a store.Store: every read
+// endpoint is a thin adapter over the typed query engine
+// (internal/query), which owns filtering, cursor pagination and
+// disclosure redaction — the same engine the binary read path serves,
+// so HTTP and binary observers see byte-identical decisions.
 type Server struct {
 	store   *store.Store
 	policy  *trust.DisclosurePolicy
+	engine  *query.Engine
 	mux     *http.ServeMux
 	started time.Time
 	// ingest, when set, is the binary pipelined listener sharing the
@@ -39,9 +44,8 @@ type Server struct {
 	// ingestion surfaces.
 	ingest *ingest.Server
 
-	requests   atomic.Uint64
-	badReqs    atomic.Uint64
-	redactions atomic.Uint64
+	requests atomic.Uint64
+	badReqs  atomic.Uint64
 }
 
 // NewServer wires the routes. A nil policy means full disclosure.
@@ -49,7 +53,7 @@ func NewServer(st *store.Store, policy *trust.DisclosurePolicy) *Server {
 	if policy == nil {
 		policy = trust.NewDisclosurePolicy()
 	}
-	s := &Server{store: st, policy: policy, mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{store: st, policy: policy, engine: query.NewEngine(st, policy), mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("POST /append", s.handleAppend)
 	s.mux.HandleFunc("GET /log", s.handleGlobalLog)
 	s.mux.HandleFunc("GET /log/{principal}", s.handleShardLog)
@@ -64,6 +68,11 @@ func NewServer(st *store.Store, policy *trust.DisclosurePolicy) *Server {
 // AttachIngest joins a binary ingest listener's counters to /metrics,
 // so one scrape covers both ingestion surfaces.
 func (s *Server) AttachIngest(in *ingest.Server) { s.ingest = in }
+
+// Engine exposes the server's query engine so the binary read path can
+// share it (ingest.Options.Engine): one engine, one set of
+// redaction/denial counters, whichever surface served the read.
+func (s *Server) Engine() *query.Engine { return s.engine }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
@@ -160,123 +169,110 @@ func (s *Server) appendError(w http.ResponseWriter, err error) {
 	}
 }
 
-// viewRecords applies the disclosure policy once per record, returning
-// both the DTO batch and the redacted actions (oldest first). Redaction
-// happens on the decoded records, before any DTO conversion, so there is
-// no re-parse step that could silently serve an unmasked action.
-func (s *Server) viewRecords(recs []wire.Record, observer string) ([]RecordDTO, []logs.Action) {
+// recordDTOs converts an engine page (already redacted for its
+// observer) to the JSON shape.
+func recordDTOs(recs []wire.Record) []RecordDTO {
 	dtos := make([]RecordDTO, len(recs))
-	acts := make([]logs.Action, len(recs))
 	for i, r := range recs {
-		viewed := s.policy.ViewAction(r.Act, observer)
-		if viewed.Principal != r.Act.Principal {
-			s.redactions.Add(1)
-		}
-		dtos[i] = RecordDTO{Seq: r.Seq, Action: actionDTO(viewed)}
-		acts[i] = viewed
+		dtos[i] = RecordDTO{Seq: r.Seq, Action: actionDTO(r.Act)}
 	}
-	return dtos, acts
+	return dtos
 }
 
-// renderSpine renders the log spine of a record batch (actions oldest
-// first) with the most recent action leading, matching logs.Log.String()
-// output for linear logs — but in linear time and constant stack, which
-// the recursive stringifier cannot promise on a multi-million-record
-// recovered log.
-func renderSpine(acts []logs.Action) string {
-	if len(acts) == 0 {
-		return "0"
-	}
-	var b strings.Builder
-	for i := len(acts) - 1; i >= 0; i-- {
-		if i != len(acts)-1 {
-			b.WriteString("; ")
-		}
-		b.WriteString(acts[i].String())
-	}
-	return b.String()
-}
-
-// defaultLogLimit caps /log responses when the client names no limit:
-// materialising a multi-million-record store (records, DTOs, rendered
-// spine) for one request would let a single GET exhaust the heap. An
-// explicit ?limit=N is honoured as given.
-const defaultLogLimit = 10000
-
-// parseLimit reads the ?limit=N query parameter — the N most recent
-// records — defaulting when absent.
-func parseLimit(q string) (int, error) {
-	if q == "" {
-		return defaultLogLimit, nil
-	}
-	n, err := strconv.Atoi(q)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("invalid limit %q", q)
-	}
-	return n, nil
-}
-
-// handleGlobalLog serves the recovered monitor log, redacted for the
-// requesting observer (?observer=name); ?limit=N returns the N most
-// recent records.
-func (s *Server) handleGlobalLog(w http.ResponseWriter, r *http.Request) {
-	observer := r.URL.Query().Get("observer")
-	limit, err := parseLimit(r.URL.Query().Get("limit"))
+// logQuery assembles the engine query shared by /log and
+// /log/{principal} from the URL: ?observer=, ?limit= (page size,
+// default 10000), ?cursor= (resume a walk), ?chan= / ?kind= (index
+// filters), ?from= (ascending walk from a sequence number; without it
+// the page is the most recent records, whose cursor pages backwards
+// through history).
+func logQuery(r *http.Request, principal string) (query.Query, error) {
+	v := r.URL.Query()
+	limit, err := query.ParseLimit(v.Get("limit"))
 	if err != nil {
-		s.clientError(w, err)
-		return
+		return query.Query{}, err
 	}
-	dtos, acts := s.viewRecords(s.store.TailRecords(limit), observer)
-	s.writeJSON(w, http.StatusOK, LogResponse{
-		Observer: observer,
-		Records:  dtos,
-		Log:      renderSpine(acts),
-	})
+	q := query.Query{
+		Principal: principal,
+		Observer:  v.Get("observer"),
+		Channel:   v.Get("chan"),
+		Limit:     limit,
+		Cursor:    v.Get("cursor"),
+		Tail:      true,
+	}
+	if k := v.Get("kind"); k != "" {
+		kind, err := kindOf(k)
+		if err != nil {
+			return query.Query{}, err
+		}
+		q.Kind, q.KindSet = kind, true
+	}
+	if from := v.Get("from"); from != "" {
+		q.Tail = false
+		seq, err := strconv.ParseUint(from, 10, 64)
+		if err != nil {
+			return query.Query{}, fmt.Errorf("invalid from %q", from)
+		}
+		q.MinSeq = seq
+	}
+	return q, nil
 }
 
-// handleShardLog serves one principal's shard, redacted for the
-// requesting observer. Optional filters: ?chan=name, ?kind=snd|rcv|ift|iff
-// (served from the shard indexes).
-func (s *Server) handleShardLog(w http.ResponseWriter, r *http.Request) {
-	principal := r.PathValue("principal")
-	observer := r.URL.Query().Get("observer")
-	// A shard query is keyed by the acting principal, so masking the
-	// records would still disclose who acted: deny the whole shard to
-	// observers the principal hides from.
-	if s.policy.Hides(principal, observer) {
-		s.redactions.Add(1)
+// serveLog runs the query and writes the LogResponse; the error mapping
+// (denied shard → 403, bad cursor/query → 400) is shared by both log
+// endpoints.
+func (s *Server) serveLog(w http.ResponseWriter, q query.Query) {
+	// An explicit ?limit=0 is a probe: run a minimal query (so denial
+	// and cursor validation still apply) but serve no records.
+	probe := q.Limit == 0
+	if probe {
+		q.Limit = 1
+	}
+	page, err := s.engine.Run(q)
+	switch {
+	case errors.Is(err, query.ErrDenied):
 		s.writeJSON(w, http.StatusForbidden, map[string]string{
-			"error": fmt.Sprintf("principal %s does not disclose its log to %q", principal, observer),
+			"error": fmt.Sprintf("principal %s does not disclose its log to %q", q.Principal, q.Observer),
 		})
 		return
+	case err != nil:
+		s.clientError(w, err)
+		return
 	}
-	q := r.URL.Query()
-	limit, err := parseLimit(q.Get("limit"))
+	if probe {
+		page.Records, page.Cursor = nil, ""
+	}
+	s.writeJSON(w, http.StatusOK, LogResponse{
+		Principal: q.Principal,
+		Observer:  q.Observer,
+		Records:   recordDTOs(page.Records),
+		Log:       query.SpineString(page.Records),
+		Cursor:    page.Cursor,
+	})
+}
+
+// handleGlobalLog serves the recovered monitor log through the query
+// engine: redacted for ?observer=, filtered by ?chan=/?kind=, paginated
+// by ?limit= and ?cursor= (?from= walks forward instead).
+func (s *Server) handleGlobalLog(w http.ResponseWriter, r *http.Request) {
+	q, err := logQuery(r, "")
 	if err != nil {
 		s.clientError(w, err)
 		return
 	}
-	var recs []wire.Record
-	switch {
-	case q.Get("chan") != "":
-		recs = s.store.ByChannelTail(principal, q.Get("chan"), limit)
-	case q.Get("kind") != "":
-		kind, err := kindOf(q.Get("kind"))
-		if err != nil {
-			s.clientError(w, err)
-			return
-		}
-		recs = s.store.ByKindTail(principal, kind, limit)
-	default:
-		recs = s.store.RecordsTail(principal, limit)
+	s.serveLog(w, q)
+}
+
+// handleShardLog serves one principal's shard through the query engine.
+// A shard query is keyed by the acting principal, so masking the
+// records would still disclose who acted: the engine denies the whole
+// shard to observers the principal hides from.
+func (s *Server) handleShardLog(w http.ResponseWriter, r *http.Request) {
+	q, err := logQuery(r, r.PathValue("principal"))
+	if err != nil {
+		s.clientError(w, err)
+		return
 	}
-	dtos, acts := s.viewRecords(recs, observer)
-	s.writeJSON(w, http.StatusOK, LogResponse{
-		Principal: principal,
-		Observer:  observer,
-		Records:   dtos,
-		Log:       renderSpine(acts),
-	})
+	s.serveLog(w, q)
 }
 
 // handleAudit runs the server-side Definition-3 correctness check: does
@@ -302,15 +298,12 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		term = logs.UnknownT()
 	}
 	resp := AuditResponse{Correct: true}
-	if err := s.store.AuditTerm(term, k); err != nil {
+	if err := s.engine.AuditTerm(term, k); err != nil {
 		resp.Correct = false
 		resp.Detail = err.Error()
 	}
 	if req.Observer != "" {
-		if n := s.policy.RedactionCount(k, req.Observer); n > 0 {
-			s.redactions.Add(uint64(n))
-		}
-		resp.ProvView = eventDTOs(s.policy.View(k, req.Observer))
+		resp.ProvView = eventDTOs(s.engine.ViewProv(k, req.Observer))
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -331,20 +324,71 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// handlePrincipals lists known shards, omitting principals that hide
-// from the requesting observer — the same existence fact the shard
-// endpoint's 403 protects.
+// handlePrincipals lists known shards through the engine's counts
+// snapshot, omitting principals that hide from the requesting
+// observer — the same existence fact the shard endpoint's 403
+// protects. Without pagination parameters the response is the
+// historical bare JSON array; ?limit= (or ?cursor=) switches to a
+// paginated object carrying per-principal record counts and a resume
+// cursor.
 func (s *Server) handlePrincipals(w http.ResponseWriter, r *http.Request) {
-	observer := r.URL.Query().Get("observer")
-	ps := []string{}
-	for _, p := range s.store.Principals() {
-		if s.policy.Hides(p, observer) {
-			s.redactions.Add(1)
-			continue
+	v := r.URL.Query()
+	visible := s.engine.VisibleCounts(v.Get("observer")).Principals
+	if v.Get("limit") == "" && v.Get("cursor") == "" {
+		ps := make([]string, len(visible))
+		for i, pc := range visible {
+			ps[i] = pc.Principal
 		}
-		ps = append(ps, p)
+		s.writeJSON(w, http.StatusOK, ps)
+		return
 	}
-	s.writeJSON(w, http.StatusOK, ps)
+	limit, err := query.ParseLimit(v.Get("limit"))
+	if err != nil {
+		s.clientError(w, err)
+		return
+	}
+	if limit == 0 {
+		// Unlike /log (where limit=0 is a historical probe), principal
+		// pagination is new: an empty page with no cursor would be
+		// indistinguishable from an exhausted walk, so refuse it.
+		s.clientError(w, fmt.Errorf("principals pagination needs a positive limit"))
+		return
+	}
+	if after, ok := decodePrincipalCursor(v.Get("cursor")); ok {
+		i := sort.Search(len(visible), func(i int) bool { return visible[i].Principal > after })
+		visible = visible[i:]
+	} else if v.Get("cursor") != "" {
+		s.clientError(w, fmt.Errorf("%w: unrecognised principals cursor", query.ErrBadCursor))
+		return
+	}
+	resp := PrincipalsResponse{Principals: make([]PrincipalDTO, 0, min(limit, len(visible)))}
+	for _, pc := range visible {
+		if len(resp.Principals) >= limit {
+			if len(resp.Principals) > 0 {
+				resp.Cursor = encodePrincipalCursor(resp.Principals[len(resp.Principals)-1].Principal)
+			}
+			break
+		}
+		resp.Principals = append(resp.Principals, PrincipalDTO{Principal: pc.Principal, Records: pc.Records})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// Principal-list cursors: the list is name-sorted, so "after this name"
+// is a stable resume point no record walk is needed for.
+func encodePrincipalCursor(name string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("p1." + name))
+}
+
+func decodePrincipalCursor(s string) (string, bool) {
+	if s == "" {
+		return "", false
+	}
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil || !strings.HasPrefix(string(b), "p1.") {
+		return "", false
+	}
+	return string(b[3:]), true
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -355,14 +399,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics exposes store and server counters in the conventional
-// one-gauge-per-line text form.
+// handleMetrics exposes store, engine and server counters in the
+// conventional one-gauge-per-line text form. Store sizes come from the
+// engine's lock-free Counts snapshot, so scraping never touches the
+// append path's stripe locks.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.store.Stats()
+	qs := s.engine.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "provd_http_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(w, "provd_http_bad_requests_total %d\n", s.badReqs.Load())
-	fmt.Fprintf(w, "provd_redactions_total %d\n", s.redactions.Load())
+	fmt.Fprintf(w, "provd_redactions_total %d\n", qs.Redactions+qs.Denials)
+	fmt.Fprintf(w, "provd_query_pages_total %d\n", qs.Queries)
+	fmt.Fprintf(w, "provd_query_records_total %d\n", qs.Records)
+	fmt.Fprintf(w, "provd_query_denials_total %d\n", qs.Denials)
+	fmt.Fprintf(w, "provd_query_bad_cursors_total %d\n", qs.BadCursors)
 	fmt.Fprintf(w, "provd_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
 	fmt.Fprintf(w, "provd_store_appends_total %d\n", st.Appends)
 	fmt.Fprintf(w, "provd_store_batch_appends_total %d\n", st.BatchAppends)
@@ -394,5 +445,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "provd_ingest_dedup_records_total %d\n", in.DedupRecords)
 		fmt.Fprintf(w, "provd_ingest_dedup_evicted_total %d\n", in.DedupEvicted)
 		fmt.Fprintf(w, "provd_ingest_dedup_checkpoint_failures_total %d\n", in.CheckpointFails)
+		fmt.Fprintf(w, "provd_ingest_queries_total %d\n", in.Queries)
+		fmt.Fprintf(w, "provd_ingest_query_records_total %d\n", in.QueryRecords)
+		fmt.Fprintf(w, "provd_ingest_follows_total %d\n", in.Follows)
+		fmt.Fprintf(w, "provd_ingest_query_rejects_total %d\n", in.QueryRejects)
 	}
 }

@@ -1,0 +1,82 @@
+package query
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Cursors are opaque, stateless resume tokens: the engine keeps nothing
+// per walk, so a cursor survives process restarts and can be resumed
+// against any replica holding the same log. A cursor carries the walk
+// direction, the sequence-number boundary the next page starts from,
+// the walk's snapshot ceiling, and a hash of the query's filter
+// dimensions — a cursor presented with different filters is rejected
+// (ErrBadCursor) instead of silently serving a frankenwalk.
+
+// cursor is the decoded resume state.
+type cursor struct {
+	back     bool   // tail walk paging backwards; false = forward walk
+	boundary uint64 // fwd: inclusive next seq; back: exclusive ceil of the next older page
+	snap     uint64 // walk snapshot (exclusive); 0 = unbounded (follow resume)
+	fhash    uint32 // filterKey consistency hash
+}
+
+// fnv32a is the cursor's filter-consistency hash.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// encodeCursor renders the cursor as an opaque URL-safe token.
+func encodeCursor(c cursor) string {
+	dir := 'f'
+	if c.back {
+		dir = 'b'
+	}
+	raw := fmt.Sprintf("q1.%c.%d.%d.%08x", dir, c.boundary, c.snap, c.fhash)
+	return base64.RawURLEncoding.EncodeToString([]byte(raw))
+}
+
+// decodeCursor parses and validates a cursor against the query's
+// filter hash.
+func decodeCursor(s string, fhash uint32) (cursor, error) {
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return cursor{}, fmt.Errorf("%w: %v", ErrBadCursor, err)
+	}
+	parts := strings.Split(string(b), ".")
+	if len(parts) != 5 || parts[0] != "q1" {
+		return cursor{}, fmt.Errorf("%w: unrecognised layout", ErrBadCursor)
+	}
+	var c cursor
+	switch parts[1] {
+	case "f":
+	case "b":
+		c.back = true
+	default:
+		return cursor{}, fmt.Errorf("%w: unrecognised direction %q", ErrBadCursor, parts[1])
+	}
+	// Strict parses: Sscanf-style laxity (trailing garbage, signs)
+	// would let a mangled token resume a walk from the wrong position.
+	if c.boundary, err = strconv.ParseUint(parts[2], 10, 64); err != nil {
+		return cursor{}, fmt.Errorf("%w: boundary: %v", ErrBadCursor, err)
+	}
+	if c.snap, err = strconv.ParseUint(parts[3], 10, 64); err != nil {
+		return cursor{}, fmt.Errorf("%w: snapshot: %v", ErrBadCursor, err)
+	}
+	h, err := strconv.ParseUint(parts[4], 16, 32)
+	if err != nil {
+		return cursor{}, fmt.Errorf("%w: filter hash: %v", ErrBadCursor, err)
+	}
+	c.fhash = uint32(h)
+	if c.fhash != fhash {
+		return cursor{}, fmt.Errorf("%w: cursor belongs to a query with different filters", ErrBadCursor)
+	}
+	return c, nil
+}

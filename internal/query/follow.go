@@ -1,0 +1,93 @@
+package query
+
+import (
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+// Follower is a live tail of the store: it serves a query's matching
+// records in ascending sequence order and then blocks on the store's
+// append watcher until more commit, instead of ending the walk at a
+// snapshot. The binary read protocol's Follow mode is a thin pump
+// around this type.
+type Follower struct {
+	e    *Engine
+	q    Query
+	next uint64 // next sequence number to serve
+	w    *store.Watcher
+}
+
+// Follow validates q and opens a Follower at q's position: from its
+// cursor when set (a forward cursor from a previous page or follower),
+// in Tail mode from the Limit-th most recent match (the tail -f shape:
+// recent history first, then live), else from MinSeq. The query's
+// CeilSeq is ignored — a follow is unbounded by construction. The
+// watcher is registered before the start position is computed, so no
+// append racing the open can be missed. Close the follower when done.
+func (e *Engine) Follow(q Query) (*Follower, error) {
+	if q.Principal != "" && e.policy.Hides(q.Principal, q.Observer) {
+		e.denials.Add(1)
+		return nil, ErrDenied
+	}
+	f := &Follower{e: e, q: q, next: q.MinSeq, w: e.st.NewWatcher()}
+	switch {
+	case q.Cursor != "":
+		c, err := decodeCursor(q.Cursor, fnv32a(q.filterKey()))
+		if err != nil || c.back {
+			f.w.Close()
+			if err == nil {
+				err = ErrBadCursor
+			}
+			e.badCursors.Add(1)
+			return nil, err
+		}
+		f.next = c.boundary
+	case q.Tail:
+		limit := q.Limit
+		if limit <= 0 {
+			limit = DefaultLimit
+		}
+		if recs := e.fetchBack(q, 0, limit); len(recs) > 0 && recs[0].Seq > f.next {
+			f.next = recs[0].Seq
+		}
+	}
+	e.follows.Add(1)
+	return f, nil
+}
+
+// NextChunk returns the next batch of up to max matching records
+// (ascending, redacted for the observer), blocking on the append
+// watcher when the tail is dry. A receive from stop unblocks it with
+// ok=false; the follower's cursor then resumes exactly where the tail
+// stopped.
+func (f *Follower) NextChunk(max int, stop <-chan struct{}) ([]wire.Record, bool) {
+	for {
+		// Drain any pending wake-up token before scanning, so an append
+		// racing the scan re-arms the watcher rather than being missed.
+		select {
+		case <-f.w.C():
+		default:
+		}
+		recs := f.e.fetchFwd(f.q, f.next, 0, max)
+		if len(recs) > 0 {
+			f.next = recs[len(recs)-1].Seq + 1
+			f.e.records.Add(uint64(len(recs)))
+			return f.e.viewRecords(recs, f.q.Observer), true
+		}
+		select {
+		case <-f.w.C():
+		case <-stop:
+			return nil, false
+		}
+	}
+}
+
+// Cursor is the follower's resume token: a forward, unbounded cursor at
+// the next unserved sequence number. Feed it to a later Follow (live
+// resume) or Run (a stable paginated catch-up walk).
+func (f *Follower) Cursor() string {
+	return encodeCursor(cursor{boundary: f.next, fhash: fnv32a(f.q.filterKey())})
+}
+
+// Close releases the follower's append watcher.
+func (f *Follower) Close() { f.w.Close() }

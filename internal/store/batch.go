@@ -105,6 +105,7 @@ func (s *Store) AppendBatch(acts []logs.Action) (uint64, error) {
 		}
 	}
 	s.metrics.BatchAppends.Add(1)
+	s.notifyAppend()
 	return base, nil
 }
 

@@ -38,8 +38,10 @@ type Stats struct {
 	NextSeq            uint64
 }
 
-// Stats snapshots the metrics together with basic size figures.
+// Stats snapshots the metrics together with basic size figures. Sizes
+// come from Counts, so a metrics scrape never touches a stripe lock.
 func (s *Store) Stats() Stats {
+	c := s.Counts()
 	return Stats{
 		Appends:            s.metrics.Appends.Load(),
 		BatchAppends:       s.metrics.BatchAppends.Load(),
@@ -52,10 +54,10 @@ func (s *Store) Stats() Stats {
 		AuditFailures:      s.metrics.AuditFailures.Load(),
 		RecoveredRecords:   s.metrics.RecoveredRecords.Load(),
 		TruncatedBytes:     s.metrics.TruncatedBytes.Load(),
-		Principals:         len(s.Principals()),
-		Records:            s.Len(),
+		Principals:         len(c.Principals),
+		Records:            c.Records,
 		Sessions:           s.sessions.Count(),
 		SessionEntries:     s.sessions.EntryCount(),
-		NextSeq:            s.nextSeq.Load(),
+		NextSeq:            c.NextSeq,
 	}
 }

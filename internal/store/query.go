@@ -10,110 +10,90 @@ import (
 	"repro/internal/wire"
 )
 
-// Queries snapshot shard state under the stripe locks and return copies,
-// so results stay valid while appends continue.
+// Legacy query surface. These methods predate the scan primitives
+// (scan.go) and the typed query engine (internal/query) and survive as
+// thin wrappers so existing callers and tests keep working.
+//
+// Deprecated: new code should go through internal/query (for paginated,
+// redacted, cursor-stable result sets) or the Scan* primitives (for raw
+// bounded reads).
 
 // Principals returns the principals with at least one shard, sorted.
 func (s *Store) Principals() []string {
-	shards := s.snapshotShards()
-	out := make([]string, len(shards))
-	for i, sh := range shards {
-		out[i] = sh.principal
-	}
+	out := s.PrincipalsUnsorted()
+	sort.Strings(out)
 	return out
 }
 
-// Len returns the total number of stored records.
-func (s *Store) Len() int {
-	n := 0
-	for _, sh := range s.snapshotShards() {
-		st := s.stripeFor(sh.principal)
-		st.Lock()
-		n += len(sh.recs)
-		st.Unlock()
+// PrincipalsUnsorted returns the principals with at least one shard in
+// arbitrary order — for callers (the query engine's multi-shard merge,
+// which re-orders by sequence number anyway) that would pay the sort
+// per page or per follow wake-up for nothing.
+func (s *Store) PrincipalsUnsorted() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.shards))
+	for p := range s.shards {
+		out = append(out, p)
 	}
+	s.mu.RUnlock()
+	return out
+}
+
+// Len returns the total number of stored records. Served from the
+// atomically mirrored per-shard counts, so it takes no stripe lock.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	n := 0
+	for _, sh := range s.shards {
+		n += int(sh.count.Load())
+	}
+	s.mu.RUnlock()
 	return n
 }
 
 // Records returns a copy of one principal's records in sequence order.
+//
+// Deprecated: use ScanShard / internal/query.
 func (s *Store) Records(principal string) []wire.Record {
 	return s.RecordsTail(principal, -1)
 }
 
 // RecordsTail returns a copy of the n most recent records of one
-// principal (all of them when n is negative). A capped query copies —
-// and holds the shard's stripe lock for — only the tail.
+// principal (all of them when n is negative).
+//
+// Deprecated: use ScanShardTail / internal/query.
 func (s *Store) RecordsTail(principal string, n int) []wire.Record {
-	s.mu.RLock()
-	sh := s.shards[principal]
-	s.mu.RUnlock()
-	if sh == nil {
-		return nil
-	}
-	st := s.stripeFor(principal)
-	st.Lock()
-	defer st.Unlock()
-	recs := sh.recs
-	if n >= 0 && n < len(recs) {
-		recs = recs[len(recs)-n:]
-	}
-	out := make([]wire.Record, len(recs))
-	copy(out, recs)
-	return out
-}
-
-// tailRecsLocked copies the records at the n most recent index entries
-// (all when n is negative); the caller holds the shard's stripe lock.
-// Capped queries copy — and hold the lock for — only the tail.
-func tailRecsLocked(sh *shard, idx []int, n int) []wire.Record {
-	if n >= 0 && n < len(idx) {
-		idx = idx[len(idx)-n:]
-	}
-	out := make([]wire.Record, len(idx))
-	for i, j := range idx {
-		out[i] = sh.recs[j]
-	}
-	return out
+	return s.ScanShardTail(principal, Filter{}, 0, n)
 }
 
 // ByChannel returns the principal's send/receive records on a channel, in
 // sequence order (served from the in-memory channel index).
+//
+// Deprecated: use ScanShard / internal/query.
 func (s *Store) ByChannel(principal, ch string) []wire.Record {
 	return s.ByChannelTail(principal, ch, -1)
 }
 
 // ByChannelTail is ByChannel capped to the n most recent matches.
+//
+// Deprecated: use ScanShardTail / internal/query.
 func (s *Store) ByChannelTail(principal, ch string, n int) []wire.Record {
-	s.mu.RLock()
-	sh := s.shards[principal]
-	s.mu.RUnlock()
-	if sh == nil {
-		return nil
-	}
-	st := s.stripeFor(principal)
-	st.Lock()
-	defer st.Unlock()
-	return tailRecsLocked(sh, sh.byChan[ch], n)
+	return s.ScanShardTail(principal, Filter{Channel: ch}, 0, n)
 }
 
 // ByKind returns the principal's records of one action kind, in sequence
 // order (served from the in-memory kind index).
+//
+// Deprecated: use ScanShard / internal/query.
 func (s *Store) ByKind(principal string, k logs.ActKind) []wire.Record {
 	return s.ByKindTail(principal, k, -1)
 }
 
 // ByKindTail is ByKind capped to the n most recent matches.
+//
+// Deprecated: use ScanShardTail / internal/query.
 func (s *Store) ByKindTail(principal string, k logs.ActKind, n int) []wire.Record {
-	s.mu.RLock()
-	sh := s.shards[principal]
-	s.mu.RUnlock()
-	if sh == nil || k < 0 || int(k) >= len(sh.byKind) {
-		return nil
-	}
-	st := s.stripeFor(principal)
-	st.Lock()
-	defer st.Unlock()
-	return tailRecsLocked(sh, sh.byKind[int(k)], n)
+	return s.ScanShardTail(principal, Filter{Kind: k, KindSet: true}, 0, n)
 }
 
 // globalSnapshot returns the merged cross-shard view (records oldest
@@ -182,22 +162,19 @@ func (s *Store) globalSnapshot() ([]wire.Record, logs.Log) {
 
 // GlobalRecords merges every shard on sequence number, oldest first:
 // the durable image of the middleware's global monitor log.
+//
+// Deprecated: use ScanGlobal / internal/query.
 func (s *Store) GlobalRecords() []wire.Record {
 	return s.TailRecords(-1)
 }
 
 // TailRecords returns a copy of the n most recent records of the merged
 // global view (all of them when n is negative or exceeds the store
-// size), copying only the tail — a capped query against a huge store
-// must not pay an O(store) copy.
+// size), copying only the tail.
+//
+// Deprecated: use ScanGlobalTail / internal/query.
 func (s *Store) TailRecords(n int) []wire.Record {
-	recs, _ := s.globalSnapshot()
-	if n >= 0 && n < len(recs) {
-		recs = recs[len(recs)-n:]
-	}
-	out := make([]wire.Record, len(recs))
-	copy(out, recs)
-	return out
+	return s.ScanGlobalTail(0, n)
 }
 
 // ShardLog returns one principal's actions as a log spine (most recent
@@ -205,7 +182,7 @@ func (s *Store) TailRecords(n int) []wire.Record {
 // cross-principal provenance chains; use GlobalLog for Definition-3
 // audits.
 func (s *Store) ShardLog(principal string) logs.Log {
-	recs := s.Records(principal)
+	recs := s.ScanShardTail(principal, Filter{}, 0, -1)
 	acts := make([]logs.Action, len(recs))
 	for i, r := range recs {
 		acts[i] = r.Act

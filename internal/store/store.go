@@ -154,6 +154,9 @@ type shard struct {
 	recs      []wire.Record
 	byChan    map[string][]int // recs indexes per channel name (snd/rcv actions)
 	byKind    [4][]int         // recs indexes per ActKind
+	// count mirrors len(recs) atomically so size queries (Len, Counts,
+	// /metrics, /principals) never need the stripe lock.
+	count atomic.Int64
 	// compacting serialises compactions of this shard (the heavy I/O
 	// runs outside the stripe lock; see Compact).
 	compacting bool
@@ -168,6 +171,7 @@ func (sh *shard) addRec(r wire.Record) {
 			sh.byChan[r.Act.A.Name] = append(sh.byChan[r.Act.A.Name], i)
 		}
 	}
+	sh.count.Store(int64(len(sh.recs)))
 }
 
 // Store is the sharded, durable provenance log store.
@@ -189,6 +193,12 @@ type Store struct {
 	// sessions is the durable ingest dedup table (session.go), recovered
 	// from sessions.log on Open.
 	sessions *Sessions
+
+	// watchers are live append subscriptions (watch.go); hasWatchers
+	// keeps the append hot path at one atomic load when nobody follows.
+	watchMu     sync.Mutex
+	watchers    map[*Watcher]struct{}
+	hasWatchers atomic.Bool
 
 	metrics Metrics
 }
@@ -459,6 +469,7 @@ func (s *Store) Append(a logs.Action) (uint64, error) {
 	sh.addRec(r)
 	s.metrics.Appends.Add(1)
 	s.metrics.AppendedBytes.Add(uint64(n))
+	s.notifyAppend()
 	return seq, nil
 }
 

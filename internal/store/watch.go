@@ -1,0 +1,61 @@
+package store
+
+// Append watching: the primitive behind the query engine's Follow mode
+// (internal/query) and the binary read protocol's live tail. A Watcher
+// is a coalescing wake-up channel — it says "the sequence high-water
+// moved", not which records landed — so followers re-scan from their
+// cursor and watchers can never block an append: notification is a
+// non-blocking send into a one-slot channel, and when no watcher exists
+// the whole mechanism costs one atomic load on the append path.
+
+// Watcher is a live append subscription. Receive from C to learn that
+// records may have been appended since the last scan; the signal
+// coalesces, so one wake-up can cover many appends.
+type Watcher struct {
+	s  *Store
+	ch chan struct{}
+}
+
+// NewWatcher registers a watcher. Close it when done, or the store
+// carries the subscription (and its notification cost) forever.
+func (s *Store) NewWatcher() *Watcher {
+	w := &Watcher{s: s, ch: make(chan struct{}, 1)}
+	s.watchMu.Lock()
+	if s.watchers == nil {
+		s.watchers = make(map[*Watcher]struct{})
+	}
+	s.watchers[w] = struct{}{}
+	s.hasWatchers.Store(true)
+	s.watchMu.Unlock()
+	return w
+}
+
+// C is the wake-up channel: one buffered token, re-armed by every
+// append that finds the slot empty.
+func (w *Watcher) C() <-chan struct{} { return w.ch }
+
+// Close unregisters the watcher. Safe to call more than once; a pending
+// token may remain readable after Close.
+func (w *Watcher) Close() {
+	w.s.watchMu.Lock()
+	delete(w.s.watchers, w)
+	w.s.hasWatchers.Store(len(w.s.watchers) > 0)
+	w.s.watchMu.Unlock()
+}
+
+// notifyAppend wakes every watcher, without ever blocking the append
+// path: a watcher that has not consumed its previous token keeps it
+// (the wake-up coalesces).
+func (s *Store) notifyAppend() {
+	if !s.hasWatchers.Load() {
+		return
+	}
+	s.watchMu.Lock()
+	for w := range s.watchers {
+		select {
+		case w.ch <- struct{}{}:
+		default:
+		}
+	}
+	s.watchMu.Unlock()
+}

@@ -50,6 +50,51 @@ func FuzzReadRecordFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecodeQuery: hostile query-protocol envelopes (the read path a
+// remote auditor drives) never panic, and whatever decodes re-encodes
+// to a decodable message with the same meaning.
+func FuzzDecodeQuery(f *testing.F) {
+	e := NewEncoder()
+	e.Query(1, QuerySpec{Principal: "a", Channel: "m", Observer: "o",
+		Kind: logs.Snd, KindSet: true, MinSeq: 3, CeilSeq: 9, Limit: 4, Tail: true})
+	f.Add(append([]byte(nil), e.Bytes()...))
+	e.Reset()
+	e.QueryChunk(2, []Record{{Seq: 7, Act: logs.SndAct("a", logs.NameT("m"), logs.NameT("v"))}})
+	f.Add(append([]byte(nil), e.Bytes()...))
+	e.Reset()
+	e.QueryEnd(3, "cursor", "")
+	f.Add(append([]byte(nil), e.Bytes()...))
+	e.Reset()
+	e.QueryCancel(4)
+	f.Add(append([]byte(nil), e.Bytes()...))
+	f.Add([]byte{magicHi, magicLo, version, OpQuery})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeQuery(data)
+		if err != nil {
+			return
+		}
+		re := NewEncoder()
+		switch m.Op {
+		case OpQuery:
+			re.Query(m.ID, m.Spec)
+		case OpQueryChunk:
+			re.QueryChunk(m.ID, m.Recs)
+		case OpQueryEnd:
+			re.QueryEnd(m.ID, m.Cursor, m.Err)
+		case OpQueryCancel:
+			re.QueryCancel(m.ID)
+		}
+		m2, err := DecodeQuery(re.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded query message failed to decode: %v", err)
+		}
+		if m2.Op != m.Op || m2.ID != m.ID || m2.Spec != m.Spec ||
+			m2.Cursor != m.Cursor || m2.Err != m.Err || len(m2.Recs) != len(m.Recs) {
+			t.Fatalf("re-encoded query message changed: %+v vs %+v", m2, m)
+		}
+	})
+}
+
 // FuzzDecodeMessage: hostile message envelopes (the transport payload a
 // malicious peer controls end to end) never panic the decoder.
 func FuzzDecodeMessage(f *testing.F) {

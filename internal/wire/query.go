@@ -1,0 +1,277 @@
+package wire
+
+// Query protocol messages: the message layer of the binary read path
+// (docs/protocol.md, "Query and follow"). Queries share the ingest
+// listener's connections and frame layer (stream.go); each message
+// travels as one stream frame whose envelope payload is:
+//
+//	query  := op(1) uvarint(id) flags(1) kind(1) uvarint(min) uvarint(ceil)
+//	          uvarint(limit) string(principal) string(channel)
+//	          string(observer) string(cursor)                 client → server
+//	chunk  := op(1) uvarint(id) uvarint(n) record*n           server → client
+//	end    := op(1) uvarint(id) string(cursor) string(err)    server → client
+//	cancel := op(1) uvarint(id)                               client → server
+//
+// id is a client-assigned request identifier (nonzero; id 0 stays
+// reserved for connection-scoped errors, as in the ingest family) that
+// tags every chunk and the end of one query, so queries pipeline and
+// interleave freely with ingest traffic on the same connection.
+//
+// A query's results arrive as zero or more chunks — each a batch of
+// records in ascending global-sequence order — terminated by exactly
+// one end. An end with a nonempty err means the query failed (bad
+// cursor, denied shard); an end with a nonempty cursor means more
+// results exist beyond the served page (or, for a follow, marks where
+// a resumed query should continue). The follow flag keeps the query
+// live after the snapshot is served: new records stream as additional
+// chunks as they commit, until the client cancels, the connection ends,
+// or the server drains.
+
+import (
+	"fmt"
+
+	"repro/internal/logs"
+)
+
+// Query opcodes.
+const (
+	OpQuery       byte = 0x31
+	OpQueryChunk  byte = 0x32
+	OpQueryEnd    byte = 0x33
+	OpQueryCancel byte = 0x34
+)
+
+// Query flag bits.
+const (
+	// QueryTail asks for the limit most recent records instead of the
+	// first from MinSeq.
+	QueryTail byte = 1 << 0
+	// QueryFollow keeps the query live after the snapshot: new records
+	// stream as they commit.
+	QueryFollow byte = 1 << 1
+
+	queryFlagsKnown = QueryTail | QueryFollow
+)
+
+// MaxCursorLen bounds the opaque resume cursor, keeping query and end
+// frames small.
+const MaxCursorLen = 256
+
+// MaxQueryChunk bounds the number of records in one chunk frame.
+// Together with MaxFrameLen it caps the memory one reply can pin on the
+// client.
+const MaxQueryChunk = 1 << 13
+
+// noKind is the kind byte standing for "no kind filter".
+const noKind byte = 0xFF
+
+// QuerySpec is the typed query a client sends: filters, sequence
+// window, pagination and mode. The zero value asks for everything
+// (paged at the server's default limit).
+type QuerySpec struct {
+	Principal string // "" = all principals (the merged global view)
+	Channel   string // nonempty: snd/rcv records on this channel
+	Observer  string // disclosure-policy observer; "" = anonymous
+	Cursor    string // opaque resume cursor from a previous page's end
+	Kind      logs.ActKind
+	KindSet   bool
+	MinSeq    uint64 // inclusive lower sequence bound
+	CeilSeq   uint64 // exclusive upper sequence bound; 0 = unbounded
+	Limit     uint64 // page size; 0 = server default
+	Tail      bool   // serve the limit most recent instead
+	Follow    bool   // stream new records after the snapshot
+}
+
+// QueryMsg is one decoded query protocol message; which fields are
+// meaningful depends on Op (see the layout above).
+type QueryMsg struct {
+	Op     byte
+	ID     uint64
+	Spec   QuerySpec // OpQuery
+	Recs   []Record  // OpQueryChunk
+	Cursor string    // OpQueryEnd: resume cursor ("" = exhausted)
+	Err    string    // OpQueryEnd: nonempty = the query failed
+}
+
+// IsQueryOp reports whether op belongs to the query message family —
+// the listener's routing test between the ingest and query decoders.
+func IsQueryOp(op byte) bool {
+	return op >= OpQuery && op <= OpQueryCancel
+}
+
+// PeekOp returns the opcode of an envelope's payload without decoding
+// the body, validating the envelope header first.
+func PeekOp(env []byte) (byte, error) {
+	d, err := NewDecoder(env)
+	if err != nil {
+		return 0, err
+	}
+	return d.byte()
+}
+
+// Query encodes a client query request.
+func (e *Encoder) Query(id uint64, q QuerySpec) {
+	e.byte(OpQuery)
+	e.uvarint(id)
+	var flags byte
+	if q.Tail {
+		flags |= QueryTail
+	}
+	if q.Follow {
+		flags |= QueryFollow
+	}
+	e.byte(flags)
+	kind := noKind
+	if q.KindSet {
+		kind = byte(q.Kind)
+	}
+	e.byte(kind)
+	e.uvarint(q.MinSeq)
+	e.uvarint(q.CeilSeq)
+	e.uvarint(q.Limit)
+	e.string(q.Principal)
+	e.string(q.Channel)
+	e.string(q.Observer)
+	e.string(q.Cursor)
+}
+
+// QueryChunk encodes one batch of query results.
+func (e *Encoder) QueryChunk(id uint64, recs []Record) {
+	e.byte(OpQueryChunk)
+	e.uvarint(id)
+	e.uvarint(uint64(len(recs)))
+	for _, r := range recs {
+		e.Record(r)
+	}
+}
+
+// QueryEnd encodes the end of one query's results: a resume cursor
+// ("" = exhausted) or, with a nonempty errMsg, a failure. Over-long
+// strings are truncated so the reply always round-trips the codec's
+// bounds.
+func (e *Encoder) QueryEnd(id uint64, cursor, errMsg string) {
+	if len(cursor) > MaxCursorLen {
+		cursor = cursor[:MaxCursorLen]
+	}
+	if len(errMsg) > MaxNameLen {
+		errMsg = errMsg[:MaxNameLen]
+	}
+	e.byte(OpQueryEnd)
+	e.uvarint(id)
+	e.string(cursor)
+	e.string(errMsg)
+}
+
+// QueryCancel encodes a client's request to stop a running query (most
+// usefully a follow); the server answers with the query's end.
+func (e *Encoder) QueryCancel(id uint64) {
+	e.byte(OpQueryCancel)
+	e.uvarint(id)
+}
+
+// QueryMsg decodes one query protocol message.
+func (d *Decoder) QueryMsg() (QueryMsg, error) {
+	op, err := d.byte()
+	if err != nil {
+		return QueryMsg{}, err
+	}
+	m := QueryMsg{Op: op}
+	if m.ID, err = d.uvarint(); err != nil {
+		return QueryMsg{}, err
+	}
+	switch op {
+	case OpQuery:
+		flags, err := d.byte()
+		if err != nil {
+			return QueryMsg{}, err
+		}
+		if flags&^queryFlagsKnown != 0 {
+			return QueryMsg{}, fmt.Errorf("%w: query flags %#x", ErrBadTag, flags)
+		}
+		m.Spec.Tail = flags&QueryTail != 0
+		m.Spec.Follow = flags&QueryFollow != 0
+		kind, err := d.byte()
+		if err != nil {
+			return QueryMsg{}, err
+		}
+		if kind != noKind {
+			if kind > byte(logs.IfF) {
+				return QueryMsg{}, fmt.Errorf("%w: query kind %#x", ErrBadTag, kind)
+			}
+			m.Spec.Kind, m.Spec.KindSet = logs.ActKind(kind), true
+		}
+		if m.Spec.MinSeq, err = d.uvarint(); err != nil {
+			return QueryMsg{}, err
+		}
+		if m.Spec.CeilSeq, err = d.uvarint(); err != nil {
+			return QueryMsg{}, err
+		}
+		if m.Spec.Limit, err = d.uvarint(); err != nil {
+			return QueryMsg{}, err
+		}
+		if m.Spec.Principal, err = d.string(); err != nil {
+			return QueryMsg{}, err
+		}
+		if m.Spec.Channel, err = d.string(); err != nil {
+			return QueryMsg{}, err
+		}
+		if m.Spec.Observer, err = d.string(); err != nil {
+			return QueryMsg{}, err
+		}
+		if m.Spec.Cursor, err = d.string(); err != nil {
+			return QueryMsg{}, err
+		}
+		if len(m.Spec.Cursor) > MaxCursorLen {
+			return QueryMsg{}, fmt.Errorf("%w: cursor of %d bytes", ErrTooLarge, len(m.Spec.Cursor))
+		}
+	case OpQueryChunk:
+		n, err := d.uvarint()
+		if err != nil {
+			return QueryMsg{}, err
+		}
+		if n > MaxQueryChunk {
+			return QueryMsg{}, fmt.Errorf("%w: query chunk of %d records", ErrTooLarge, n)
+		}
+		// Cap the up-front allocation: the claimed count is untrusted
+		// and the body may be truncated.
+		m.Recs = make([]Record, 0, min(n, 1024))
+		for i := uint64(0); i < n; i++ {
+			r, err := d.Record()
+			if err != nil {
+				return QueryMsg{}, err
+			}
+			m.Recs = append(m.Recs, r)
+		}
+	case OpQueryEnd:
+		if m.Cursor, err = d.string(); err != nil {
+			return QueryMsg{}, err
+		}
+		if len(m.Cursor) > MaxCursorLen {
+			return QueryMsg{}, fmt.Errorf("%w: cursor of %d bytes", ErrTooLarge, len(m.Cursor))
+		}
+		if m.Err, err = d.string(); err != nil {
+			return QueryMsg{}, err
+		}
+	case OpQueryCancel:
+		// id only
+	default:
+		return QueryMsg{}, ErrBadTag
+	}
+	return m, nil
+}
+
+// DecodeQuery is a convenience one-shot query message decoder.
+func DecodeQuery(env []byte) (QueryMsg, error) {
+	d, err := NewDecoder(env)
+	if err != nil {
+		return QueryMsg{}, err
+	}
+	m, err := d.QueryMsg()
+	if err != nil {
+		return QueryMsg{}, err
+	}
+	if err := d.Done(); err != nil {
+		return QueryMsg{}, err
+	}
+	return m, nil
+}
