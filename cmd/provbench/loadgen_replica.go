@@ -1,0 +1,181 @@
+package main
+
+// L3 — replication load generator: a replica bootstraps from a seeded
+// leader and follows it while the binary ingest path keeps appending.
+// This is the experiment behind the read-replica claim: a replica
+// catches a leader under sustained write load (snapshot bulk transfer
+// plus follow-stream deltas), converges to a bit-identical log, and
+// holds steady-state lag near zero — so reads scale horizontally
+// without weakening the audit's verdicts.
+//
+// With -load-out the measurements are merged into the same
+// BENCH_results.json artifact as L1/L2.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/provclient"
+	"repro/internal/replica"
+	"repro/internal/store"
+)
+
+var loadSeed = flag.Int("load-seed", 20000, "L3: records seeded on the leader before the replica bootstraps")
+
+func expL3() {
+	dir, err := os.MkdirTemp("", "provbench-replica-*")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	leaderSt, err := store.Open(filepath.Join(dir, "leader"), store.Options{Fsync: *loadFsync})
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer leaderSt.Close()
+	srv := ingest.NewServer(leaderSt, ingest.Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer srv.Close()
+	wc := provclient.New(addr, provclient.Options{Conns: *loadConns})
+	defer wc.Close()
+
+	// Seed history so the bootstrap ships real bulk, not an empty meta.
+	batch := make([]logs.Action, 0, 1024)
+	for i := 0; i < *loadSeed; i++ {
+		batch = append(batch, loadAct("s", i%7, i%2, i))
+		if len(batch) == cap(batch) || i == *loadSeed-1 {
+			if _, err := wc.AppendBatch(batch); err != nil {
+				fmt.Println("  seed:", err)
+				return
+			}
+			batch = batch[:0]
+		}
+	}
+	seeded := leaderSt.NextSeq()
+
+	// Ingest keeps running while the replica bootstraps and follows.
+	driveDone := make(chan struct{})
+	var ingestErr error
+	go func() {
+		defer close(driveDone)
+		_, ingestErr = drive(*loadConns, *loadDur, func(w, i int) (int, error) {
+			b := make([]logs.Action, *loadBatch)
+			for j := range b {
+				b[j] = loadAct("w", w, i%2, j)
+			}
+			if _, err := wc.AppendBatch(b); err != nil {
+				return 0, err
+			}
+			return len(b), nil
+		})
+	}()
+
+	repSt, err := store.Open(filepath.Join(dir, "replica"), store.Options{Fsync: *loadFsync})
+	if err != nil {
+		fmt.Println("  replica store:", err)
+		return
+	}
+	defer repSt.Close()
+	rep := replica.New(repSt, addr, replica.Options{PollInterval: 50 * time.Millisecond})
+	start := time.Now()
+	rep.Start()
+	defer rep.Stop()
+
+	// Bootstrap catch-up: time for the replica to reach the seeded
+	// high-water while the leader keeps committing past it.
+	var bootstrapTime time.Duration
+	for deadline := time.Now().Add(*loadDur + 30*time.Second); ; {
+		if repSt.NextSeq() >= seeded {
+			bootstrapTime = time.Since(start)
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Printf("  bootstrap stuck at seq %d of %d\n", repSt.NextSeq(), seeded)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	<-driveDone
+	if ingestErr != nil {
+		fmt.Println("  ingest drive:", ingestErr)
+		return
+	}
+
+	// Convergence: the replica drains the follow stream to the leader's
+	// final high-water; steady-state lag is what remains after a poll.
+	leaderFinal := leaderSt.NextSeq()
+	converged := false
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		if repSt.NextSeq() >= leaderFinal {
+			converged = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	catchUp := time.Since(start)
+	status := rep.Status()
+
+	// Bit-identical spot check across the whole spine: page the two logs
+	// in lockstep and compare record for record.
+	identical := repSt.NextSeq() == leaderFinal
+	var from uint64
+	for identical {
+		l := leaderSt.ScanGlobal(from, leaderFinal, 4096)
+		r := repSt.ScanGlobal(from, leaderFinal, 4096)
+		if len(l) != len(r) {
+			identical = false
+			break
+		}
+		if len(l) == 0 {
+			break
+		}
+		for i := range l {
+			if l[i] != r[i] {
+				identical = false
+				break
+			}
+		}
+		from = l[len(l)-1].Seq + 1
+	}
+
+	applied := status.BootstrapRecords + status.AppliedRecords
+	fmt.Printf("  leader: %d seeded + %d live records (%d ingest workers, %d-action batches, %v, fsync=%v)\n",
+		seeded, leaderFinal-seeded, *loadConns, *loadBatch, *loadDur, *loadFsync)
+	row("phase            ", "records  ", "elapsed   ", "records/s")
+	row(fmt.Sprintf("bootstrap          %8d  %9v  %9.0f",
+		status.BootstrapRecords, bootstrapTime.Round(time.Millisecond), float64(status.BootstrapRecords)/bootstrapTime.Seconds()))
+	row(fmt.Sprintf("total catch-up     %8d  %9v  %9.0f",
+		applied, catchUp.Round(time.Millisecond), float64(applied)/catchUp.Seconds()))
+	fmt.Printf("  follow: %d batches, %d records applied; gaps %d (accepted %d); steady-state lag %d records\n",
+		status.AppliedBatches, status.AppliedRecords, status.Gaps, status.GapsAccepted, status.LagRecords)
+	check("replica converged to the leader's high-water under live ingest", converged)
+	check("replica log is bit-identical to the leader's", identical)
+	check("exactly one snapshot bootstrap served the history", status.Bootstraps == 1)
+	check("replication never diverged", !status.Diverged)
+
+	if *loadOut != "" {
+		entries := map[string]float64{
+			"L3/bootstrap_ns_per_record":    float64(bootstrapTime) / max(float64(status.BootstrapRecords), 1),
+			"L3/catchup_records_per_second": float64(applied) / catchUp.Seconds(),
+			"L3/steady_state_lag_records":   float64(status.LagRecords),
+			"L3/follow_applied_records":     float64(status.AppliedRecords),
+		}
+		if err := mergeBenchResults(*loadOut, entries); err != nil {
+			fmt.Println("  merging", *loadOut+":", err)
+			return
+		}
+		fmt.Printf("  merged %d entries into %s\n", len(entries), *loadOut)
+	}
+}

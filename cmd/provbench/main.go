@@ -48,6 +48,7 @@ var experiments = []experiment{
 	{"X3", "Extension — auditing under an unreliable network", expX3},
 	{"L1", "Load — binary pipelined ingest vs HTTP/JSON single-record append", expL1},
 	{"L2", "Load — filtered queries + live follow under concurrent binary ingest", expL2},
+	{"L3", "Load — replication: replica bootstrap + follow catch-up under live ingest", expL3},
 }
 
 func main() {

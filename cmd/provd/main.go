@@ -47,6 +47,17 @@
 // callers, so policies are an honest-observer privacy mechanism, not an
 // access-control boundary — front the daemon with an authenticating
 // proxy if observers are adversarial.
+//
+// Replica mode (-replica-of leader:7710) turns the daemon into a read
+// replica: the store is bootstrapped from the leader's snapshot, kept
+// current over the binary follow stream (internal/replica), and the
+// whole read surface — log, audit, principals, binary queries and
+// follows — serves locally. Appends are refused: HTTP writes redirect
+// to -leader-http when set (503 naming the leader otherwise), and the
+// binary listener rejects batches with the leader's address. /healthz
+// reports the role and applied sequence; /metrics gains
+// provd_replica_lag_records, provd_replica_lag_seconds and the other
+// replication gauges. See docs/operations.md, "Running a read replica".
 package main
 
 import (
@@ -64,6 +75,7 @@ import (
 
 	"repro/internal/ingest"
 	"repro/internal/provd"
+	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/trust"
 )
@@ -80,6 +92,8 @@ func main() {
 		dedupWindow = flag.Int("dedup-window", 1024, "per-session ingest dedup window (batch sequences remembered for replay re-acks)")
 		maxSessions = flag.Int("max-sessions", 1024, "live ingest session cap (least-recently-used session evicted beyond it)")
 		grace       = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
+		replicaOf   = flag.String("replica-of", "", "run as a read replica of this leader binary ingest address (e.g. leader:7710)")
+		leaderHTTP  = flag.String("leader-http", "", "leader's HTTP base URL for write redirects in replica mode (e.g. http://leader:7709)")
 	)
 	policy := trust.NewDisclosurePolicy()
 	flag.Func("hide", "hide a principal's actions: subject or subject=obs1,obs2 (repeatable)", func(v string) error {
@@ -108,13 +122,25 @@ func main() {
 		*dir, stats.Records, stats.Principals, stats.NextSeq)
 
 	app := provd.NewServer(st, policy)
+	var rep *replica.Replicator
+	if *replicaOf != "" {
+		rep = replica.New(st, *replicaOf, replica.Options{Logf: log.Printf})
+		rep.Start()
+		app.SetReplica(rep, *leaderHTTP)
+		log.Printf("provd: replica of %s (applied seq %d)", *replicaOf, st.NextSeq())
+	}
 	var ing *ingest.Server
 	if *ingestAddr != "" {
 		// Share the HTTP app's query engine: both read surfaces apply
-		// one policy and accumulate one set of counters.
-		ing = ingest.NewServer(st, ingest.Options{Engine: app.Engine()})
+		// one policy and accumulate one set of counters. In replica mode
+		// the listener still serves queries, follows and snapshots — a
+		// replica can seed further replicas — but refuses appends.
+		ing = ingest.NewServer(st, ingest.Options{Engine: app.Engine(), ReadOnly: rep != nil, LeaderAddr: *replicaOf})
 		bound, err := ing.Listen(*ingestAddr)
 		if err != nil {
+			if rep != nil {
+				rep.Stop()
+			}
 			st.Close()
 			log.Fatalf("provd: binary ingest listener: %v", err)
 		}
@@ -138,6 +164,9 @@ func main() {
 		if ing != nil {
 			ing.Close()
 		}
+		if rep != nil {
+			rep.Stop()
+		}
 		st.Close()
 		log.Fatalf("provd: %v", err)
 	case <-ctx.Done():
@@ -152,6 +181,12 @@ func main() {
 		// Drain the binary path before closing the store: every batch a
 		// client managed to get onto the wire is committed and acked.
 		ing.Close()
+	}
+	if rep != nil {
+		// Stop replication after the listeners: the store must not close
+		// under a mid-flight apply, and the durable high-water is the
+		// restart's resume point.
+		rep.Stop()
 	}
 	if err := st.Close(); err != nil {
 		log.Printf("provd: closing store: %v", err)

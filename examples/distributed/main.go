@@ -10,6 +10,11 @@
 // audit is replayed against the remote store to show the mirrored log
 // reaches the same Definition-3 verdict.
 //
+// Finally a read replica (internal/replica) bootstraps from that
+// store's snapshot and follows its live stream, and the audit is
+// replayed a third time — same verdict again, now from a third copy of
+// the log on a node that never saw a write.
+//
 //	go run ./examples/distributed
 package main
 
@@ -23,6 +28,7 @@ import (
 	"repro/internal/logs"
 	"repro/internal/pattern"
 	"repro/internal/provclient"
+	"repro/internal/replica"
 	"repro/internal/runtime"
 	"repro/internal/store"
 	"repro/internal/syntax"
@@ -132,5 +138,37 @@ func main() {
 		fmt.Println("remote audit:", err)
 	} else {
 		fmt.Println("remote audit: mirrored log justifies the same provenance (Definition 3)")
+	}
+
+	// A read replica of the remote store: snapshot bootstrap, then the
+	// follow stream, preserving every global sequence number. Audits are
+	// a pure function of the ordered log, so the replica must return the
+	// same verdict from its own disk.
+	repDir, err := os.MkdirTemp("", "distributed-replica-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(repDir)
+	repSt, err := store.Open(repDir, store.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer repSt.Close()
+	rep := replica.New(repSt, ingAddr, replica.Options{PollInterval: 50 * time.Millisecond})
+	rep.Start()
+	defer rep.Stop()
+	for deadline := time.Now().Add(10 * time.Second); repSt.NextSeq() < st.NextSeq(); {
+		if time.Now().After(deadline) {
+			panic("replica did not catch up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	status := rep.Status()
+	fmt.Printf("\nreplica caught up: %d records (bootstrapped %d, followed %d), lag %d\n",
+		repSt.Len(), status.BootstrapRecords, status.AppliedRecords, status.LagRecords)
+	if err := repSt.Audit(got[0]); err != nil {
+		fmt.Println("replica audit:", err)
+	} else {
+		fmt.Println("replica audit: replicated log justifies the same provenance (Definition 3)")
 	}
 }

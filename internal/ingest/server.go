@@ -101,6 +101,15 @@ type Options struct {
 	// its blocked writes failed after the timeout instead of wedging
 	// Close forever.
 	DrainWriteTimeout time.Duration
+	// ReadOnly refuses all append traffic (hello, batches) with an
+	// error naming LeaderAddr, while queries, follows and snapshots are
+	// served unchanged. This is the listener a replica-mode provd runs:
+	// the replica's store has exactly one writer (its Replicator), and
+	// a client that dials the wrong node learns where the leader is.
+	ReadOnly bool
+	// LeaderAddr is the leader's ingest address named in ReadOnly
+	// rejections (may be empty).
+	LeaderAddr string
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +146,8 @@ type Stats struct {
 	QueryRecords    uint64 // records served over the query ops
 	Follows         uint64 // queries opened in follow mode
 	QueryRejects    uint64 // queries answered with a query-end error
+	Snapshots       uint64 // snapshot transfers started
+	SnapshotRecords uint64 // records served over snapshot chunks
 }
 
 // Server is the binary ingest listener over a store.
@@ -167,6 +178,8 @@ type Server struct {
 	queryRecords    atomic.Uint64
 	follows         atomic.Uint64
 	queryRejects    atomic.Uint64
+	snapshots       atomic.Uint64
+	snapshotRecords atomic.Uint64
 }
 
 // NewServer wraps a store in an ingest listener.
@@ -229,6 +242,8 @@ func (s *Server) Stats() Stats {
 		QueryRecords:    s.queryRecords.Load(),
 		Follows:         s.follows.Load(),
 		QueryRejects:    s.queryRejects.Load(),
+		Snapshots:       s.snapshots.Load(),
+		SnapshotRecords: s.snapshotRecords.Load(),
 	}
 }
 
@@ -385,17 +400,47 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			}
 			return
 		}
-		if op, err := wire.PeekOp(env); err == nil && wire.IsQueryOp(op) {
-			if !s.handleQueryMsg(cq, replies, env) {
-				return
+		if op, err := wire.PeekOp(env); err == nil {
+			if wire.IsQueryOp(op) {
+				if !s.handleQueryMsg(cq, replies, env) {
+					return
+				}
+				continue
 			}
-			continue
+			if wire.IsSnapshotOp(op) {
+				if !s.handleSnapshotMsg(cq, replies, env) {
+					return
+				}
+				continue
+			}
 		}
 		m, err := wire.DecodeIngest(env)
 		if err != nil {
 			replies.sendError(0, fmt.Sprintf("closing: bad ingest message: %v", err))
 			s.connFails.Add(1)
 			return
+		}
+		if s.opts.ReadOnly {
+			// A read replica: every append op is refused with a reply
+			// naming the leader. Batches are rejected per request — the
+			// connection survives for its queries and snapshots — but a
+			// hello closes the connection: sessions exist only to make
+			// appends idempotent, so a client opening one is an appender
+			// that must re-dial the leader.
+			msg := "read-only replica: appends must go to the leader"
+			if s.opts.LeaderAddr != "" {
+				msg = fmt.Sprintf("read-only replica: appends must go to the leader at %s", s.opts.LeaderAddr)
+			}
+			switch m.Op {
+			case wire.OpIngestBatch, wire.OpIngestBatch2:
+				s.rejects.Add(1)
+				replies.sendError(m.ID, msg)
+				continue
+			default:
+				replies.sendError(0, "closing: "+msg)
+				s.connFails.Add(1)
+				return
+			}
 		}
 		var req request
 		switch m.Op {

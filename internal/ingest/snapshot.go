@@ -1,0 +1,149 @@
+package ingest
+
+// The snapshot transfer path: bulk replica bootstrap served on the same
+// listener as ingest and queries (wire/snapshot.go has the frame spec,
+// docs/protocol.md the protocol contract). An OpSnapshot pins the
+// store's sequence high-water as the snapshot ceiling and streams the
+// committed prefix below it — meta, record chunks in ascending sequence
+// order via the store's global merge (ScanGlobal), the session-table
+// entries that prefix fully backs, then one end frame repeating the
+// ceiling as the follow resume cursor. Appends racing the snapshot land
+// above the ceiling and are invisible to it; the follow the replica
+// starts from the resume cursor picks them up, so snapshot + delta is
+// exactly the leader's log.
+//
+// Snapshots share the query id space and cancel op on a connection:
+// OpQueryCancel with a snapshot's id stops it mid-stream with an
+// end-frame error, as does a server drain. A partial snapshot is
+// explicitly marked failed — the replica keeps the applied prefix
+// (every chunk is durable on arrival) and retries; re-bootstrap after a
+// partial apply resumes by following, not by re-fetching.
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// sendSnapshot writes and flushes one snapshot frame built by the
+// caller, reporting write success.
+func (rw *replyWriter) sendSnapshot(build func(*wire.Encoder)) bool {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if !rw.write(build) {
+		return false
+	}
+	return rw.enc.Flush() == nil
+}
+
+// handleSnapshotMsg dispatches one snapshot-family message from the
+// reader, reporting whether the connection is still trustworthy.
+func (s *Server) handleSnapshotMsg(cq *connQueries, replies *replyWriter, env []byte) bool {
+	m, err := wire.DecodeSnapshot(env)
+	if err != nil {
+		replies.sendError(0, fmt.Sprintf("closing: bad snapshot message: %v", err))
+		s.connFails.Add(1)
+		return false
+	}
+	if m.Op != wire.OpSnapshot {
+		// Meta, chunks, sessions and ends only flow server → client.
+		replies.sendError(0, fmt.Sprintf("closing: unexpected snapshot opcode %#x from client", m.Op))
+		s.connFails.Add(1)
+		return false
+	}
+	if m.ID == 0 {
+		replies.sendError(0, "closing: snapshot id 0 is reserved")
+		s.connFails.Add(1)
+		return false
+	}
+	cancel, err := cq.register(m.ID, s.opts.MaxQueriesPerConn)
+	if err != nil {
+		s.queryRejects.Add(1)
+		replies.sendSnapshot(func(e *wire.Encoder) { e.SnapshotEnd(m.ID, 0, err.Error()) })
+		return true
+	}
+	s.snapshots.Add(1)
+	cq.wg.Add(1)
+	go func(id uint64) {
+		defer cq.wg.Done()
+		defer cq.unregister(id)
+		s.runSnapshot(cq, replies, id, cancel)
+	}(m.ID)
+	return true
+}
+
+// snapshotStopped reports whether the snapshot should end early
+// (client cancel, reader gone, or server drain).
+func snapshotStopped(cq *connQueries, s *Server, cancel chan struct{}) bool {
+	select {
+	case <-cancel:
+		return true
+	case <-cq.done:
+		return true
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// runSnapshot streams one snapshot transfer: pin the ceiling, page the
+// global log below it, then the backed session entries, then the end.
+func (s *Server) runSnapshot(cq *connQueries, replies *replyWriter, id uint64, cancel chan struct{}) {
+	ceil := s.store.Counts().NextSeq
+	// Only entries whose whole claimed block lies under the ceiling are
+	// shipped: the snapshot's record prefix must back every entry it
+	// installs, or replica recovery would (rightly) drop them.
+	var entries []wire.SessionEntry
+	for _, se := range s.store.Sessions().Entries() {
+		if se.Base+se.Count <= ceil {
+			entries = append(entries, se)
+		}
+	}
+	// Sizing hint only; racing appends make the record count approximate.
+	total := min(uint64(s.store.Counts().Records), ceil)
+	if !replies.sendSnapshot(func(e *wire.Encoder) { e.SnapshotMeta(id, ceil, total, uint64(len(entries))) }) {
+		return
+	}
+	from := uint64(0)
+	for {
+		if snapshotStopped(cq, s, cancel) {
+			replies.sendSnapshot(func(e *wire.Encoder) { e.SnapshotEnd(id, ceil, "snapshot cancelled") })
+			return
+		}
+		recs := s.store.ScanGlobal(from, ceil, maxChunkRecs)
+		if len(recs) == 0 {
+			break
+		}
+		from = recs[len(recs)-1].Seq + 1
+		// Split by count and encoded size, like the query path, so no
+		// frame outgrows the stream codec's bound.
+		for len(recs) > 0 {
+			n, bytes := 0, 0
+			for n < len(recs) && n < wire.MaxSnapshotChunk {
+				sz := estSize(recs[n])
+				if n > 0 && bytes+sz > chunkBytes {
+					break
+				}
+				bytes += sz
+				n++
+			}
+			if !replies.sendSnapshot(func(e *wire.Encoder) { e.SnapshotChunk(id, recs[:n]) }) {
+				return
+			}
+			s.snapshotRecords.Add(uint64(n))
+			recs = recs[n:]
+		}
+	}
+	for off := 0; off < len(entries); off += wire.MaxSnapshotSessions {
+		if snapshotStopped(cq, s, cancel) {
+			replies.sendSnapshot(func(e *wire.Encoder) { e.SnapshotEnd(id, ceil, "snapshot cancelled") })
+			return
+		}
+		end := min(off+wire.MaxSnapshotSessions, len(entries))
+		if !replies.sendSnapshot(func(e *wire.Encoder) { e.SnapshotSessions(id, entries[off:end]) }) {
+			return
+		}
+	}
+	replies.sendSnapshot(func(e *wire.Encoder) { e.SnapshotEnd(id, ceil, "") })
+}

@@ -19,6 +19,23 @@ import (
 	"repro/internal/wire"
 )
 
+// SeqGapError reports a discontinuity in the global sequence spine of
+// an unfiltered stream: the server delivered Got where the stream's
+// order promised Expected next. The stream is finished (Next returns
+// io.EOF afterwards); the error is retriable — reconnect and resume
+// from the last applied sequence (LastSeq + 1). A gap that persists
+// across retries means the leader's log genuinely skips Expected (a
+// failed append consumed the sequence number) or the stream's source
+// lost data; internal/replica's Replicator arbitrates between the two.
+type SeqGapError struct {
+	Expected uint64 // the next sequence the stream promised
+	Got      uint64 // the sequence that arrived instead
+}
+
+func (e *SeqGapError) Error() string {
+	return fmt.Sprintf("provclient: follow-stream sequence gap: expected seq %d, got %d (retriable: resume from last applied)", e.Expected, e.Got)
+}
+
 // QueryStream is one running remote query. Next is not safe for
 // concurrent use; Cancel and Close may race Next freely.
 type QueryStream struct {
@@ -29,8 +46,18 @@ type QueryStream struct {
 	wmu sync.Mutex // guards enc (Cancel racing a future writer)
 	enc *wire.StreamEncoder
 
-	done   bool
-	cursor string
+	done    bool
+	cursor  string
+	pending error // a gap detected mid-chunk, surfaced after its clean prefix
+
+	// Gap detection: only an unfiltered, forward stream promises the
+	// dense global spine; a filtered one skips sequences by design.
+	checkGaps bool
+	expect    uint64 // next sequence the spine promises (valid if expectSet)
+	expectSet bool
+
+	last uint64 // highest sequence Next has returned (valid if seen)
+	seen bool
 }
 
 // Query opens a dedicated connection and starts the query described by
@@ -45,6 +72,14 @@ func (c *Client) Query(spec wire.QuerySpec) (*QueryStream, error) {
 		return nil, fmt.Errorf("provclient: query dial: %w", err)
 	}
 	qs := &QueryStream{nc: nc, enc: wire.NewStreamEncoder(nc), dec: wire.NewStreamDecoder(nc), id: 1}
+	// Only an unfiltered forward walk traverses the dense global spine;
+	// filters skip sequences by design and a tail pages newest-first.
+	qs.checkGaps = spec.Principal == "" && spec.Channel == "" && !spec.KindSet && !spec.Tail
+	if qs.checkGaps && spec.Cursor == "" {
+		// A cursor resume's base is opaque; there, the first record
+		// seeds the spine and only intra-stream continuity is checked.
+		qs.expect, qs.expectSet = spec.MinSeq, true
+	}
 	e := wire.NewEncoder()
 	e.Query(qs.id, spec)
 	qs.wmu.Lock()
@@ -66,6 +101,11 @@ func (c *Client) Query(spec wire.QuerySpec) (*QueryStream, error) {
 // comes back as *ServerError. For a follow, Next blocks until records
 // commit, the follow is Cancelled, or the server drains.
 func (qs *QueryStream) Next() ([]wire.Record, error) {
+	if qs.pending != nil {
+		err := qs.pending
+		qs.pending = nil
+		return nil, err
+	}
 	if qs.done {
 		return nil, io.EOF
 	}
@@ -100,6 +140,27 @@ func (qs *QueryStream) Next() ([]wire.Record, error) {
 			if len(m.Recs) == 0 {
 				continue // heartbeat-shaped; nothing to surface
 			}
+			if qs.checkGaps {
+				for i, r := range m.Recs {
+					if qs.expectSet && r.Seq != qs.expect {
+						// The stream can no longer be trusted as the spine;
+						// finish it so the caller's retry starts clean. The
+						// chunk's clean prefix is still delivered — it is
+						// contiguous history the caller should apply before
+						// retrying — with the gap surfaced on the next call.
+						qs.done = true
+						gap := &SeqGapError{Expected: qs.expect, Got: r.Seq}
+						if i == 0 {
+							return nil, gap
+						}
+						qs.pending = gap
+						qs.last, qs.seen = m.Recs[i-1].Seq, true
+						return m.Recs[:i], nil
+					}
+					qs.expect, qs.expectSet = r.Seq+1, true
+				}
+			}
+			qs.last, qs.seen = m.Recs[len(m.Recs)-1].Seq, true
 			return m.Recs, nil
 		case wire.OpQueryEnd:
 			if m.Err != "" {
@@ -122,6 +183,14 @@ func (qs *QueryStream) Next() ([]wire.Record, error) {
 // later Query (same filters) exactly where this one ended — including
 // where a cancelled or drained follow stopped.
 func (qs *QueryStream) Cursor() string { return qs.cursor }
+
+// LastSeq returns the highest sequence number Next has delivered and
+// whether any record has been delivered at all. Unlike Cursor it is
+// valid mid-stream — after every Next — which makes it the durable
+// checkpoint primitive for replication: persist LastSeq with each
+// applied batch and a crashed follower resumes with MinSeq = LastSeq+1,
+// never re-reading what it applied and never skipping what it did not.
+func (qs *QueryStream) LastSeq() (uint64, bool) { return qs.last, qs.seen }
 
 // Cancel asks the server to end the query (most usefully a live
 // follow). Results already in flight still arrive; Next returns io.EOF

@@ -1,0 +1,253 @@
+package provd
+
+// The flagship replication e2e (ISSUE 6): bootstrap a replica from a
+// 100k-record leader while ingest continues, kill the replica
+// mid-follow, restart it, and prove the converged replica is
+// bit-identical to the leader — the log record for record, and every
+// Definition-3 audit verdict — while its provd serves the full read
+// surface, refuses writes toward the leader, and exports lag.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/provclient"
+	"repro/internal/replica"
+	"repro/internal/store"
+)
+
+func replicaAct(p string, i int) logs.Action {
+	return logs.SndAct(p, logs.NameT(fmt.Sprintf("m%d", i)), logs.NameT(fmt.Sprintf("v%d", i%11)))
+}
+
+func waitReplicaSeq(t *testing.T, st *store.Store, want uint64, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for st.NextSeq() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at seq %d, want %d", st.NextSeq(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestReplicaEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-record e2e")
+	}
+	const seedRecords = 50000
+	const liveRecords = 50000
+
+	// Leader: store + binary listener + HTTP app.
+	leaderSt, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderSt.Close()
+	leaderApp := NewServer(leaderSt, nil)
+	leaderIng := ingest.NewServer(leaderSt, ingest.Options{Engine: leaderApp.Engine()})
+	leaderAddr, err := leaderIng.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderIng.Close()
+	leaderHTTP := httptest.NewServer(leaderApp)
+	defer leaderHTTP.Close()
+
+	// Seed half the log before the replica exists, so the bootstrap has
+	// real bulk to ship.
+	batch := make([]logs.Action, 0, 1000)
+	for i := 0; i < seedRecords; i++ {
+		batch = append(batch, replicaAct(fmt.Sprintf("p%d", i%13), i))
+		if len(batch) == cap(batch) {
+			if _, err := leaderSt.AppendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+
+	// The other half arrives through the binary ingest path while the
+	// replica bootstraps and follows.
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		pc := provclient.New(leaderAddr, provclient.Options{Conns: 2})
+		defer pc.Close()
+		chunk := make([]logs.Action, 0, 500)
+		for i := 0; i < liveRecords; i++ {
+			chunk = append(chunk, replicaAct(fmt.Sprintf("live%d", i%5), i))
+			if len(chunk) == cap(chunk) {
+				if _, err := pc.AppendBatch(chunk); err != nil {
+					t.Error(err)
+					return
+				}
+				chunk = chunk[:0]
+			}
+		}
+	}()
+
+	// Replica: bootstrap under concurrent ingest.
+	repDir := t.TempDir()
+	repSt, err := store.Open(repDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := replica.New(repSt, leaderAddr, replica.Options{PollInterval: 100 * time.Millisecond})
+	rep.Start()
+	waitReplicaSeq(t, repSt, seedRecords, 60*time.Second)
+
+	// Kill mid-follow: stop the replicator and close the store while the
+	// live appender is still committing on the leader.
+	rep.Stop()
+	killedAt := repSt.NextSeq()
+	if err := repSt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-ingestDone
+	if killedAt >= leaderSt.NextSeq() {
+		t.Logf("note: kill landed after convergence (replica %d, leader %d); restart still exercised", killedAt, leaderSt.NextSeq())
+	}
+
+	// Restart: reopen the store, new replicator, same dir. Crash =
+	// restart = resume; no second bootstrap.
+	repSt, err = store.Open(repDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repSt.Close()
+	if repSt.NextSeq() != killedAt {
+		t.Fatalf("recovered high-water %d, want %d", repSt.NextSeq(), killedAt)
+	}
+	rep2 := replica.New(repSt, leaderAddr, replica.Options{PollInterval: 100 * time.Millisecond})
+	rep2.Start()
+	defer rep2.Stop()
+	waitReplicaSeq(t, repSt, leaderSt.NextSeq(), 60*time.Second)
+	if rep2.Status().Bootstraps != 0 {
+		t.Fatalf("restart re-bootstrapped a non-empty replica")
+	}
+
+	// Bit-identical logs: every record at every sequence.
+	if l, r := leaderSt.NextSeq(), repSt.NextSeq(); l != r || l != seedRecords+liveRecords {
+		t.Fatalf("high-water: leader %d, replica %d, want %d", l, r, seedRecords+liveRecords)
+	}
+	var from uint64
+	total := 0
+	for {
+		lrecs := leaderSt.ScanGlobal(from, 0, 8192)
+		rrecs := repSt.ScanGlobal(from, 0, 8192)
+		if len(lrecs) != len(rrecs) {
+			t.Fatalf("scan from %d: leader %d records, replica %d", from, len(lrecs), len(rrecs))
+		}
+		if len(lrecs) == 0 {
+			break
+		}
+		for i := range lrecs {
+			if lrecs[i] != rrecs[i] {
+				t.Fatalf("logs differ at seq %d: leader %+v, replica %+v", lrecs[i].Seq, lrecs[i], rrecs[i])
+			}
+		}
+		total += len(lrecs)
+		from = lrecs[len(lrecs)-1].Seq + 1
+	}
+	if total != seedRecords+liveRecords {
+		t.Fatalf("replica holds %d records, want %d", total, seedRecords+liveRecords)
+	}
+
+	// Bit-identical Definition-3 verdicts, including claims that must
+	// fail: an audit is a pure function of the log, so leader and
+	// replica must agree on every one.
+	samples := leaderSt.ScanGlobal(0, 0, 10)
+	samples = append(samples, leaderSt.ScanGlobalTail(0, 10)...)
+	for _, r := range samples {
+		lerr := leaderSt.AuditTerm(r.Act.A, nil)
+		rerr := repSt.AuditTerm(r.Act.A, nil)
+		if (lerr == nil) != (rerr == nil) {
+			t.Fatalf("audit verdicts differ for %s at seq %d: leader %v, replica %v", r.Act.A, r.Seq, lerr, rerr)
+		}
+	}
+	lerr := leaderSt.AuditTerm(logs.NameT("never-sent-value"), nil)
+	rerr := repSt.AuditTerm(logs.NameT("never-sent-value"), nil)
+	if (lerr == nil) != (rerr == nil) {
+		t.Fatalf("negative audit verdicts differ: leader %v, replica %v", lerr, rerr)
+	}
+
+	// Replica-mode provd: reads serve locally, writes are refused, the
+	// role and lag are reported.
+	repApp := NewServer(repSt, nil)
+	repApp.SetReplica(rep2, "")
+	repHTTP := httptest.NewServer(repApp)
+	defer repHTTP.Close()
+
+	var health map[string]any
+	if code := getJSON(t, repHTTP, "/healthz", &health); code != http.StatusOK {
+		t.Fatalf("replica healthz returned %d", code)
+	}
+	if health["role"] != "replica" || health["leader"] != leaderAddr {
+		t.Fatalf("replica healthz: %+v", health)
+	}
+
+	var appendResp map[string]any
+	code := postJSON(t, repHTTP, "/append", map[string]any{"principal": "x", "kind": "snd", "a": map[string]string{"name": "m"}, "b": map[string]string{"name": "v"}}, &appendResp)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("replica append returned %d, want 503", code)
+	}
+	if appendResp["leader"] != leaderAddr {
+		t.Fatalf("replica append rejection names %v, want %s", appendResp["leader"], leaderAddr)
+	}
+
+	// With a leader HTTP base the same write redirects instead.
+	repApp2 := NewServer(repSt, nil)
+	repApp2.SetReplica(rep2, leaderHTTP.URL)
+	redirSrv := httptest.NewServer(repApp2)
+	defer redirSrv.Close()
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }}
+	resp, err := noRedirect.Post(redirSrv.URL+"/append", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("replica append with leader-http returned %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != leaderHTTP.URL+"/append" {
+		t.Fatalf("redirect location %q, want %q", loc, leaderHTTP.URL+"/append")
+	}
+
+	// The read surface really serves: the replica's /log answers from
+	// its local store.
+	var lastLog LogResponse
+	if code := getJSON(t, repHTTP, "/log?limit=5", &lastLog); code != http.StatusOK {
+		t.Fatalf("replica /log returned %d", code)
+	}
+	if len(lastLog.Records) != 5 {
+		t.Fatalf("replica /log served %d records, want 5", len(lastLog.Records))
+	}
+
+	// Lag metrics are exported.
+	resp, err = http.Get(repHTTP.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		"provd_replica_lag_records ",
+		"provd_replica_lag_seconds ",
+		fmt.Sprintf("provd_replica_applied_seq %d", repSt.NextSeq()),
+		"provd_replica_follows_total ",
+		"provd_replica_diverged 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("replica /metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

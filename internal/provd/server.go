@@ -23,6 +23,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/logs"
 	"repro/internal/query"
+	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/trust"
 	"repro/internal/wire"
@@ -43,6 +44,11 @@ type Server struct {
 	// store; its counters join /metrics so one scrape covers both
 	// ingestion surfaces.
 	ingest *ingest.Server
+	// replica, when set, puts the server in replica mode (replica.go in
+	// this package): reads serve locally, writes are refused toward the
+	// leader, health and metrics carry role and lag.
+	replica    *replica.Replicator
+	leaderHTTP string
 
 	requests atomic.Uint64
 	badReqs  atomic.Uint64
@@ -100,6 +106,10 @@ const maxBodyBytes = 1 << 20
 // pipeline should post batches, matching the store's AppendBatch fast
 // path.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.replica != nil {
+		s.rejectWrite(w, r)
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		s.clientError(w, fmt.Errorf("reading body: %w", err))
@@ -310,6 +320,12 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 
 // handleCompact compacts one shard (?principal=name) or all shards.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.replica != nil {
+		// Compaction rewrites segments; on a replica the Replicator is
+		// the store's only writer, so route it to the leader too.
+		s.rejectWrite(w, r)
+		return
+	}
 	principal := r.URL.Query().Get("principal")
 	var err error
 	if principal == "" {
@@ -392,11 +408,16 @@ func decodePrincipalCursor(s string) (string, bool) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	h := map[string]any{
 		"status":   "ok",
+		"role":     "leader",
 		"next_seq": s.store.NextSeq(),
 		"uptime_s": time.Since(s.started).Seconds(),
-	})
+	}
+	if s.replica != nil {
+		s.replicaHealth(h)
+	}
+	s.writeJSON(w, http.StatusOK, h)
 }
 
 // handleMetrics exposes store, engine and server counters in the
@@ -449,5 +470,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "provd_ingest_query_records_total %d\n", in.QueryRecords)
 		fmt.Fprintf(w, "provd_ingest_follows_total %d\n", in.Follows)
 		fmt.Fprintf(w, "provd_ingest_query_rejects_total %d\n", in.QueryRejects)
+		fmt.Fprintf(w, "provd_ingest_snapshots_total %d\n", in.Snapshots)
+		fmt.Fprintf(w, "provd_ingest_snapshot_records_total %d\n", in.SnapshotRecords)
+	}
+	if s.replica != nil {
+		s.replicaMetrics(w)
 	}
 }

@@ -307,6 +307,33 @@ func (t *Sessions) Count() int {
 	return len(t.m)
 }
 
+// Entries returns every live windowed entry, sorted by session then
+// batch sequence. This is the snapshot-transfer view of the table: a
+// replica that installs these entries (via Lock/AppendLocked/Unlock)
+// inherits the leader's replay protection, so a producer that fails
+// over to the replica cannot double-append a batch the leader already
+// committed.
+func (t *Sessions) Entries() []wire.SessionEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []wire.SessionEntry
+	for s, ss := range t.m {
+		floor := ss.floor(t.window)
+		for seq, b := range ss.entries {
+			if seq > floor {
+				out = append(out, wire.SessionEntry{Session: s, BatchSeq: seq, Base: b.base, Count: b.count})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Session != out[j].Session {
+			return out[i].Session < out[j].Session
+		}
+		return out[i].BatchSeq < out[j].BatchSeq
+	})
+	return out
+}
+
 // EntryCount returns the number of entries across all dedup windows.
 func (t *Sessions) EntryCount() int {
 	t.mu.Lock()
