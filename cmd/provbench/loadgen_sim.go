@@ -1,0 +1,84 @@
+package main
+
+// C1 — deterministic cluster-simulation soak: compile seeded scenarios
+// (workload + fault schedule fully derived from each seed) and run them
+// against real in-process clusters, checking the full invariant set —
+// exactly-once vs a no-fault control, monotone spine, replica
+// convergence, Definition-3 audit parity, session-dedup soundness —
+// after every schedule. This is the experiment behind the simulation
+// claim: the system survives sustained kill/drop/gap/partition
+// schedules, and any schedule that breaks it reproduces from one
+// printed seed (REPRO_SEED=<seed> go test ./internal/harness).
+//
+// With -load-out the soak's throughput and survival counts are merged
+// into the same BENCH_results.json artifact as L1-L3.
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/testutil"
+)
+
+var (
+	simSeeds = flag.Int("sim-seeds", 12, "C1: seeded fault schedules per soak")
+	simSeed  = flag.Int64("sim-seed", 20090817, "C1: base seed the schedules derive from (the go test sweep's default)")
+)
+
+func expC1() {
+	seeds := testutil.DeriveSeeds(*simSeed, *simSeeds)
+	var (
+		records, replays, gaps, stalls, boots uint64
+		faults, acks, chunks, kills           int
+		failed                                int
+	)
+	start := time.Now()
+	for _, seed := range seeds {
+		sc := scenario.Compile(harness.SweepSpec(seed), seed)
+		res, err := harness.Run(sc, harness.Options{Fsync: *loadFsync})
+		if err != nil {
+			failed++
+			fmt.Printf("  FAIL %v (replay: REPRO_SEED=%d go test ./internal/harness)\n", err, seed)
+			continue
+		}
+		fmt.Printf("  %s\n", res)
+		records += res.Records
+		replays += res.Replays
+		gaps += res.Gaps
+		stalls += res.StallBreaks
+		boots += res.Bootstraps
+		for _, n := range res.Faults {
+			faults += n
+		}
+		acks += res.AcksDropped
+		chunks += res.ChunksDropped
+		kills += res.LeaderKills + res.ReplicaKills
+	}
+	elapsed := time.Since(start)
+	perSec := float64(len(seeds)-failed) / elapsed.Seconds()
+
+	fmt.Printf("  soak: %d schedules in %v (%.2f scenarios/s, fsync=%v)\n",
+		len(seeds), elapsed.Round(time.Millisecond), perSec, *loadFsync)
+	fmt.Printf("  survived: %d faults (%d acks + %d chunks dropped, %d kills), %d replays, %d gaps, %d stall breaks, %d bootstraps, %d records\n",
+		faults, acks, chunks, kills, replays, gaps, stalls, boots, records)
+	check("every seeded schedule converged with all invariants green", failed == 0)
+	check("the soak exercised real faults", faults > 0 && acks > 0)
+
+	if *loadOut != "" {
+		entries := map[string]float64{
+			"C1/scenarios_per_second": perSec,
+			"C1/faults_survived":      float64(faults),
+			"C1/records_committed":    float64(records),
+			"C1/replays_survived":     float64(replays),
+			"C1/schedules_failed":     float64(failed),
+		}
+		if err := mergeBenchResults(*loadOut, entries); err != nil {
+			fmt.Println("  merging", *loadOut+":", err)
+			return
+		}
+		fmt.Printf("  merged %d entries into %s\n", len(entries), *loadOut)
+	}
+}

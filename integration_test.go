@@ -88,7 +88,7 @@ func TestIntegrationCompetitionEndToEnd(t *testing.T) {
 	}
 	m := monitor.New(prog.Sys)
 	results := map[string][]syntax.AnnotatedValue{}
-	rng := newSeeded(2009)
+	rng := newSeeded(t, 2009)
 	for step := 0; step < 2000 && len(results) < 3; step++ {
 		steps := monitor.Steps(m)
 		if len(steps) == 0 {

@@ -1,18 +1,18 @@
 package gen
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/logs"
 	"repro/internal/semantics"
 	"repro/internal/syntax"
+	"repro/internal/testutil"
 )
 
 func TestGeneratedSystemsAreClosed(t *testing.T) {
 	cfg := Default()
-	for seed := int64(0); seed < 200; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+	for _, seed := range testutil.SeedRange(t, 200) {
+		rng := testutil.Rand(seed)
 		s := cfg.System(rng)
 		if !syntax.IsClosed(s) {
 			t.Errorf("seed %d: generated system has free variables: %s", seed, s)
@@ -22,8 +22,8 @@ func TestGeneratedSystemsAreClosed(t *testing.T) {
 
 func TestGeneratedSystemsNormalize(t *testing.T) {
 	cfg := Default()
-	for seed := int64(0); seed < 200; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+	for _, seed := range testutil.SeedRange(t, 200) {
+		rng := testutil.Rand(seed)
 		s := cfg.System(rng)
 		n := semantics.Normalize(s)
 		// Round trip through the term representation.
@@ -38,9 +38,10 @@ func TestGeneratedSystemsReduce(t *testing.T) {
 	// Reduction must never panic on generated systems, and some generated
 	// systems must actually communicate (the generator is not degenerate).
 	cfg := Default()
+	seeds := testutil.SeedRange(t, 200)
 	communicated := 0
-	for seed := int64(0); seed < 200; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+	for _, seed := range seeds {
+		rng := testutil.Rand(seed)
 		s := cfg.System(rng)
 		tr := semantics.Run(s, seed, 30)
 		for _, l := range tr.Labels {
@@ -50,29 +51,32 @@ func TestGeneratedSystemsReduce(t *testing.T) {
 			}
 		}
 	}
-	if communicated < 20 {
+	// The degeneracy floor only means anything over the full sweep, not a
+	// single REPRO_SEED replay.
+	if len(seeds) == 200 && communicated < 20 {
 		t.Errorf("only %d/200 generated systems communicated; generator too degenerate", communicated)
 	}
 }
 
 func TestGeneratedProvBounded(t *testing.T) {
 	cfg := Default()
-	for seed := int64(0); seed < 100; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+	for _, seed := range testutil.SeedRange(t, 100) {
+		rng := testutil.Rand(seed)
 		k := cfg.Prov(rng)
 		if len(k) > cfg.MaxProvLen {
-			t.Errorf("prov too long: %d", len(k))
+			t.Errorf("seed %d: prov too long: %d", seed, len(k))
 		}
 		if k.Depth() > cfg.MaxProvDepth+1 {
-			t.Errorf("prov too deep: %d", k.Depth())
+			t.Errorf("seed %d: prov too deep: %d", seed, k.Depth())
 		}
 	}
 }
 
 func TestGeneratorDeterministic(t *testing.T) {
 	cfg := Default()
-	s1 := cfg.System(rand.New(rand.NewSource(7)))
-	s2 := cfg.System(rand.New(rand.NewSource(7)))
+	seed := testutil.Seed(t, 7)
+	s1 := cfg.System(testutil.Rand(seed))
+	s2 := cfg.System(testutil.Rand(seed))
 	if s1.String() != s2.String() {
 		t.Errorf("same seed must generate the same system")
 	}
@@ -80,8 +84,8 @@ func TestGeneratorDeterministic(t *testing.T) {
 
 func TestGeneratedLogsClosed(t *testing.T) {
 	cfg := Default()
-	for seed := int64(0); seed < 100; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+	for _, seed := range testutil.SeedRange(t, 100) {
+		rng := testutil.Rand(seed)
 		l := cfg.Log(rng)
 		if fv := logs.FreeVars(l); len(fv) != 0 {
 			t.Errorf("seed %d: generated log has free variables %v", seed, fv)

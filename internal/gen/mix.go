@@ -1,0 +1,54 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/logs"
+)
+
+// Mix weighs the four log-action kinds when generating workload
+// actions. Weights are relative (not percentages); a zero Mix falls
+// back to the uniform distribution of Config.Action.
+type Mix struct {
+	Snd, Rcv, Ift, Iff int
+}
+
+// MixUniform weighs all four kinds equally.
+func MixUniform() Mix { return Mix{Snd: 1, Rcv: 1, Ift: 1, Iff: 1} }
+
+// MixSendHeavy is the shape of a monitored middleware fleet: mostly
+// sends, a few receives, rare trust-level operations.
+func MixSendHeavy() Mix { return Mix{Snd: 8, Rcv: 3, Ift: 1, Iff: 1} }
+
+func (m Mix) total() int { return m.Snd + m.Rcv + m.Ift + m.Iff }
+
+// ActionMixed generates one closed action whose kind is drawn from the
+// mix and whose names come from the Config pools.
+func (c Config) ActionMixed(rng *rand.Rand, m Mix) logs.Action {
+	if m.total() == 0 {
+		return c.Action(rng)
+	}
+	p := pick(rng, c.Principals)
+	chn := logs.NameT(pick(rng, c.Channels))
+	val := logs.NameT(pick(rng, append(c.Channels, c.Principals...)))
+	r := rng.Intn(m.total())
+	switch {
+	case r < m.Snd:
+		return logs.SndAct(p, chn, val)
+	case r < m.Snd+m.Rcv:
+		return logs.RcvAct(p, chn, val)
+	case r < m.Snd+m.Rcv+m.Ift:
+		return logs.IftAct(p, val, val)
+	default:
+		return logs.IffAct(p, chn, val)
+	}
+}
+
+// Actions generates n mixed actions.
+func (c Config) Actions(rng *rand.Rand, n int, m Mix) []logs.Action {
+	out := make([]logs.Action, n)
+	for i := range out {
+		out[i] = c.ActionMixed(rng, m)
+	}
+	return out
+}

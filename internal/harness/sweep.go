@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/scenario"
+)
+
+// SweepSpec rotates the scenario shape by seed so a sweep covers every
+// topology, fleet size and fault emphasis. It lives in the non-test
+// package because both the go test property suite and provbench's C1
+// soak sweep with it: a seed that fails in either replays identically
+// in the other (REPRO_SEED=<seed> go test ./internal/harness).
+func SweepSpec(seed int64) scenario.Spec {
+	i := int(uint64(seed) % 12)
+	spec := scenario.Default()
+	spec.Name = fmt.Sprintf("sweep-%d", i)
+	spec.Topology = scenario.Topology(i % 4)
+	spec.Replicas = 1 + i%3
+	spec.Producers = 1 + i%4
+	spec.Batches = 20 + (i%3)*8
+	spec.Mix = gen.MixSendHeavy()
+	switch i % 3 {
+	case 0: // transport-hostile: lost acks and dying connections
+		spec.Faults = scenario.FaultPlan{
+			DropAck: 200, DropConn: 150, KillLeader: 40, KillReplica: 60,
+			Partition: 40, Gap: 60, MaxLeaderKills: 1,
+		}
+	case 1: // crash-hostile: daemons die and restart
+		spec.Faults = scenario.FaultPlan{
+			DropAck: 80, DropConn: 60, KillLeader: 120, KillReplica: 200,
+			Partition: 40, Gap: 40, MaxLeaderKills: 3,
+		}
+	default: // network-hostile: partitions and follow-stream gaps
+		spec.Faults = scenario.FaultPlan{
+			DropAck: 60, DropConn: 60, KillLeader: 30, KillReplica: 60,
+			Partition: 180, Gap: 180, MaxLeaderKills: 1,
+		}
+	}
+	return spec
+}

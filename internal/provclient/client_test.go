@@ -2,9 +2,6 @@ package provclient
 
 import (
 	"errors"
-	"fmt"
-	"io"
-	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -13,28 +10,18 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/logs"
 	"repro/internal/store"
-	"repro/internal/wire"
+	"repro/internal/testutil"
 )
 
+// newBackend and act delegate to the shared fixture kit; the wrappers
+// exist so the suite's many call sites keep their historical shape.
 func newBackend(t *testing.T, opts ingest.Options) (*ingest.Server, *store.Store, string) {
 	t.Helper()
-	st, err := store.Open(t.TempDir(), store.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { st.Close() })
-	srv := ingest.NewServer(st, opts)
-	addr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(srv.Close)
+	st, srv, addr := testutil.NewBackend(t, opts)
 	return srv, st, addr
 }
 
-func act(p string, i int) logs.Action {
-	return logs.SndAct(p, logs.NameT(fmt.Sprintf("m%d", i)), logs.NameT("v"))
-}
+func act(p string, i int) logs.Action { return testutil.Act(p, i) }
 
 // TestAppendBatch: a batch lands in order with the acked contiguous
 // sequence block.
@@ -125,11 +112,7 @@ func TestServerErrorNotRetried(t *testing.T) {
 // TestRetryReconnect: a server restart between appends is absorbed by
 // retry-with-reconnect; no append is lost.
 func TestRetryReconnect(t *testing.T) {
-	st, err := store.Open(t.TempDir(), store.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer st.Close()
+	st := testutil.OpenStore(t, t.TempDir(), store.Options{})
 	srv := ingest.NewServer(st, ingest.Options{})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -155,84 +138,6 @@ func TestRetryReconnect(t *testing.T) {
 	}
 }
 
-// ackDropProxy sits between client and server. Its first accepted
-// connection is frame-aware: it forwards everything except the first
-// batch ack, which it swallows before killing the connection — the
-// precise "server committed, client never learned" window. Every later
-// connection pipes transparently.
-type ackDropProxy struct {
-	t        *testing.T
-	ln       net.Listener
-	backend  string
-	first    sync.Once
-	dropped  chan struct{} // closed once the ack has been swallowed
-	accepted int
-	mu       sync.Mutex
-}
-
-func newAckDropProxy(t *testing.T, backend string) *ackDropProxy {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := &ackDropProxy{t: t, ln: ln, backend: backend, dropped: make(chan struct{})}
-	t.Cleanup(func() { ln.Close() })
-	go p.accept()
-	return p
-}
-
-func (p *ackDropProxy) accept() {
-	for {
-		c, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		b, err := net.Dial("tcp", p.backend)
-		if err != nil {
-			c.Close()
-			return
-		}
-		p.mu.Lock()
-		p.accepted++
-		firstConn := p.accepted == 1
-		p.mu.Unlock()
-		go func() { io.Copy(b, c); b.Close() }() // client → server, always transparent
-		if !firstConn {
-			go func() { io.Copy(c, b); c.Close() }()
-			continue
-		}
-		go p.dropFirstAck(c, b)
-	}
-}
-
-// dropFirstAck relays server→client frames until the first batch ack,
-// which it discards before closing both sides.
-func (p *ackDropProxy) dropFirstAck(c, b net.Conn) {
-	dec := wire.NewStreamDecoder(b)
-	enc := wire.NewStreamEncoder(c)
-	for {
-		env, err := dec.Envelope()
-		if err != nil {
-			c.Close()
-			b.Close()
-			return
-		}
-		m, err := wire.DecodeIngest(env)
-		if err == nil && m.Op == wire.OpIngestAck {
-			close(p.dropped)
-			c.Close()
-			b.Close()
-			return
-		}
-		if enc.Envelope(env) != nil || enc.Flush() != nil {
-			c.Close()
-			b.Close()
-			return
-		}
-	}
-}
-
 // TestReplayAfterLostAck: the server commits a batch but its ack never
 // reaches the client (the connection dies in between). The client's
 // replay carries the same session batch sequence, so the server re-acks
@@ -241,8 +146,13 @@ func (p *ackDropProxy) dropFirstAck(c, b net.Conn) {
 // exactly-once where the v1 protocol would have duplicated.
 func TestReplayAfterLostAck(t *testing.T) {
 	srv, st, addr := newBackend(t, ingest.Options{})
-	proxy := newAckDropProxy(t, addr)
-	c := New(proxy.ln.Addr().String(), Options{Conns: 1, RequestTimeout: 5 * time.Second})
+	proxy, err := testutil.NewProxy(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	dropped := proxy.ArmAckDrop()
+	c := New(proxy.Addr(), Options{Conns: 1, RequestTimeout: 5 * time.Second})
 	defer c.Close()
 
 	batch := []logs.Action{act("p", 0), act("p", 1), act("p", 2)}
@@ -251,7 +161,7 @@ func TestReplayAfterLostAck(t *testing.T) {
 		t.Fatal(err)
 	}
 	select {
-	case <-proxy.dropped:
+	case <-dropped:
 	default:
 		t.Fatal("proxy never dropped an ack; the test exercised nothing")
 	}

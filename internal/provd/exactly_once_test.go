@@ -11,110 +11,15 @@ package provd
 // even when the transport and the daemon misbehave.
 
 import (
-	"io"
-	"net"
 	"net/http/httptest"
-	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/ingest"
 	"repro/internal/provclient"
 	"repro/internal/store"
-	"repro/internal/wire"
+	"repro/internal/testutil"
 )
-
-// ackEater is a frame-aware TCP proxy whose server→client relay counts
-// batch acks globally (across connections) and, at each ordinal in
-// drop, swallows the ack and kills the connection — the precise
-// "committed but unacked" window that used to duplicate records. The
-// backend is swappable so the proxy can follow a server restart.
-type ackEater struct {
-	t    *testing.T
-	ln   net.Listener
-	drop map[int]bool
-
-	mu      sync.Mutex
-	backend string
-	acks    int
-	dropped int
-}
-
-func newAckEater(t *testing.T, backend string, drop ...int) *ackEater {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := &ackEater{t: t, ln: ln, backend: backend, drop: make(map[int]bool)}
-	for _, n := range drop {
-		p.drop[n] = true
-	}
-	t.Cleanup(func() { ln.Close() })
-	go p.accept()
-	return p
-}
-
-func (p *ackEater) setBackend(addr string) {
-	p.mu.Lock()
-	p.backend = addr
-	p.mu.Unlock()
-}
-
-func (p *ackEater) droppedCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.dropped
-}
-
-func (p *ackEater) accept() {
-	for {
-		c, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		p.mu.Lock()
-		backend := p.backend
-		p.mu.Unlock()
-		b, err := net.Dial("tcp", backend)
-		if err != nil {
-			c.Close()
-			continue
-		}
-		go func() { io.Copy(b, c); b.Close() }() // client → server, transparent
-		go p.relayAcks(c, b)
-	}
-}
-
-func (p *ackEater) relayAcks(c, b net.Conn) {
-	kill := func() { c.Close(); b.Close() }
-	dec := wire.NewStreamDecoder(b)
-	enc := wire.NewStreamEncoder(c)
-	for {
-		env, err := dec.Envelope()
-		if err != nil {
-			kill()
-			return
-		}
-		if m, err := wire.DecodeIngest(env); err == nil && m.Op == wire.OpIngestAck {
-			p.mu.Lock()
-			p.acks++
-			eat := p.drop[p.acks]
-			if eat {
-				p.dropped++
-			}
-			p.mu.Unlock()
-			if eat {
-				kill()
-				return
-			}
-		}
-		if enc.Envelope(env) != nil || enc.Flush() != nil {
-			kill()
-			return
-		}
-	}
-}
 
 // TestExactlyOnceBitIdenticalLog: lost acks mid-stream (client
 // reconnects and replays) and a provd restart mid-stream (session table
@@ -125,11 +30,7 @@ func TestExactlyOnceBitIdenticalLog(t *testing.T) {
 	const batches = 10
 
 	// Control run: no failures, one connection, sequential batches.
-	ctlStore, err := store.Open(t.TempDir(), store.Options{SegmentBytes: 512})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ctlStore.Close()
+	ctlStore := testutil.OpenStore(t, t.TempDir(), store.Options{SegmentBytes: 512})
 	ctlSrv := ingest.NewServer(ctlStore, ingest.Options{})
 	ctlAddr, err := ctlSrv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -164,8 +65,13 @@ func TestExactlyOnceBitIdenticalLog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proxy := newAckEater(t, expAddr, 3, 9)
-	exp := provclient.New(proxy.ln.Addr().String(), provclient.Options{Conns: 1, RequestTimeout: 5 * time.Second})
+	proxy, err := testutil.NewProxy(expAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	proxy.DropAckAt(3, 9)
+	exp := provclient.New(proxy.Addr(), provclient.Options{Conns: 1, RequestTimeout: 5 * time.Second})
 	defer exp.Close()
 
 	for i := 0; i < 5; i++ {
@@ -194,7 +100,7 @@ func TestExactlyOnceBitIdenticalLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer expSrv2.Close()
-	proxy.setBackend(expAddr2)
+	proxy.SetBackend(expAddr2)
 
 	for i := 5; i < batches; i++ {
 		if _, err := exp.AppendBatch(chainActs(1, i)); err != nil {
@@ -204,7 +110,7 @@ func TestExactlyOnceBitIdenticalLog(t *testing.T) {
 	if err := exp.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if got := proxy.droppedCount(); got != 2 {
+	if got := proxy.AcksDropped(); got != 2 {
 		t.Fatalf("proxy dropped %d acks, want 2; the failure injection misfired", got)
 	}
 	if got := expSrv2.Stats().DedupReplays; got != 1 {
@@ -212,14 +118,8 @@ func TestExactlyOnceBitIdenticalLog(t *testing.T) {
 	}
 
 	// The acceptance bar: bit-identical, not merely audit-equivalent.
-	got := expStore2.GlobalRecords()
-	if len(got) != len(want) {
-		t.Fatalf("experiment store has %d records, control %d", len(got), len(want))
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("record %d diverged: experiment %+v, control %+v", i, got[i], want[i])
-		}
+	if err := testutil.DiffStores(ctlStore, expStore2); err != nil {
+		t.Fatalf("experiment store diverged from control: %v", err)
 	}
 
 	// And the recovered log still justifies a genuine chain while

@@ -21,21 +21,18 @@ import (
 	"repro/internal/provclient"
 	"repro/internal/replica"
 	"repro/internal/store"
+	"repro/internal/testutil"
 )
 
+// replicaAct varies the value by position (unlike testutil.Act) so the
+// audit-verdict samples below cover several distinct values.
 func replicaAct(p string, i int) logs.Action {
 	return logs.SndAct(p, logs.NameT(fmt.Sprintf("m%d", i)), logs.NameT(fmt.Sprintf("v%d", i%11)))
 }
 
 func waitReplicaSeq(t *testing.T, st *store.Store, want uint64, within time.Duration) {
 	t.Helper()
-	deadline := time.Now().Add(within)
-	for st.NextSeq() < want {
-		if time.Now().After(deadline) {
-			t.Fatalf("replica stuck at seq %d, want %d", st.NextSeq(), want)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitSeq(t, st, want, within)
 }
 
 func TestReplicaEndToEnd(t *testing.T) {
@@ -134,31 +131,14 @@ func TestReplicaEndToEnd(t *testing.T) {
 		t.Fatalf("restart re-bootstrapped a non-empty replica")
 	}
 
-	// Bit-identical logs: every record at every sequence.
+	// Bit-identical logs: every record at every sequence, and a spine
+	// with no holes or duplicates.
 	if l, r := leaderSt.NextSeq(), repSt.NextSeq(); l != r || l != seedRecords+liveRecords {
 		t.Fatalf("high-water: leader %d, replica %d, want %d", l, r, seedRecords+liveRecords)
 	}
-	var from uint64
-	total := 0
-	for {
-		lrecs := leaderSt.ScanGlobal(from, 0, 8192)
-		rrecs := repSt.ScanGlobal(from, 0, 8192)
-		if len(lrecs) != len(rrecs) {
-			t.Fatalf("scan from %d: leader %d records, replica %d", from, len(lrecs), len(rrecs))
-		}
-		if len(lrecs) == 0 {
-			break
-		}
-		for i := range lrecs {
-			if lrecs[i] != rrecs[i] {
-				t.Fatalf("logs differ at seq %d: leader %+v, replica %+v", lrecs[i].Seq, lrecs[i], rrecs[i])
-			}
-		}
-		total += len(lrecs)
-		from = lrecs[len(lrecs)-1].Seq + 1
-	}
-	if total != seedRecords+liveRecords {
-		t.Fatalf("replica holds %d records, want %d", total, seedRecords+liveRecords)
+	testutil.AssertIdentical(t, leaderSt, repSt)
+	if err := testutil.CheckSpine(repSt); err != nil {
+		t.Fatal(err)
 	}
 
 	// Bit-identical Definition-3 verdicts, including claims that must

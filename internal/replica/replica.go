@@ -96,6 +96,14 @@ type Options struct {
 	// the Replicator probes the leader for the missing range and, if
 	// the leader's log genuinely skips it, accepts the hole (default 3).
 	GapProbeRetries int
+	// StallPolls is how many consecutive lag polls may observe zero
+	// local progress while the leader is ahead before the open follow
+	// stream is presumed wedged and forcibly broken to force a
+	// re-follow (default 4). A stream wedges when its most recent chunk
+	// is lost in transit with the connection still up: the in-stream
+	// gap detector only fires on the *next* chunk, which a quiet leader
+	// may never send.
+	StallPolls int
 	// Logf, when set, receives replication lifecycle events
 	// (bootstrap, re-follow, gaps, divergence).
 	Logf func(format string, args ...any)
@@ -110,6 +118,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GapProbeRetries <= 0 {
 		o.GapProbeRetries = 3
+	}
+	if o.StallPolls <= 0 {
+		o.StallPolls = 4
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -132,6 +143,7 @@ type Status struct {
 	AppliedRecords   uint64  // records applied from follow chunks
 	Gaps             uint64  // gap events (stream discontinuities seen)
 	GapsAccepted     uint64  // gaps proven to be leader holes and accepted
+	StallBreaks      uint64  // wedged follow streams broken by the lag poller
 	Diverged         bool    // replication stopped on ErrDiverged
 	Running          bool    // the replication loop is alive
 	LastError        string  // most recent replication error ("" if none)
@@ -166,6 +178,7 @@ type Replicator struct {
 	appliedRecords   atomic.Uint64
 	gaps             atomic.Uint64
 	gapsAccepted     atomic.Uint64
+	stallBreaks      atomic.Uint64
 }
 
 // New builds a Replicator shipping leader's log (a binary ingest
@@ -237,6 +250,7 @@ func (r *Replicator) Status() Status {
 		AppliedRecords:   r.appliedRecords.Load(),
 		Gaps:             r.gaps.Load(),
 		GapsAccepted:     r.gapsAccepted.Load(),
+		StallBreaks:      r.stallBreaks.Load(),
 		Diverged:         diverged,
 		Running:          running,
 		LastError:        lastErr,
@@ -551,6 +565,8 @@ func (r *Replicator) poll() {
 	defer r.wg.Done()
 	t := time.NewTicker(r.opts.PollInterval)
 	defer t.Stop()
+	var lastApplied uint64
+	stalls := 0
 	for {
 		select {
 		case <-r.done:
@@ -562,5 +578,31 @@ func (r *Replicator) poll() {
 			continue
 		}
 		r.observeLeader(recs[0].Seq + 1)
+
+		// Stall watchdog. The leader is reachable (the probe above just
+		// succeeded) and ahead, yet nothing has been applied for several
+		// polls: the open follow stream is presumed wedged — its latest
+		// chunk lost in transit with the connection still up, a loss the
+		// in-stream gap detector cannot see until the leader commits
+		// again. Break the stream; the run loop re-follows from the
+		// durable high-water.
+		applied := r.st.NextSeq()
+		if applied < r.leaderSeq.Load() && applied == lastApplied {
+			stalls++
+			if stalls >= r.opts.StallPolls {
+				stalls = 0
+				r.mu.Lock()
+				qs := r.qs
+				r.mu.Unlock()
+				if qs != nil {
+					r.stallBreaks.Add(1)
+					r.opts.Logf("replica: no progress for %d polls at seq %d (leader %d); breaking follow stream", r.opts.StallPolls, applied, r.leaderSeq.Load())
+					qs.Close()
+				}
+			}
+		} else {
+			stalls = 0
+		}
+		lastApplied = applied
 	}
 }

@@ -10,7 +10,6 @@ package replica
 
 import (
 	"errors"
-	"fmt"
 	"testing"
 	"time"
 
@@ -18,80 +17,36 @@ import (
 	"repro/internal/logs"
 	"repro/internal/provclient"
 	"repro/internal/store"
+	"repro/internal/testutil"
 	"repro/internal/wire"
 )
 
-func testAct(p string, i int) logs.Action {
-	return logs.SndAct(p, logs.NameT(fmt.Sprintf("m%d", i)), logs.NameT("v"))
-}
+// The fixtures live in internal/testutil; these delegates keep the
+// suite's call sites short.
+func testAct(p string, i int) logs.Action { return testutil.Act(p, i) }
 
 // newLeader opens a leader store + ingest listener in a fresh temp dir.
 func newLeader(t *testing.T) (*store.Store, *ingest.Server, string) {
 	t.Helper()
-	st, err := store.Open(t.TempDir(), store.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { st.Close() })
-	srv := ingest.NewServer(st, ingest.Options{})
-	addr, err := srv.Listen("127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(srv.Close)
-	return st, srv, addr
+	return testutil.NewBackend(t, ingest.Options{})
 }
 
 func seedLeader(t *testing.T, st *store.Store, n int) {
 	t.Helper()
-	batch := make([]logs.Action, 0, 256)
-	for i := 0; i < n; i++ {
-		batch = append(batch, testAct(fmt.Sprintf("p%d", i%7), i))
-		if len(batch) == cap(batch) || i == n-1 {
-			if _, err := st.AppendBatch(batch); err != nil {
-				t.Fatal(err)
-			}
-			batch = batch[:0]
-		}
-	}
+	testutil.SeedStore(t, st, n)
 }
 
 // waitSeq blocks until the store's high-water reaches want.
 func waitSeq(t *testing.T, st *store.Store, want uint64, within time.Duration) {
 	t.Helper()
-	deadline := time.Now().Add(within)
-	for st.NextSeq() < want {
-		if time.Now().After(deadline) {
-			t.Fatalf("store stuck at seq %d, want %d", st.NextSeq(), want)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.WaitSeq(t, st, want, within)
 }
 
 // assertIdentical fails unless both stores hold bit-identical logs:
 // same high-water, same records at every sequence.
 func assertIdentical(t *testing.T, leader, replica *store.Store) {
 	t.Helper()
-	if l, r := leader.NextSeq(), replica.NextSeq(); l != r {
-		t.Fatalf("high-water differs: leader %d, replica %d", l, r)
-	}
-	var from uint64
-	for {
-		lrecs := leader.ScanGlobal(from, 0, 4096)
-		rrecs := replica.ScanGlobal(from, 0, 4096)
-		if len(lrecs) != len(rrecs) {
-			t.Fatalf("scan from %d: leader returned %d records, replica %d", from, len(lrecs), len(rrecs))
-		}
-		if len(lrecs) == 0 {
-			return
-		}
-		for i := range lrecs {
-			if lrecs[i] != rrecs[i] {
-				t.Fatalf("records differ at seq %d: leader %+v, replica %+v", lrecs[i].Seq, lrecs[i], rrecs[i])
-			}
-		}
-		from = lrecs[len(lrecs)-1].Seq + 1
-	}
+	testutil.AssertIdentical(t, leader, replica)
 }
 
 // TestReplicaBootstrapAndFollow: a replica bootstraps from a non-empty

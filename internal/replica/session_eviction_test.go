@@ -1,0 +1,229 @@
+package replica
+
+// Tests for the interaction between session-table LRU eviction and
+// snapshot transfer: a session evicted on the leader must be absent
+// from the exported table a bootstrapping replica installs, and a
+// producer resuming that session against the promoted replica must get
+// the honest "unknown" floor (0) — never a fabricated one that would
+// phantom-ack its re-sent data. Surviving sessions keep full replay
+// protection across the promotion.
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/provclient"
+	"repro/internal/store"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+)
+
+// replayV2 dials addr raw and replays one v2 batch for session with an
+// explicit batch sequence — something provclient deliberately cannot do
+// (it always seeds its counter past the server's floor) — returning the
+// server's ack.
+func replayV2(t *testing.T, addr, session string, batchSeq uint64, batch []logs.Action) wire.IngestMsg {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	enc, dec := wire.NewStreamEncoder(c), wire.NewStreamDecoder(c)
+
+	e := wire.NewEncoder()
+	e.IngestHello(wire.IngestV2, session)
+	if err := enc.Envelope(e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	env, err := dec.Envelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := wire.DecodeIngest(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.Op != wire.OpIngestHelloAck {
+		t.Fatalf("handshake reply: %+v", hello)
+	}
+
+	e = wire.NewEncoder()
+	e.IngestBatch2(1, batchSeq, batch)
+	if err := enc.Envelope(e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	env, err = dec.Envelope()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := wire.DecodeIngest(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ack
+}
+
+// TestSessionEvictionAcrossSnapshotPromotion drives the full
+// eviction/failover story: eight sequential producer sessions against a
+// leader capped at four live sessions, snapshot-bootstrap a replica,
+// promote it behind a fresh ingest listener, then resume both an
+// evicted and a surviving session against the promoted store.
+func TestSessionEvictionAcrossSnapshotPromotion(t *testing.T) {
+	const (
+		maxSessions = 4
+		nSessions   = 8
+		perSession  = 3 // Append blocks for its ack, so each is one batch
+	)
+	name := func(i int) string { return fmt.Sprintf("evict-prod-%d", i) }
+
+	leaderSt := testutil.OpenStore(t, t.TempDir(), store.Options{MaxSessions: maxSessions})
+	srv := ingest.NewServer(leaderSt, ingest.Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	// Sequential sessions establish a clean LRU order: by the time
+	// name(7) commits, name(0..3) are the coldest and have been evicted.
+	for i := 0; i < nSessions; i++ {
+		pc := provclient.New(addr, provclient.Options{Conns: 1, Session: name(i)})
+		for j := 0; j < perSession; j++ {
+			if _, err := pc.Append(testAct(fmt.Sprintf("p%d", i), j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pc.Close()
+	}
+
+	if got := leaderSt.Sessions().Count(); got != maxSessions {
+		t.Fatalf("leader holds %d sessions, cap is %d", got, maxSessions)
+	}
+	for i := 0; i < nSessions; i++ {
+		max := leaderSt.Sessions().Max(name(i))
+		if i < nSessions-maxSessions {
+			if max != 0 {
+				t.Fatalf("evicted session %q still reports floor %d", name(i), max)
+			}
+		} else if max != perSession {
+			t.Fatalf("surviving session %q reports floor %d, want %d", name(i), max, perSession)
+		}
+	}
+	for _, e := range leaderSt.Sessions().Entries() {
+		for i := 0; i < nSessions-maxSessions; i++ {
+			if e.Session == name(i) {
+				t.Fatalf("evicted session %q leaked into the exported table: %+v", name(i), e)
+			}
+		}
+	}
+
+	// Snapshot-bootstrap a replica; the transfer installs exactly the
+	// surviving table, every entry backed by transferred records.
+	repSt := testutil.OpenStore(t, t.TempDir(), store.Options{})
+	rep := New(repSt, addr, Options{Logf: t.Logf})
+	rep.Start()
+	waitSeq(t, repSt, leaderSt.NextSeq(), 10*time.Second)
+	rep.Stop()
+	testutil.AssertIdentical(t, leaderSt, repSt)
+	if !reflect.DeepEqual(leaderSt.Sessions().Entries(), repSt.Sessions().Entries()) {
+		t.Fatalf("transferred session table differs from leader's:\n%+v\nvs\n%+v",
+			leaderSt.Sessions().Entries(), repSt.Sessions().Entries())
+	}
+	if err := testutil.BackedSessionEntries(repSt); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promote: the replica store starts taking writes through its own
+	// listener, as after a leader loss.
+	prom := ingest.NewServer(repSt, ingest.Options{})
+	promAddr, err := prom.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(prom.Close)
+
+	// An evicted session resuming against the promoted store is a
+	// stranger: floor 0 (the honest "commit state unknown"), and its
+	// batch appends as new data at the current high-water — not
+	// phantom-acked against records the table no longer vouches for.
+	evicted := provclient.New(promAddr, provclient.Options{Conns: 1, Session: name(0)})
+	floor, err := evicted.CommittedFloor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != 0 {
+		t.Fatalf("evicted session resumed with fabricated floor %d", floor)
+	}
+	pre := repSt.NextSeq()
+	seq, err := evicted.Append(testAct("resume", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != pre {
+		t.Fatalf("evicted session's append landed at seq %d, want the high-water %d", seq, pre)
+	}
+	evicted.Close()
+	if n := prom.Stats().DedupReplays; n != 0 {
+		t.Fatalf("evicted session's append counted as %d replays", n)
+	}
+
+	// A surviving session keeps its replay protection: a raw replay of
+	// its last committed batch is re-acked with the original block and
+	// appends nothing.
+	survivor := name(nSessions - 1)
+	var orig wire.SessionEntry
+	for _, e := range repSt.Sessions().Entries() {
+		if e.Session == survivor && e.BatchSeq == perSession {
+			orig = e
+		}
+	}
+	if orig.Session == "" {
+		t.Fatalf("no transferred entry for %q batch %d", survivor, perSession)
+	}
+	before := repSt.NextSeq()
+	ack := replayV2(t, promAddr, survivor, perSession, []logs.Action{testAct("replayed", 0)})
+	if ack.Op != wire.OpIngestAck {
+		t.Fatalf("replay reply: %+v", ack)
+	}
+	if ack.Base != orig.Base || ack.Count != orig.Count {
+		t.Fatalf("replay re-acked %d+%d, want the original block %d+%d", ack.Base, ack.Count, orig.Base, orig.Count)
+	}
+	if got := repSt.NextSeq(); got != before {
+		t.Fatalf("replay grew the promoted store from %d to %d", before, got)
+	}
+	if n := prom.Stats().DedupReplays; n != 1 {
+		t.Fatalf("DedupReplays = %d after one replay", n)
+	}
+
+	// And its resumed client continues past the true floor.
+	sc := provclient.New(promAddr, provclient.Options{Conns: 1, Session: survivor})
+	floor, err = sc.CommittedFloor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor != perSession {
+		t.Fatalf("surviving session resumed with floor %d, want %d", floor, perSession)
+	}
+	pre = repSt.NextSeq()
+	seq, err = sc.Append(testAct("resume", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != pre {
+		t.Fatalf("surviving session's new append landed at %d, want %d", seq, pre)
+	}
+	sc.Close()
+}

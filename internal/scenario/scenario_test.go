@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/syntax"
+	"repro/internal/testutil"
+)
+
+// TestCompileDeterministic: compilation is a pure function of
+// (spec, seed) — byte-for-byte equal schedules on every call.
+func TestCompileDeterministic(t *testing.T) {
+	for _, seed := range testutil.SeedRange(t, 50) {
+		a := Compile(Default(), seed)
+		b := Compile(Default(), seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two compilations of the same spec differ", seed)
+		}
+	}
+}
+
+// TestCompileSeedsDiffer: different seeds give different schedules (the
+// compiler actually uses its PRNG).
+func TestCompileSeedsDiffer(t *testing.T) {
+	a := Compile(Default(), 1)
+	b := Compile(Default(), 2)
+	if reflect.DeepEqual(a.Batches, b.Batches) && reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatal("seeds 1 and 2 compiled to identical scenarios")
+	}
+}
+
+// TestCompileWellFormed: structural invariants of the expansion, over
+// many seeds and every topology.
+func TestCompileWellFormed(t *testing.T) {
+	for _, seed := range testutil.SeedRange(t, 100) {
+		spec := Default()
+		spec.Topology = Topology(seed % 4)
+		sc := Compile(spec, seed)
+
+		if len(sc.Batches) != spec.Batches {
+			t.Fatalf("seed %d: %d batches, want %d", seed, len(sc.Batches), spec.Batches)
+		}
+		total := 0
+		for i, b := range sc.Batches {
+			if b.Producer < 0 || b.Producer >= spec.Producers {
+				t.Fatalf("seed %d: batch %d has producer %d of %d", seed, i, b.Producer, spec.Producers)
+			}
+			if len(b.Acts) < spec.MinBatch || len(b.Acts) > spec.MaxBatch {
+				t.Fatalf("seed %d: batch %d has %d actions, want %d..%d", seed, i, len(b.Acts), spec.MinBatch, spec.MaxBatch)
+			}
+			total += len(b.Acts)
+		}
+		if total != sc.TotalActions {
+			t.Fatalf("seed %d: TotalActions %d, sum %d", seed, sc.TotalActions, total)
+		}
+
+		// Fault schedule: sorted by batch, targets in range, leader kills
+		// capped, every partition healed exactly once.
+		open := make(map[int]int)
+		kills := 0
+		last := 0
+		for _, f := range sc.Faults {
+			if f.Batch < last {
+				t.Fatalf("seed %d: fault schedule out of order at batch %d after %d", seed, f.Batch, last)
+			}
+			last = f.Batch
+			switch f.Kind {
+			case KillLeader:
+				kills++
+			case KillReplica, Partition, Heal, Gap:
+				if f.Target < 0 || f.Target >= spec.Replicas {
+					t.Fatalf("seed %d: %s targets replica %d of %d", seed, f.Kind, f.Target, spec.Replicas)
+				}
+			}
+			switch f.Kind {
+			case Partition:
+				if open[f.Target] != 0 {
+					t.Fatalf("seed %d: replica %d partitioned twice without heal", seed, f.Target)
+				}
+				open[f.Target]++
+			case Heal:
+				if open[f.Target] != 1 {
+					t.Fatalf("seed %d: heal for replica %d without open partition", seed, f.Target)
+				}
+				open[f.Target]--
+			case KillReplica, Gap:
+				if open[f.Target] != 0 {
+					t.Fatalf("seed %d: %s injected into partitioned replica %d", seed, f.Kind, f.Target)
+				}
+			}
+		}
+		for target, n := range open {
+			if n != 0 {
+				t.Fatalf("seed %d: partition of replica %d never healed", seed, target)
+			}
+		}
+		if kills > spec.Faults.MaxLeaderKills {
+			t.Fatalf("seed %d: %d leader kills, cap %d", seed, kills, spec.Faults.MaxLeaderKills)
+		}
+
+		// Generated systems are closed terms, and claims are populated.
+		if len(sc.Systems) != spec.Systems {
+			t.Fatalf("seed %d: %d systems, want %d", seed, len(sc.Systems), spec.Systems)
+		}
+		for i, s := range sc.Systems {
+			if !syntax.IsClosed(s) {
+				t.Fatalf("seed %d: generated system %d has free variables", seed, i)
+			}
+		}
+		for i, pc := range sc.PC() {
+			if pc == "" {
+				t.Fatalf("seed %d: system %d rendered empty", seed, i)
+			}
+		}
+		if len(sc.Claims) != spec.Claims {
+			t.Fatalf("seed %d: %d claims, want %d", seed, len(sc.Claims), spec.Claims)
+		}
+	}
+}
+
+// TestTopologyPeers: every topology yields the promised adjacency.
+func TestTopologyPeers(t *testing.T) {
+	const n = 5
+	chain := peers(Chain, n)
+	if len(chain[0]) != 1 || chain[0][0] != 1 || len(chain[2]) != 2 {
+		t.Fatalf("chain adjacency wrong: %v", chain)
+	}
+	ring := peers(Ring, n)
+	for i, ps := range ring {
+		if len(ps) != 2 {
+			t.Fatalf("ring principal %d has %d peers", i, len(ps))
+		}
+	}
+	star := peers(Star, n)
+	if len(star[0]) != n-1 {
+		t.Fatalf("star hub has %d peers, want %d", len(star[0]), n-1)
+	}
+	for i := 1; i < n; i++ {
+		if len(star[i]) != 1 || star[i][0] != 0 {
+			t.Fatalf("star leaf %d peers: %v", i, star[i])
+		}
+	}
+	clique := peers(Clique, n)
+	for i, ps := range clique {
+		if len(ps) != n-1 {
+			t.Fatalf("clique principal %d has %d peers", i, len(ps))
+		}
+	}
+	if solo := peers(Chain, 1); len(solo[0]) != 1 || solo[0][0] != 0 {
+		t.Fatalf("singleton fleet adjacency: %v", solo)
+	}
+}

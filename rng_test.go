@@ -1,6 +1,16 @@
 package repro_test
 
-import "math/rand"
+import (
+	"math/rand"
+	"testing"
 
-// newSeeded returns the deterministic PRNG used by the integration tests.
-func newSeeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+	"repro/internal/testutil"
+)
+
+// newSeeded returns the deterministic PRNG used by the integration
+// tests. The seed is overridable via REPRO_SEED and logged on failure,
+// like every randomized suite in the repo.
+func newSeeded(t testing.TB, seed int64) *rand.Rand {
+	t.Helper()
+	return testutil.Rand(testutil.Seed(t, seed))
+}
