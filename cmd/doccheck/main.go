@@ -6,7 +6,13 @@
 //     package-level doc comment, so `go doc` is never empty;
 //  2. every relative link in the markdown docs (README.md, docs/*.md,
 //     ROADMAP.md, the example READMEs, …) resolves to a file or
-//     directory that actually exists.
+//     directory that actually exists;
+//  3. no stale operational claims: every command-line flag a doc's
+//     flag table documents is declared by some command under cmd/,
+//     and every provd_* metric name the docs mention is emitted
+//     somewhere in the source tree. Docs drift worst exactly where
+//     operators copy from — flag tables and metric names — so those
+//     claims are checked against the code, not trusted.
 //
 // It prints one line per violation and exits non-zero if there are any.
 //
@@ -32,6 +38,7 @@ func main() {
 	var violations []string
 	violations = append(violations, checkPackageDocs(root)...)
 	violations = append(violations, checkMarkdownLinks(root)...)
+	violations = append(violations, checkStaleClaims(root)...)
 	for _, v := range violations {
 		fmt.Println(v)
 	}
@@ -79,6 +86,97 @@ func checkPackageDocs(root string) []string {
 			}
 			if !documented {
 				out = append(out, fmt.Sprintf("%s: package %s has no package doc comment", path, name))
+			}
+		}
+		return nil
+	})
+	return out
+}
+
+var (
+	// flagDecl matches a flag definition in source: flag.String("name",
+	// flag.Bool("name", flag.Func("name", …
+	flagDecl = regexp.MustCompile(`flag\.\w+\("([a-z][a-z0-9-]*)"`)
+	// flagClaim matches a documented flag in the first column of a
+	// markdown table row: | `-name` … — anchored to the first column so
+	// prose mentions of a flag mid-cell are not treated as table
+	// entries.
+	flagClaim = regexp.MustCompile("(?m)^\\|\\s*`-([a-z][a-z0-9-]*)")
+	// metricClaim matches a provd metric name mentioned anywhere in a
+	// doc; a trailing `*` (a family glob like provd_auth_*) simply ends
+	// the token, leaving the family prefix to substring-match.
+	metricClaim = regexp.MustCompile(`provd_[a-z0-9_]+`)
+)
+
+// checkStaleClaims verifies the docs' operational claims against the
+// source tree: documented flags must be declared by a command,
+// documented metric names must appear in the code that emits them.
+func checkStaleClaims(root string) []string {
+	var out []string
+
+	// What the code provides: declared flags (any cmd/ command) and the
+	// whole source text (metric names are fmt strings in it).
+	declaredFlags := map[string]bool{}
+	var source strings.Builder
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skippedDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		for _, m := range flagDecl.FindAllStringSubmatch(string(data), -1) {
+			declaredFlags[m[1]] = true
+		}
+		source.Write(data)
+		return nil
+	})
+	code := source.String()
+
+	// What the docs claim.
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skippedDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		text := string(data)
+		for _, m := range flagClaim.FindAllStringSubmatch(text, -1) {
+			if !declaredFlags[m[1]] {
+				out = append(out, fmt.Sprintf("%s: documents flag -%s, which no command declares", path, m[1]))
+			}
+		}
+		seen := map[string]bool{}
+		for _, name := range metricClaim.FindAllString(text, -1) {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			if !strings.Contains(code, name) {
+				out = append(out, fmt.Sprintf("%s: documents metric %s, which the code never emits", path, name))
 			}
 		}
 		return nil

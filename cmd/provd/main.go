@@ -2,7 +2,9 @@
 // for the global monitor log (internal/store) fronted by an HTTP/JSON
 // audit and query service.
 //
-//	provd -addr :7709 -dir ./provd-data
+//	provd -addr :7709 -dir ./provd-data \
+//	  -tls-cert server.pem -tls-key server-key.pem -tls-ca ca.pem \
+//	  -auth-map auth.map
 //
 // Endpoints:
 //
@@ -42,11 +44,19 @@
 //
 // Disclosure policies (-hide) are applied at query time per requesting
 // observer, so the stored log remains complete while each observer sees
-// only what the policy allows. The observer identity is taken from the
-// request (?observer= / the audit body): provd does not authenticate
-// callers, so policies are an honest-observer privacy mechanism, not an
-// access-control boundary — front the daemon with an authenticating
-// proxy if observers are adversarial.
+// only what the policy allows.
+//
+// Authentication (docs/security.md) is built in and on by default: provd
+// refuses to serve cleartext unless -insecure is passed explicitly. With
+// -tls-cert/-tls-key both surfaces serve TLS; adding -tls-ca demands a
+// verified client certificate on every connection (mutual TLS), and
+// -auth-map binds each authenticated identity — certificate CN/SAN, or
+// a bearer/wire token in the dev shape — to an enforced grant: the
+// principals it may append as, the observer its reads are redacted for
+// (?observer= is coerced to it), and whether it may pull snapshot
+// transfers (the replica role). With enforcement on, disclosure
+// policies become a real access-control boundary instead of an
+// honest-observer convention.
 //
 // Replica mode (-replica-of leader:7710) turns the daemon into a read
 // replica: the store is bootstrapped from the leader's snapshot, kept
@@ -62,6 +72,8 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"flag"
 	"fmt"
@@ -73,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/ingest"
 	"repro/internal/provd"
 	"repro/internal/replica"
@@ -82,18 +95,24 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":7709", "listen address (HTTP/JSON)")
-		ingestAddr  = flag.String("ingest-addr", ":7710", "binary pipelined ingest listen address (empty disables)")
-		dir         = flag.String("dir", "provd-data", "store root directory")
-		stripes     = flag.Int("stripes", 16, "append lock stripes")
-		segBytes    = flag.Int64("segment-bytes", 1<<20, "segment rotation threshold")
-		fsync       = flag.Bool("fsync", true, "fsync every append")
-		maxShards   = flag.Int("max-shards", 4096, "principal cap (one open segment fd per shard)")
-		dedupWindow = flag.Int("dedup-window", 1024, "per-session ingest dedup window (batch sequences remembered for replay re-acks)")
-		maxSessions = flag.Int("max-sessions", 1024, "live ingest session cap (least-recently-used session evicted beyond it)")
-		grace       = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
-		replicaOf   = flag.String("replica-of", "", "run as a read replica of this leader binary ingest address (e.g. leader:7710)")
-		leaderHTTP  = flag.String("leader-http", "", "leader's HTTP base URL for write redirects in replica mode (e.g. http://leader:7709)")
+		addr         = flag.String("addr", ":7709", "listen address (HTTP/JSON)")
+		ingestAddr   = flag.String("ingest-addr", ":7710", "binary pipelined ingest listen address (empty disables)")
+		dir          = flag.String("dir", "provd-data", "store root directory")
+		stripes      = flag.Int("stripes", 16, "append lock stripes")
+		segBytes     = flag.Int64("segment-bytes", 1<<20, "segment rotation threshold")
+		fsync        = flag.Bool("fsync", true, "fsync every append")
+		maxShards    = flag.Int("max-shards", 4096, "principal cap (one open segment fd per shard)")
+		dedupWindow  = flag.Int("dedup-window", 1024, "per-session ingest dedup window (batch sequences remembered for replay re-acks)")
+		maxSessions  = flag.Int("max-sessions", 1024, "live ingest session cap (least-recently-used session evicted beyond it)")
+		grace        = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
+		replicaOf    = flag.String("replica-of", "", "run as a read replica of this leader binary ingest address (e.g. leader:7710)")
+		leaderHTTP   = flag.String("leader-http", "", "leader's HTTP base URL for write redirects in replica mode (e.g. http://leader:7709)")
+		tlsCert      = flag.String("tls-cert", "", "PEM server certificate; both surfaces serve TLS when set")
+		tlsKey       = flag.String("tls-key", "", "PEM private key for -tls-cert")
+		tlsCA        = flag.String("tls-ca", "", "PEM CA pool; when set, every connection must present a client certificate it verifies (mutual TLS), and replica mode dials the leader with the server keypair as its client identity")
+		authMap      = flag.String("auth-map", "", "identity map file (docs/operations.md): binds certificate names and tokens to principal/observer/role grants, enforced on both surfaces")
+		insecure     = flag.Bool("insecure", false, "serve cleartext without TLS (dev/harness only; refused otherwise)")
+		replicaToken = flag.String("replica-token", "", "auth token presented to the leader in replica mode (cleartext dev shape; with -tls-ca the client certificate is the identity)")
 	)
 	policy := trust.NewDisclosurePolicy()
 	flag.Func("hide", "hide a principal's actions: subject or subject=obs1,obs2 (repeatable)", func(v string) error {
@@ -110,6 +129,47 @@ func main() {
 	})
 	flag.Parse()
 
+	// Secure by default: cleartext is a decision the operator must make
+	// explicitly, never a silent fallback.
+	if *tlsCert == "" && !*insecure {
+		log.Fatal("provd: refusing to serve cleartext: set -tls-cert/-tls-key (and -tls-ca for mutual TLS), or pass -insecure explicitly")
+	}
+	var serverTLS, clientTLS *tls.Config
+	if *tlsCert != "" {
+		if *tlsKey == "" {
+			log.Fatal("provd: -tls-cert needs -tls-key")
+		}
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			log.Fatalf("provd: loading -tls-cert/-tls-key: %v", err)
+		}
+		serverTLS = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS13}
+		if *tlsCA != "" {
+			pem, err := os.ReadFile(*tlsCA)
+			if err != nil {
+				log.Fatalf("provd: reading -tls-ca: %v", err)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pem) {
+				log.Fatalf("provd: -tls-ca %s holds no PEM certificates", *tlsCA)
+			}
+			serverTLS.ClientCAs = pool
+			serverTLS.ClientAuth = tls.RequireAndVerifyClientCert
+			// Replica mode re-uses the server keypair as its client
+			// identity toward the leader, verified against the same CA —
+			// one keypair per node, whichever way the connection points.
+			clientTLS = &tls.Config{Certificates: []tls.Certificate{cert}, RootCAs: pool, MinVersion: tls.VersionTLS13}
+		}
+	}
+	var guard *auth.Guard
+	if *authMap != "" {
+		m, err := auth.LoadMap(*authMap)
+		if err != nil {
+			log.Fatalf("provd: loading -auth-map: %v", err)
+		}
+		guard = auth.NewGuard(m)
+	}
+
 	st, err := store.Open(*dir, store.Options{
 		Stripes: *stripes, SegmentBytes: *segBytes, Fsync: *fsync, MaxShards: *maxShards,
 		SessionWindow: *dedupWindow, MaxSessions: *maxSessions,
@@ -122,9 +182,13 @@ func main() {
 		*dir, stats.Records, stats.Principals, stats.NextSeq)
 
 	app := provd.NewServer(st, policy)
+	if guard != nil {
+		app.SetAuth(guard)
+		log.Printf("provd: enforcing %d identities from %s", guard.Map.Len(), *authMap)
+	}
 	var rep *replica.Replicator
 	if *replicaOf != "" {
-		rep = replica.New(st, *replicaOf, replica.Options{Logf: log.Printf})
+		rep = replica.New(st, *replicaOf, replica.Options{Logf: log.Printf, TLS: clientTLS, Token: *replicaToken})
 		rep.Start()
 		app.SetReplica(rep, *leaderHTTP)
 		log.Printf("provd: replica of %s (applied seq %d)", *replicaOf, st.NextSeq())
@@ -135,7 +199,7 @@ func main() {
 		// one policy and accumulate one set of counters. In replica mode
 		// the listener still serves queries, follows and snapshots — a
 		// replica can seed further replicas — but refuses appends.
-		ing = ingest.NewServer(st, ingest.Options{Engine: app.Engine(), ReadOnly: rep != nil, LeaderAddr: *replicaOf})
+		ing = ingest.NewServer(st, ingest.Options{Engine: app.Engine(), ReadOnly: rep != nil, LeaderAddr: *replicaOf, TLS: serverTLS, Auth: guard})
 		bound, err := ing.Listen(*ingestAddr)
 		if err != nil {
 			if rep != nil {
@@ -147,12 +211,19 @@ func main() {
 		log.Printf("provd: binary ingest on %s", bound)
 	}
 	app.AttachIngest(ing)
-	srv := &http.Server{Addr: *addr, Handler: app}
+	srv := &http.Server{Addr: *addr, Handler: app, TLSConfig: serverTLS}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
+		if serverTLS != nil {
+			log.Printf("provd: serving TLS on %s", *addr)
+			if err := srv.ListenAndServeTLS("", ""); !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+			return
+		}
 		log.Printf("provd: serving on %s", *addr)
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err

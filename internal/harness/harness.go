@@ -26,6 +26,7 @@
 package harness
 
 import (
+	"crypto/tls"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -33,6 +34,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/ingest"
 	"repro/internal/provclient"
 	"repro/internal/provd"
@@ -81,22 +83,27 @@ func (r *Result) String() string {
 }
 
 // leaderNode is the leader provd: store + binary listener + HTTP app,
-// restartable in place behind stable proxy addresses.
+// restartable in place behind stable proxy addresses. The binary
+// listener runs the full mutual-TLS + identity-enforcement stack
+// (clusterAuth), surviving restarts — a recovered leader demands the
+// same certificates the killed one did.
 type leaderNode struct {
-	dir   string
-	sopts store.Options
-	st    *store.Store
-	app   *provd.Server
-	ing   *ingest.Server
-	http  *httptest.Server
-	addr  string
+	dir     string
+	sopts   store.Options
+	tlsConf *tls.Config
+	guard   *auth.Guard
+	st      *store.Store
+	app     *provd.Server
+	ing     *ingest.Server
+	http    *httptest.Server
+	addr    string
 	// replays accumulates DedupReplays across restarts (Stats reset
 	// with the listener).
 	replays uint64
 }
 
-func startLeader(dir string, sopts store.Options) (*leaderNode, error) {
-	n := &leaderNode{dir: dir, sopts: sopts}
+func startLeader(dir string, sopts store.Options, tlsConf *tls.Config, guard *auth.Guard) (*leaderNode, error) {
+	n := &leaderNode{dir: dir, sopts: sopts, tlsConf: tlsConf, guard: guard}
 	if err := n.start(); err != nil {
 		return nil, err
 	}
@@ -109,7 +116,8 @@ func (n *leaderNode) start() error {
 		return fmt.Errorf("leader store: %w", err)
 	}
 	app := provd.NewServer(st, nil)
-	ing := ingest.NewServer(st, ingest.Options{Engine: app.Engine()})
+	app.SetAuth(n.guard)
+	ing := ingest.NewServer(st, ingest.Options{Engine: app.Engine(), TLS: n.tlsConf, Auth: n.guard})
 	addr, err := ing.Listen("127.0.0.1:0")
 	if err != nil {
 		st.Close()
@@ -144,10 +152,11 @@ func (n *leaderNode) stop() {
 // replicaNode is one replica provd: store + replicator (following the
 // leader through its own fault proxy) + HTTP app.
 type replicaNode struct {
-	dir   string
-	sopts store.Options
-	proxy *testutil.Proxy
-	logf  func(string, ...any)
+	dir     string
+	sopts   store.Options
+	proxy   *testutil.Proxy
+	tlsConf *tls.Config // replica client identity toward its proxy
+	logf    func(string, ...any)
 
 	st   *store.Store
 	rep  *replica.Replicator
@@ -159,8 +168,8 @@ type replicaNode struct {
 	stallBreaks uint64
 }
 
-func startReplica(dir string, sopts store.Options, proxy *testutil.Proxy, logf func(string, ...any)) (*replicaNode, error) {
-	n := &replicaNode{dir: dir, sopts: sopts, proxy: proxy, logf: logf}
+func startReplica(dir string, sopts store.Options, proxy *testutil.Proxy, tlsConf *tls.Config, logf func(string, ...any)) (*replicaNode, error) {
+	n := &replicaNode{dir: dir, sopts: sopts, proxy: proxy, tlsConf: tlsConf, logf: logf}
 	if err := n.start(); err != nil {
 		return nil, err
 	}
@@ -176,6 +185,7 @@ func (n *replicaNode) start() error {
 		PollInterval:  25 * time.Millisecond,
 		ResyncBackoff: 20 * time.Millisecond,
 		Logf:          n.logf,
+		TLS:           n.tlsConf,
 	})
 	app := provd.NewServer(st, nil)
 	app.SetReplica(rep, "")
@@ -211,6 +221,43 @@ func (n *replicaNode) stop() {
 	n.st.Close()
 }
 
+// clusterAuth is the security material one harness run shares: a fresh
+// CA, the leader's mutual-TLS server config, client identities for the
+// producers and replicas, and the identity map both surfaces enforce.
+type clusterAuth struct {
+	server   *tls.Config // leader listener + proxy client-facing side
+	producer *tls.Config // append-only client identity
+	replica  *tls.Config // read+replica client identity
+	guard    *auth.Guard
+}
+
+func newClusterAuth() (*clusterAuth, error) {
+	ca, err := testutil.NewTestCA()
+	if err != nil {
+		return nil, err
+	}
+	server, err := ca.ServerConfig("leader")
+	if err != nil {
+		return nil, err
+	}
+	producer, err := ca.ClientConfig("producer")
+	if err != nil {
+		return nil, err
+	}
+	replicaConf, err := ca.ClientConfig("replica")
+	if err != nil {
+		return nil, err
+	}
+	m := auth.NewMap()
+	if err := m.Add(auth.Grant{Name: "producer", Principals: []string{"*"}, Roles: auth.RoleAppend}, ""); err != nil {
+		return nil, err
+	}
+	if err := m.Add(auth.Grant{Name: "replica", Roles: auth.RoleRead | auth.RoleReplica}, ""); err != nil {
+		return nil, err
+	}
+	return &clusterAuth{server: server, producer: producer, replica: replicaConf, guard: auth.NewGuard(m)}, nil
+}
+
 // Run executes one compiled scenario and checks every invariant.
 // A non-nil error always embeds the scenario seed.
 func Run(sc *scenario.Scenario, opts Options) (*Result, error) {
@@ -241,6 +288,17 @@ func run(sc *scenario.Scenario, opts Options) (*Result, error) {
 	res := &Result{Seed: sc.Seed, Batches: len(sc.Batches), Faults: make(map[string]int)}
 	sopts := store.Options{Fsync: opts.Fsync}
 
+	// The whole binary surface runs the production security stack: a
+	// fresh per-run CA, mutual TLS on the listener, and identity
+	// enforcement — producers hold an append-only grant, replicas a
+	// read+replica grant. Every invariant below is therefore also a
+	// claim about the secured cluster: exactly-once through TLS
+	// reconnects, convergence through replica-role snapshot and follow.
+	sec, err := newClusterAuth()
+	if err != nil {
+		return nil, err
+	}
+
 	// The no-fault control: the same batches applied directly, in the
 	// same order. Exactly-once means the faulted cluster ends up
 	// bit-identical to this.
@@ -250,7 +308,7 @@ func run(sc *scenario.Scenario, opts Options) (*Result, error) {
 	}
 	defer control.Close()
 
-	leader, err := startLeader(filepath.Join(dir, "leader"), sopts)
+	leader, err := startLeader(filepath.Join(dir, "leader"), sopts, sec.server, sec.guard)
 	if err != nil {
 		return nil, err
 	}
@@ -258,8 +316,10 @@ func run(sc *scenario.Scenario, opts Options) (*Result, error) {
 
 	// Producers dial the leader through one shared proxy; each replica
 	// follows through its own, so partitions and gaps target one
-	// replica without disturbing the rest of the cluster.
-	leaderProxy, err := testutil.NewProxy(leader.addr)
+	// replica without disturbing the rest of the cluster. The proxies
+	// terminate TLS (serving the leader's identity, re-dialing with the
+	// client's) so the fault relay still sees plaintext frames.
+	leaderProxy, err := testutil.NewProxyTLS(leader.addr, sec.server, sec.producer)
 	if err != nil {
 		return nil, err
 	}
@@ -267,12 +327,12 @@ func run(sc *scenario.Scenario, opts Options) (*Result, error) {
 
 	replicas := make([]*replicaNode, sc.Spec.Replicas)
 	for i := range replicas {
-		proxy, err := testutil.NewProxy(leader.addr)
+		proxy, err := testutil.NewProxyTLS(leader.addr, sec.server, sec.replica)
 		if err != nil {
 			return nil, err
 		}
 		defer proxy.Close()
-		r, err := startReplica(filepath.Join(dir, fmt.Sprintf("replica%d", i)), sopts, proxy, logf)
+		r, err := startReplica(filepath.Join(dir, fmt.Sprintf("replica%d", i)), sopts, proxy, sec.replica, logf)
 		if err != nil {
 			return nil, err
 		}
@@ -292,6 +352,7 @@ func run(sc *scenario.Scenario, opts Options) (*Result, error) {
 			Retries:        8,
 			RequestTimeout: 10 * time.Second,
 			Session:        fmt.Sprintf("sim-%d-p%d", sc.Seed, p),
+			TLSConfig:      sec.producer,
 		})
 		defer producers[p].Close()
 	}

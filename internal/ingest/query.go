@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/auth"
 	"repro/internal/query"
 	"repro/internal/wire"
 )
@@ -106,8 +107,12 @@ func (rw *replyWriter) sendQueryEnd(id uint64, cursor, msg string) bool {
 
 // handleQueryMsg dispatches one query-family message from the reader.
 // It reports whether the connection is still trustworthy; per-query
-// failures are answered with a query-end error and keep it alive.
-func (s *Server) handleQueryMsg(cq *connQueries, replies *replyWriter, env []byte) bool {
+// failures are answered with a query-end error and keep it alive. A
+// grant gates the read role and coerces the observer: whatever view the
+// caller asked for, it reads as the observer its identity maps to
+// (replica-role grants pass through — replication needs the log
+// unredacted).
+func (s *Server) handleQueryMsg(cq *connQueries, replies *replyWriter, env []byte, grant *auth.Grant) bool {
 	m, err := wire.DecodeQuery(env)
 	if err != nil {
 		replies.sendError(0, fmt.Sprintf("closing: bad query message: %v", err))
@@ -120,6 +125,15 @@ func (s *Server) handleQueryMsg(cq *connQueries, replies *replyWriter, env []byt
 			replies.sendError(0, "closing: query id 0 is reserved")
 			s.connFails.Add(1)
 			return false
+		}
+		if grant != nil {
+			if !grant.CanRead() {
+				s.queryRejects.Add(1)
+				s.opts.Auth.QueryRejects.Add(1)
+				replies.sendQueryEnd(m.ID, "", fmt.Sprintf("identity %q lacks the read role", grant.Name))
+				return true
+			}
+			m.Spec.Observer = grant.CoerceObserver(m.Spec.Observer)
 		}
 		cancel, err := cq.register(m.ID, s.opts.MaxQueriesPerConn)
 		if err != nil {

@@ -58,6 +58,7 @@
 package ingest
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -66,6 +67,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/logs"
 	"repro/internal/query"
 	"repro/internal/store"
@@ -110,6 +112,22 @@ type Options struct {
 	// LeaderAddr is the leader's ingest address named in ReadOnly
 	// rejections (may be empty).
 	LeaderAddr string
+	// TLS, when set, wraps the listener: every connection must complete
+	// a TLS handshake before its first frame. With
+	// tls.RequireAndVerifyClientCert and a ClientCAs pool this is the
+	// mutual-TLS deployment shape (docs/security.md); the verified
+	// client certificate is what Auth resolves identities from.
+	TLS *tls.Config
+	// Auth, when set, turns on identity enforcement: a connection must
+	// authenticate (client certificate on TLS, a wire.OpIngestAuth
+	// token frame on cleartext) as an identity the guard's map knows,
+	// and every operation is checked against that identity's grant —
+	// appends against its principal set and append role, queries and
+	// follows against its read role with the observer coerced to its
+	// grant, snapshots against its replica role. Nil disables
+	// enforcement (every caller may do anything), the pre-auth
+	// behaviour the harness's -insecure shape keeps.
+	Auth *auth.Guard
 }
 
 func (o Options) withDefaults() Options {
@@ -199,11 +217,15 @@ func NewServer(st *store.Store, opts Options) *Server {
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
-// returns the bound address.
+// returns the bound address. With Options.TLS set the listener only
+// speaks TLS; the handshake itself runs in each connection's handler.
 func (s *Server) Listen(addr string) (string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
+	}
+	if s.opts.TLS != nil {
+		l = tls.NewListener(l, s.opts.TLS)
 	}
 	s.mu.Lock()
 	s.listener = l
@@ -325,8 +347,13 @@ func (s *Server) handle(conn net.Conn) {
 		s.wg.Done()
 	}()
 
-	reqs := make(chan request, s.opts.Queue)
 	replies := &replyWriter{enc: wire.NewStreamEncoder(conn), scratch: wire.NewEncoder()}
+	grant, ok := s.identify(conn, replies)
+	if !ok {
+		return
+	}
+
+	reqs := make(chan request, s.opts.Queue)
 	cq := newConnQueries()
 
 	committerDone := make(chan struct{})
@@ -335,11 +362,49 @@ func (s *Server) handle(conn net.Conn) {
 		s.commitLoop(replies, conn, reqs)
 	}()
 
-	s.readLoop(conn, replies, reqs, cq)
+	s.readLoop(conn, replies, reqs, cq, grant)
 	close(reqs)     // reader done: let the committer drain what was read
 	close(cq.done)  // and stop this connection's queries and follows
 	cq.wg.Wait()    // every query has written its end frame (or given up)
 	<-committerDone // committed, acked and flushed — now the deferred close is graceful
+}
+
+// identify runs the connection's TLS handshake (if any) and resolves
+// its identity to a grant. A nil grant with ok=true means enforcement
+// is off, or a cleartext connection that must still authenticate with
+// its first frame (readLoop handles the token); ok=false means the
+// connection was rejected and an id-0 error already sent.
+func (s *Server) identify(conn net.Conn, replies *replyWriter) (*auth.Grant, bool) {
+	tc, isTLS := conn.(*tls.Conn)
+	if isTLS {
+		// Handshake eagerly under a bound: a peer that connects and
+		// stalls must not pin a handler goroutine forever, and the
+		// handshake must not run lazily under the reply writer where a
+		// failure is indistinguishable from a write error.
+		conn.SetDeadline(time.Now().Add(s.opts.DrainWriteTimeout))
+		if err := tc.Handshake(); err != nil {
+			s.connFails.Add(1)
+			return nil, false
+		}
+		conn.SetDeadline(time.Time{})
+	}
+	guard := s.opts.Auth
+	if guard == nil {
+		return nil, true
+	}
+	if isTLS {
+		grant := guard.GrantForCert(tc.ConnectionState().PeerCertificates)
+		if grant == nil {
+			guard.ConnRejects.Add(1)
+			s.connFails.Add(1)
+			replies.sendError(0, "closing: client certificate names no known identity")
+			return nil, false
+		}
+		return grant, true
+	}
+	// Cleartext with enforcement on: the first frame must be an auth
+	// token (readLoop checks); no grant yet.
+	return nil, true
 }
 
 // replyWriter is a connection's serialised reply channel: the reader's
@@ -388,7 +453,7 @@ func (rw *replyWriter) sendHelloAck(maxBatchSeq uint64) {
 // *silently*: the committer is about to ack everything read, and an
 // id-0 error would make the client fail those very requests as
 // connection-scoped.
-func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- request, cq *connQueries) {
+func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- request, cq *connQueries, grant *auth.Grant) {
 	dec := wire.NewStreamDecoder(conn)
 	session := "" // set by the v2 hello; "" = sessionless (v1) connection
 	for {
@@ -400,15 +465,34 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			}
 			return
 		}
+		if guard := s.opts.Auth; guard != nil && grant == nil {
+			// Cleartext with enforcement on: nothing proceeds until a
+			// token frame names a known identity. Anything else first is
+			// an unauthenticated caller and closes the connection.
+			m, err := wire.DecodeIngest(env)
+			if err != nil || m.Op != wire.OpIngestAuth {
+				guard.ConnRejects.Add(1)
+				s.connFails.Add(1)
+				replies.sendError(0, "closing: authentication required")
+				return
+			}
+			if grant = guard.Map.ByToken(m.Token); grant == nil {
+				guard.ConnRejects.Add(1)
+				s.connFails.Add(1)
+				replies.sendError(0, "closing: unknown authentication token")
+				return
+			}
+			continue
+		}
 		if op, err := wire.PeekOp(env); err == nil {
 			if wire.IsQueryOp(op) {
-				if !s.handleQueryMsg(cq, replies, env) {
+				if !s.handleQueryMsg(cq, replies, env, grant) {
 					return
 				}
 				continue
 			}
 			if wire.IsSnapshotOp(op) {
-				if !s.handleSnapshotMsg(cq, replies, env) {
+				if !s.handleSnapshotMsg(cq, replies, env, grant) {
 					return
 				}
 				continue
@@ -419,6 +503,12 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			replies.sendError(0, fmt.Sprintf("closing: bad ingest message: %v", err))
 			s.connFails.Add(1)
 			return
+		}
+		if m.Op == wire.OpIngestAuth {
+			// Identity already established (client certificate, an earlier
+			// token, or no enforcement at all): accepted and ignored, so
+			// clients can send the frame uniformly.
+			continue
 		}
 		if s.opts.ReadOnly {
 			// A read replica: every append op is refused with a reply
@@ -437,6 +527,24 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 				replies.sendError(m.ID, msg)
 				continue
 			default:
+				replies.sendError(0, "closing: "+msg)
+				s.connFails.Add(1)
+				return
+			}
+		}
+		if grant != nil && !grant.CanAppend() {
+			// Same per-op shape as ReadOnly: batches are refused per
+			// request, anything else on the append path (a hello opening
+			// an idempotency session) closes the connection.
+			msg := fmt.Sprintf("identity %q lacks the append role", grant.Name)
+			switch m.Op {
+			case wire.OpIngestBatch, wire.OpIngestBatch2:
+				s.rejects.Add(1)
+				s.opts.Auth.AppendRejects.Add(1)
+				replies.sendError(m.ID, msg)
+				continue
+			default:
+				s.opts.Auth.AppendRejects.Add(1)
 				replies.sendError(0, "closing: "+msg)
 				s.connFails.Add(1)
 				return
@@ -477,6 +585,17 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			s.connFails.Add(1)
 			return
 		}
+		if grant != nil {
+			if bad := outsideGrant(grant, req.acts); bad != "" {
+				// The batch claims a principal the identity does not hold:
+				// refused per request — "error means none appended" holds,
+				// the connection and its other requests survive.
+				s.rejects.Add(1)
+				s.opts.Auth.AppendRejects.Add(1)
+				replies.sendError(req.id, fmt.Sprintf("identity %q may not append as principal %q", grant.Name, bad))
+				continue
+			}
+		}
 		s.requests.Add(1)
 		select {
 		case reqs <- req:
@@ -487,6 +606,17 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			return
 		}
 	}
+}
+
+// outsideGrant returns the first principal in acts the grant does not
+// cover ("" if the whole batch is within the grant).
+func outsideGrant(grant *auth.Grant, acts []logs.Action) string {
+	for i := range acts {
+		if !grant.AllowsPrincipal(acts[i].Principal) {
+			return acts[i].Principal
+		}
+	}
+	return ""
 }
 
 // isConnKick reports whether a read error is the expected end of a

@@ -22,6 +22,7 @@ package ingest
 import (
 	"fmt"
 
+	"repro/internal/auth"
 	"repro/internal/wire"
 )
 
@@ -37,8 +38,10 @@ func (rw *replyWriter) sendSnapshot(build func(*wire.Encoder)) bool {
 }
 
 // handleSnapshotMsg dispatches one snapshot-family message from the
-// reader, reporting whether the connection is still trustworthy.
-func (s *Server) handleSnapshotMsg(cq *connQueries, replies *replyWriter, env []byte) bool {
+// reader, reporting whether the connection is still trustworthy. A
+// snapshot ships the whole unredacted log, so a grant must hold the
+// replica role — read alone is not enough.
+func (s *Server) handleSnapshotMsg(cq *connQueries, replies *replyWriter, env []byte, grant *auth.Grant) bool {
 	m, err := wire.DecodeSnapshot(env)
 	if err != nil {
 		replies.sendError(0, fmt.Sprintf("closing: bad snapshot message: %v", err))
@@ -55,6 +58,14 @@ func (s *Server) handleSnapshotMsg(cq *connQueries, replies *replyWriter, env []
 		replies.sendError(0, "closing: snapshot id 0 is reserved")
 		s.connFails.Add(1)
 		return false
+	}
+	if grant != nil && !grant.CanReplicate() {
+		s.queryRejects.Add(1)
+		s.opts.Auth.SnapshotRejects.Add(1)
+		replies.sendSnapshot(func(e *wire.Encoder) {
+			e.SnapshotEnd(m.ID, 0, fmt.Sprintf("identity %q lacks the replica role", grant.Name))
+		})
+		return true
 	}
 	cancel, err := cq.register(m.ID, s.opts.MaxQueriesPerConn)
 	if err != nil {

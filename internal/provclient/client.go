@@ -41,6 +41,7 @@ package provclient
 import (
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/tls"
 	"encoding/hex"
 	"errors"
 	"sync"
@@ -98,6 +99,20 @@ type Options struct {
 	// Legacy, when set, speaks the sessionless v1 protocol: no handshake,
 	// no replay protection, at-least-once delivery across reconnects.
 	Legacy bool
+	// TLSConfig, when set, dials TLS instead of cleartext: every
+	// connection — pooled append conns and the dedicated query/snapshot
+	// conns alike, including every redial after a failure — handshakes
+	// with it before its first frame. For the mutual-TLS deployment
+	// shape it carries the client certificate the server resolves an
+	// identity from and the CA pool the server is verified against
+	// (internal/testutil.TestCA builds both for tests).
+	TLSConfig *tls.Config
+	// Token, when set, authenticates cleartext connections: each dial
+	// opens with one wire.OpIngestAuth frame carrying it, naming an
+	// identity in the server's auth map (the -insecure dev shape).
+	// Unused when TLSConfig is set — there the certificate is the
+	// identity.
+	Token string
 }
 
 func (o Options) withDefaults() Options {
@@ -178,7 +193,7 @@ func New(addr string, opts Options) *Client {
 	}
 	c := &Client{addr: addr, opts: opts, conns: make([]*conn, opts.Conns)}
 	for i := range c.conns {
-		c.conns[i] = &conn{addr: addr, dialTimeout: opts.DialTimeout, session: opts.Session}
+		c.conns[i] = &conn{addr: addr, dialTimeout: opts.DialTimeout, session: opts.Session, tlsConf: opts.TLSConfig, token: opts.Token}
 	}
 	return c
 }

@@ -1,6 +1,7 @@
 package provclient
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -35,7 +36,9 @@ type result struct {
 type conn struct {
 	addr        string
 	dialTimeout time.Duration
-	session     string // "" = legacy v1 connection
+	session     string      // "" = legacy v1 connection
+	tlsConf     *tls.Config // nil = cleartext
+	token       string      // cleartext auth token ("" = none)
 
 	mu      sync.Mutex // state: nc/gen/pending/nextID/closed — held across the dial handshake, never across request I/O
 	nc      net.Conn
@@ -136,7 +139,7 @@ func (cn *conn) roundTrip(acts []logs.Action, batchSeq uint64, timeout time.Dura
 // (Client.ensureSeeded relies on this to keep a resumed session's new
 // sequences from colliding with a previous incarnation's).
 func (cn *conn) dialLocked() error {
-	nc, err := net.DialTimeout("tcp", cn.addr, cn.dialTimeout)
+	nc, err := dial(cn.addr, cn.dialTimeout, cn.tlsConf, cn.token)
 	if err != nil {
 		return err
 	}
@@ -159,6 +162,53 @@ func (cn *conn) dialLocked() error {
 	}
 	go cn.readLoop(dec, cn.gen)
 	return nil
+}
+
+// dial establishes one connection the way every provclient dial site
+// does — the pooled append conns and the dedicated query/snapshot conns
+// must authenticate identically, including on every retry redial. TCP
+// first; then, under the same timeout, the TLS handshake (run eagerly
+// so a certificate the server rejects fails the dial, not the first
+// write); then, cleartext only, the auth token as the connection's
+// first frame.
+func dial(addr string, timeout time.Duration, tlsConf *tls.Config, token string) (net.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tlsConf != nil {
+		if tlsConf.ServerName == "" && !tlsConf.InsecureSkipVerify {
+			// Verify the server against the name being dialed, the same
+			// default crypto/tls.Dial applies.
+			host, _, err := net.SplitHostPort(addr)
+			if err != nil {
+				host = addr
+			}
+			tlsConf = tlsConf.Clone()
+			tlsConf.ServerName = host
+		}
+		tc := tls.Client(nc, tlsConf)
+		tc.SetDeadline(time.Now().Add(timeout))
+		if err := tc.Handshake(); err != nil {
+			nc.Close()
+			return nil, err
+		}
+		tc.SetDeadline(time.Time{})
+		return tc, nil
+	}
+	if token != "" {
+		e := wire.NewEncoder()
+		e.IngestAuth(token)
+		enc := wire.NewStreamEncoder(nc)
+		if err := enc.Envelope(e.Bytes()); err == nil {
+			err = enc.Flush()
+		}
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
+	return nc, nil
 }
 
 // handshakeLocked runs the blocking hello/helloack exchange on a fresh

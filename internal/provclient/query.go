@@ -67,7 +67,7 @@ func (c *Client) Query(spec wire.QuerySpec) (*QueryStream, error) {
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	nc, err := dial(c.addr, c.opts.DialTimeout, c.opts.TLSConfig, c.opts.Token)
 	if err != nil {
 		return nil, fmt.Errorf("provclient: query dial: %w", err)
 	}

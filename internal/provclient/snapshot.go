@@ -51,7 +51,7 @@ func (c *Client) FetchSnapshot() (*SnapshotStream, error) {
 	if c.isClosed() {
 		return nil, ErrClosed
 	}
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	nc, err := dial(c.addr, c.opts.DialTimeout, c.opts.TLSConfig, c.opts.Token)
 	if err != nil {
 		return nil, fmt.Errorf("provclient: snapshot dial: %w", err)
 	}

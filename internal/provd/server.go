@@ -8,6 +8,7 @@ package provd
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -20,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/ingest"
 	"repro/internal/logs"
 	"repro/internal/query"
@@ -49,6 +51,10 @@ type Server struct {
 	// leader, health and metrics carry role and lag.
 	replica    *replica.Replicator
 	leaderHTTP string
+	// auth, when set, turns on identity enforcement (SetAuth): every
+	// endpoint except /healthz and /metrics requires a resolved grant,
+	// checked per operation exactly like the binary surface checks it.
+	auth *auth.Guard
 
 	requests atomic.Uint64
 	badReqs  atomic.Uint64
@@ -80,9 +86,62 @@ func (s *Server) AttachIngest(in *ingest.Server) { s.ingest = in }
 // redaction/denial counters, whichever surface served the read.
 func (s *Server) Engine() *query.Engine { return s.engine }
 
+// SetAuth turns on identity enforcement. Pass the same Guard as
+// ingest.Options.Auth so both surfaces share one identity map and one
+// set of provd_auth_* rejection counters.
+func (s *Server) SetAuth(g *auth.Guard) { s.auth = g }
+
+// grantKey stashes the request's resolved grant in its context.
+type grantKey struct{}
+
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if s.auth != nil && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+		// Health and metrics stay open — probes and scrapers carry no
+		// identity, and neither endpoint discloses log content.
+		grant := s.resolveGrant(r)
+		if grant == nil {
+			s.auth.ConnRejects.Add(1)
+			s.writeJSON(w, http.StatusUnauthorized, map[string]string{
+				"error": "no known identity: present a client certificate or bearer token",
+			})
+			return
+		}
+		r = r.WithContext(context.WithValue(r.Context(), grantKey{}, grant))
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// resolveGrant maps the request to an identity: the verified client
+// certificate first (the mTLS shape), then an Authorization bearer
+// token against the auth map's token table (the dev shape). Nil if
+// neither names a known identity.
+func (s *Server) resolveGrant(r *http.Request) *auth.Grant {
+	if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
+		if g := s.auth.GrantForCert(r.TLS.PeerCertificates); g != nil {
+			return g
+		}
+	}
+	if tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok {
+		return s.auth.Map.ByToken(tok)
+	}
+	return nil
+}
+
+// grantFrom recovers the grant ServeHTTP resolved (nil when
+// enforcement is off).
+func grantFrom(r *http.Request) *auth.Grant {
+	g, _ := r.Context().Value(grantKey{}).(*auth.Grant)
+	return g
+}
+
+// forbidRole writes the 403 for an operation the grant's roles do not
+// cover, bumping the given rejection counter.
+func (s *Server) forbidRole(w http.ResponseWriter, ctr *atomic.Uint64, grant *auth.Grant, role string) {
+	ctr.Add(1)
+	s.writeJSON(w, http.StatusForbidden, map[string]string{
+		"error": fmt.Sprintf("identity %q lacks the %s role", grant.Name, role),
+	})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
@@ -110,13 +169,18 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.rejectWrite(w, r)
 		return
 	}
+	grant := grantFrom(r)
+	if grant != nil && !grant.CanAppend() {
+		s.forbidRole(w, &s.auth.AppendRejects, grant, "append")
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		s.clientError(w, fmt.Errorf("reading body: %w", err))
 		return
 	}
 	if t := bytes.TrimLeft(body, " \t\r\n"); len(t) > 0 && t[0] == '[' {
-		s.appendBatch(w, t)
+		s.appendBatch(w, grant, t)
 		return
 	}
 	var dto ActionDTO
@@ -129,6 +193,10 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.clientError(w, err)
 		return
 	}
+	if grant != nil && !grant.AllowsPrincipal(a.Principal) {
+		s.forbidPrincipal(w, grant, a.Principal)
+		return
+	}
 	seq, err := s.store.Append(a)
 	if err != nil {
 		s.appendError(w, err)
@@ -137,10 +205,21 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, AppendResponse{Seq: seq})
 }
 
+// forbidPrincipal writes the 403 for a batch claiming a principal
+// outside the grant.
+func (s *Server) forbidPrincipal(w http.ResponseWriter, grant *auth.Grant, principal string) {
+	s.auth.AppendRejects.Add(1)
+	s.writeJSON(w, http.StatusForbidden, map[string]string{
+		"error": fmt.Sprintf("identity %q may not append as principal %q", grant.Name, principal),
+	})
+}
+
 // appendBatch is the batch arm of /append: all actions are appended in
 // body order under one lock round and receive a contiguous block of
-// sequence numbers starting at the returned seq.
-func (s *Server) appendBatch(w http.ResponseWriter, body []byte) {
+// sequence numbers starting at the returned seq. The whole batch must
+// be within the grant's principal set — rejecting it entire keeps the
+// "error means none appended" contract the binary surface gives.
+func (s *Server) appendBatch(w http.ResponseWriter, grant *auth.Grant, body []byte) {
 	var dtos []ActionDTO
 	if err := json.Unmarshal(body, &dtos); err != nil {
 		s.clientError(w, fmt.Errorf("decoding action batch: %w", err))
@@ -155,6 +234,10 @@ func (s *Server) appendBatch(w http.ResponseWriter, body []byte) {
 		a, err := dto.action()
 		if err != nil {
 			s.clientError(w, fmt.Errorf("action %d: %w", i, err))
+			return
+		}
+		if grant != nil && !grant.AllowsPrincipal(a.Principal) {
+			s.forbidPrincipal(w, grant, a.Principal)
 			return
 		}
 		acts[i] = a
@@ -269,7 +352,28 @@ func (s *Server) handleGlobalLog(w http.ResponseWriter, r *http.Request) {
 		s.clientError(w, err)
 		return
 	}
+	if !s.coerceRead(w, r, &q.Observer) {
+		return
+	}
 	s.serveLog(w, q)
+}
+
+// coerceRead gates a read on the grant's read role and pins its
+// observer to the grant — whatever view the caller asked for (including
+// the full, unredacted "" view), it reads as the observer its identity
+// maps to; replica-role grants pass through. Reports whether the read
+// may proceed.
+func (s *Server) coerceRead(w http.ResponseWriter, r *http.Request, observer *string) bool {
+	grant := grantFrom(r)
+	if grant == nil {
+		return true
+	}
+	if !grant.CanRead() {
+		s.forbidRole(w, &s.auth.QueryRejects, grant, "read")
+		return false
+	}
+	*observer = grant.CoerceObserver(*observer)
+	return true
 }
 
 // handleShardLog serves one principal's shard through the query engine.
@@ -280,6 +384,9 @@ func (s *Server) handleShardLog(w http.ResponseWriter, r *http.Request) {
 	q, err := logQuery(r, r.PathValue("principal"))
 	if err != nil {
 		s.clientError(w, err)
+		return
+	}
+	if !s.coerceRead(w, r, &q.Observer) {
 		return
 	}
 	s.serveLog(w, q)
@@ -297,6 +404,17 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	if req.Value == "" {
 		s.clientError(w, fmt.Errorf("audit needs a value"))
 		return
+	}
+	if grant := grantFrom(r); grant != nil {
+		if !grant.CanRead() {
+			s.forbidRole(w, &s.auth.QueryRejects, grant, "read")
+			return
+		}
+		// An empty observer asks for no provenance echo at all — nothing
+		// to coerce; a named one is pinned to the grant's view.
+		if req.Observer != "" {
+			req.Observer = grant.CoerceObserver(req.Observer)
+		}
 	}
 	k, err := provOf(req.Prov, 0)
 	if err != nil {
@@ -326,6 +444,11 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		s.rejectWrite(w, r)
 		return
 	}
+	if grant := grantFrom(r); grant != nil && !grant.CanAppend() {
+		// Compaction rewrites the log: a write-class operation.
+		s.forbidRole(w, &s.auth.AppendRejects, grant, "append")
+		return
+	}
 	principal := r.URL.Query().Get("principal")
 	var err error
 	if principal == "" {
@@ -349,7 +472,11 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 // cursor.
 func (s *Server) handlePrincipals(w http.ResponseWriter, r *http.Request) {
 	v := r.URL.Query()
-	visible := s.engine.VisibleCounts(v.Get("observer")).Principals
+	observer := v.Get("observer")
+	if !s.coerceRead(w, r, &observer) {
+		return
+	}
+	visible := s.engine.VisibleCounts(observer).Principals
 	if v.Get("limit") == "" && v.Get("cursor") == "" {
 		ps := make([]string, len(visible))
 		for i, pc := range visible {
@@ -472,6 +599,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "provd_ingest_query_rejects_total %d\n", in.QueryRejects)
 		fmt.Fprintf(w, "provd_ingest_snapshots_total %d\n", in.Snapshots)
 		fmt.Fprintf(w, "provd_ingest_snapshot_records_total %d\n", in.SnapshotRecords)
+	}
+	if s.auth != nil {
+		fmt.Fprintf(w, "provd_auth_conn_rejects_total %d\n", s.auth.ConnRejects.Load())
+		fmt.Fprintf(w, "provd_auth_append_rejects_total %d\n", s.auth.AppendRejects.Load())
+		fmt.Fprintf(w, "provd_auth_query_rejects_total %d\n", s.auth.QueryRejects.Load())
+		fmt.Fprintf(w, "provd_auth_snapshot_rejects_total %d\n", s.auth.SnapshotRejects.Load())
 	}
 	if s.replica != nil {
 		s.replicaMetrics(w)

@@ -36,6 +36,7 @@
 package replica
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -107,6 +108,16 @@ type Options struct {
 	// Logf, when set, receives replication lifecycle events
 	// (bootstrap, re-follow, gaps, divergence).
 	Logf func(format string, args ...any)
+	// TLS, when set, is the replica's client identity toward the
+	// leader: every bootstrap, follow and probe connection dials TLS
+	// with it. The certificate must map to a replica-role grant in the
+	// leader's auth map — snapshot transfer and the unredacted follow
+	// are gated on it.
+	TLS *tls.Config
+	// Token authenticates cleartext connections to a leader enforcing
+	// an auth map without TLS (the -insecure dev shape). Unused when
+	// TLS is set.
+	Token string
 }
 
 func (o Options) withDefaults() Options {
@@ -188,7 +199,7 @@ func New(st *store.Store, leader string, opts Options) *Replicator {
 		st:     st,
 		leader: leader,
 		opts:   opts.withDefaults(),
-		c:      provclient.New(leader, provclient.Options{}),
+		c:      provclient.New(leader, provclient.Options{TLSConfig: opts.TLS, Token: opts.Token}),
 		done:   make(chan struct{}),
 	}
 }

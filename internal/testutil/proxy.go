@@ -15,6 +15,7 @@ package testutil
 // pre-extraction ackEater used in internal/provd's exactly-once e2e.
 
 import (
+	"crypto/tls"
 	"io"
 	"net"
 	"sync"
@@ -24,8 +25,19 @@ import (
 
 // Proxy is a frame-aware TCP proxy for fault injection. Zero faults
 // armed, it is a transparent (if slower) pipe.
+//
+// With TLS configs (NewProxyTLS) the proxy terminates TLS on both
+// sides — tls.Server toward its clients, tls.Client toward the
+// backend — so the frame-aware relay still sees plaintext frames to
+// drop at exact points while every byte on either wire is encrypted.
+// This is what lets the harness inject its reproducible faults into a
+// fully mutually-authenticated cluster: the proxy holds the client
+// identity its producers would, which is exactly the
+// trusted-middlebox position docs/security.md warns about.
 type Proxy struct {
-	ln net.Listener
+	ln       net.Listener
+	serveTLS *tls.Config // client-facing; nil = cleartext
+	dialTLS  *tls.Config // backend-facing; nil = cleartext
 
 	mu          sync.Mutex
 	backend     string
@@ -43,11 +55,19 @@ type Proxy struct {
 
 // NewProxy listens on loopback and relays to backend.
 func NewProxy(backend string) (*Proxy, error) {
+	return NewProxyTLS(backend, nil, nil)
+}
+
+// NewProxyTLS listens on loopback and relays to backend, terminating
+// TLS: serve is the identity presented to clients (nil = cleartext
+// toward them), dial the client identity presented to the backend (nil
+// = cleartext toward it).
+func NewProxyTLS(backend string, serve, dial *tls.Config) (*Proxy, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	p := &Proxy{ln: ln, backend: backend, pairs: make(map[net.Conn]net.Conn)}
+	p := &Proxy{ln: ln, serveTLS: serve, dialTLS: dial, backend: backend, pairs: make(map[net.Conn]net.Conn)}
 	go p.accept()
 	return p, nil
 }
@@ -174,6 +194,21 @@ func (p *Proxy) accept() {
 		if err != nil {
 			c.Close()
 			continue
+		}
+		if p.dialTLS != nil {
+			conf := p.dialTLS
+			if conf.ServerName == "" && !conf.InsecureSkipVerify {
+				host, _, err := net.SplitHostPort(backend)
+				if err != nil {
+					host = backend
+				}
+				conf = conf.Clone()
+				conf.ServerName = host
+			}
+			b = tls.Client(b, conf)
+		}
+		if p.serveTLS != nil {
+			c = tls.Server(c, p.serveTLS)
 		}
 		p.mu.Lock()
 		if p.partitioned || p.closed {

@@ -1,0 +1,121 @@
+package testutil
+
+// In-memory test certificate authority: every TLS suite (ingest authz,
+// provclient reconnect, the secured harness cluster) mints its
+// certificates fresh per run, so no key material is ever committed to
+// the repository — the rotation story docs/security.md tells is also
+// the test fixture story. Certificates carry the identity name as both
+// CN and a DNS SAN (the two places auth.Guard.GrantForCert looks) plus
+// the loopback names and addresses tests dial. The API returns errors
+// rather than taking a testing.TB because the harness (a non-test
+// package) builds its secured cluster from it too.
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// TestCA is a throwaway certificate authority.
+type TestCA struct {
+	cert *x509.Certificate
+	key  *ecdsa.PrivateKey
+	pool *x509.CertPool
+}
+
+// NewTestCA mints a fresh CA keypair.
+func NewTestCA() (*TestCA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("test CA key: %w", err)
+	}
+	tpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "testca"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, tpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("test CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("test CA parse: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &TestCA{cert: cert, key: key, pool: pool}, nil
+}
+
+// Pool returns a pool holding just this CA, for ClientCAs/RootCAs.
+func (ca *TestCA) Pool() *x509.CertPool { return ca.pool }
+
+// Issue mints a certificate for name, usable as both a server and a
+// client certificate: name is the CN and first DNS SAN (what the
+// server's auth map resolves), with the loopback names tests dial.
+func (ca *TestCA) Issue(name string) (tls.Certificate, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("issuing %q: %w", name, err)
+	}
+	serial, err := rand.Int(rand.Reader, big.NewInt(1<<62))
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("issuing %q: %w", name, err)
+	}
+	tpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: name},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		DNSNames:     []string{name, "localhost"},
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tpl, ca.cert, &key.PublicKey, ca.key)
+	if err != nil {
+		return tls.Certificate{}, fmt.Errorf("issuing %q: %w", name, err)
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key}, nil
+}
+
+// ServerConfig builds the listener side of the mutual-TLS shape: serve
+// as name, demand a client certificate this CA signed.
+func (ca *TestCA) ServerConfig(name string) (*tls.Config, error) {
+	cert, err := ca.Issue(name)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		ClientCAs:    ca.pool,
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+		MinVersion:   tls.VersionTLS13,
+	}, nil
+}
+
+// ClientConfig builds the dialing side: present name's certificate,
+// verify the server against this CA. ServerName is left for the dial
+// site to fill from the address (provclient and the proxy both do).
+func (ca *TestCA) ClientConfig(name string) (*tls.Config, error) {
+	cert, err := ca.Issue(name)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		RootCAs:      ca.pool,
+		MinVersion:   tls.VersionTLS13,
+	}, nil
+}

@@ -11,6 +11,7 @@ package wire
 //	hello    := uvarint(proto) string(session)                 client → server  (v2)
 //	helloack := uvarint(proto) uvarint(maxBatchSeq)            server → client  (v2)
 //	batch2   := uvarint(id) uvarint(batchSeq) uvarint(n) action*n  client → server  (v2)
+//	auth     := string(token)                                  client → server
 //
 // id is a client-assigned request identifier, opaque to the server and
 // echoed verbatim in the reply, so many requests can be in flight on
@@ -21,6 +22,14 @@ package wire
 // error, e.g. validation); frame-level corruption is answered with id 0
 // and closes the connection, since request boundaries can no longer be
 // trusted.
+//
+// auth is the cleartext-connection authentication frame: when the
+// server enforces an identity map without TLS (the -insecure dev
+// shape), the first frame on a connection must carry a token the map
+// knows. There is no success reply — the connection simply proceeds —
+// and an unknown token is answered with an id-0 error and a close. On
+// a TLS connection identity comes from the client certificate and the
+// frame is accepted and ignored, so clients can send it uniformly.
 //
 // The v2 handshake upgrades delivery to exactly-once: hello names a
 // client-chosen idempotency session, and every batch2 carries the
@@ -45,7 +54,12 @@ const (
 	OpIngestHello    byte = 0x24
 	OpIngestHelloAck byte = 0x25
 	OpIngestBatch2   byte = 0x26
+	OpIngestAuth     byte = 0x27
 )
+
+// MaxTokenLen bounds the auth frame's token, keeping the frame — and
+// every auth-map entry worth comparing it against — small.
+const MaxTokenLen = 256
 
 // IngestV2 is the protocol revision the session handshake negotiates.
 // (Revision 1, the sessionless protocol, has no hello message at all: a
@@ -74,6 +88,7 @@ type IngestMsg struct {
 	Version  uint64        // OpIngestHello/OpIngestHelloAck: negotiated protocol revision
 	Session  string        // OpIngestHello: the client's idempotency session
 	BatchSeq uint64        // OpIngestBatch2: per-session batch sequence; OpIngestHelloAck: highest committed batch sequence (0 = none)
+	Token    string        // OpIngestAuth: the cleartext authentication token
 }
 
 // IngestBatch encodes a v1 (sessionless) client append request.
@@ -122,6 +137,18 @@ func (e *Encoder) IngestBatch2(id, batchSeq uint64, acts []logs.Action) {
 	}
 }
 
+// IngestAuth encodes the cleartext authentication frame: the first
+// frame a token-authenticated client sends on every connection. Tokens
+// longer than MaxTokenLen are truncated so the frame always
+// round-trips the codec's bound (servers reject such tokens anyway).
+func (e *Encoder) IngestAuth(token string) {
+	if len(token) > MaxTokenLen {
+		token = token[:MaxTokenLen]
+	}
+	e.byte(OpIngestAuth)
+	e.string(token)
+}
+
 // IngestAck encodes a server ack: the request's actions hold the
 // contiguous sequence block base..base+count-1.
 func (e *Encoder) IngestAck(id, base, count uint64) {
@@ -168,6 +195,14 @@ func (d *Decoder) Ingest() (IngestMsg, error) {
 		}
 		if m.BatchSeq, err = d.uvarint(); err != nil {
 			return IngestMsg{}, err
+		}
+		return m, nil
+	case OpIngestAuth:
+		if m.Token, err = d.string(); err != nil {
+			return IngestMsg{}, err
+		}
+		if len(m.Token) > MaxTokenLen {
+			return IngestMsg{}, fmt.Errorf("%w: auth token of %d bytes", ErrTooLarge, len(m.Token))
 		}
 		return m, nil
 	}

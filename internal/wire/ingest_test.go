@@ -173,6 +173,7 @@ func FuzzDecodeIngest(f *testing.F) {
 	f.Add(encodeIngest(func(e *Encoder) { e.IngestError(3, "nope") }))
 	f.Add(encodeIngest(func(e *Encoder) { e.IngestHello(IngestV2, "s-1") }))
 	f.Add(encodeIngest(func(e *Encoder) { e.IngestHelloAck(IngestV2, 7) }))
+	f.Add(encodeIngest(func(e *Encoder) { e.IngestAuth("t0ken") }))
 	f.Add(encodeIngest(func(e *Encoder) {
 		e.IngestBatch2(4, 11, []logs.Action{logs.RcvAct("b", logs.NameT("m"), logs.VarT("x"))})
 	}))
@@ -197,6 +198,8 @@ func FuzzDecodeIngest(f *testing.F) {
 				e.IngestHelloAck(m.Version, m.BatchSeq)
 			case OpIngestBatch2:
 				e.IngestBatch2(m.ID, m.BatchSeq, m.Acts)
+			case OpIngestAuth:
+				e.IngestAuth(m.Token)
 			}
 		})
 		m2, err := DecodeIngest(reenc)
@@ -205,7 +208,8 @@ func FuzzDecodeIngest(f *testing.F) {
 		}
 		if m2.Op != m.Op || m2.ID != m.ID || m2.Base != m.Base || m2.Count != m.Count ||
 			m2.Msg != m.Msg || len(m2.Acts) != len(m.Acts) ||
-			m2.Version != m.Version || m2.Session != m.Session || m2.BatchSeq != m.BatchSeq {
+			m2.Version != m.Version || m2.Session != m.Session || m2.BatchSeq != m.BatchSeq ||
+			m2.Token != m.Token {
 			t.Fatalf("round-trip changed message: %+v vs %+v", m, m2)
 		}
 	})
