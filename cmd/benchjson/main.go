@@ -6,14 +6,21 @@
 // BENCH_results.json artifact the benchmark trajectory is tracked by.
 //
 //	benchjson -new new.txt [-old old.txt] [-out BENCH_results.json] \
-//	          [-gate 'Ingest|Append|Audit'] [-threshold 20]
+//	          [-gate 'Ingest|Append|Audit'] [-threshold 20] [-alloc-threshold 10]
 //
 // Multiple -count samples of one benchmark are reduced to their median
 // (robust to one noisy run, like benchstat). A gated benchmark fails
 // the build when its median ns/op regresses by more than -threshold
-// percent against the baseline; benchmarks present on only one side
-// are reported but never fail the gate (new benchmarks must not break
-// the PR that introduces them).
+// percent against the baseline, or — when both sides carry -benchmem
+// columns — when its median allocs/op regresses by more than
+// -alloc-threshold percent. The allocation gate is the cheaper and far
+// more stable of the two (allocs/op is deterministic modulo pool
+// warmup, where ns/op shares the runner with noisy neighbours), so it
+// holds the zero-alloc ingest hot path at its floor: a change that
+// re-introduces per-record garbage fails the PR even when the runner
+// is too noisy for the ns/op gate to notice. Benchmarks present on
+// only one side are reported but never fail either gate (new
+// benchmarks must not break the PR that introduces them).
 package main
 
 import (
@@ -47,11 +54,14 @@ type result struct {
 
 // delta compares one benchmark across baseline and PR.
 type delta struct {
-	Name     string  `json:"name"`
-	OldNs    float64 `json:"old_ns_per_op"`
-	NewNs    float64 `json:"new_ns_per_op"`
-	DeltaPct float64 `json:"delta_pct"`
-	Gated    bool    `json:"gated"`
+	Name           string  `json:"name"`
+	OldNs          float64 `json:"old_ns_per_op"`
+	NewNs          float64 `json:"new_ns_per_op"`
+	DeltaPct       float64 `json:"delta_pct"`
+	OldAllocs      float64 `json:"old_allocs_per_op,omitempty"`
+	NewAllocs      float64 `json:"new_allocs_per_op,omitempty"`
+	AllocsDeltaPct float64 `json:"allocs_delta_pct,omitempty"`
+	Gated          bool    `json:"gated"`
 }
 
 // artifact is the BENCH_results.json layout.
@@ -63,9 +73,10 @@ type artifact struct {
 }
 
 type gate struct {
-	Pattern      string   `json:"pattern"`
-	ThresholdPct float64  `json:"threshold_pct"`
-	Violations   []string `json:"violations"`
+	Pattern           string   `json:"pattern"`
+	ThresholdPct      float64  `json:"threshold_pct"`
+	AllocThresholdPct float64  `json:"alloc_threshold_pct"`
+	Violations        []string `json:"violations"`
 }
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
@@ -154,6 +165,7 @@ func main() {
 		outPath   = flag.String("out", "BENCH_results.json", "artifact path")
 		gatePat   = flag.String("gate", "", "regexp of benchmark names the regression gate applies to")
 		threshold = flag.Float64("threshold", 20, "max tolerated ns/op regression, percent")
+		allocThr  = flag.Float64("alloc-threshold", 10, "max tolerated allocs/op regression, percent")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -187,7 +199,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
 				os.Exit(2)
 			}
-			art.Gate = &gate{Pattern: *gatePat, ThresholdPct: *threshold, Violations: []string{}}
+			art.Gate = &gate{Pattern: *gatePat, ThresholdPct: *threshold, AllocThresholdPct: *allocThr, Violations: []string{}}
 		}
 		oldByName := make(map[string]result, len(art.Baseline))
 		for _, r := range art.Baseline {
@@ -205,11 +217,27 @@ func main() {
 				DeltaPct: (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100,
 				Gated:    gated != nil && gated.MatchString(nr.Name),
 			}
+			if or.AllocsPerOp > 0 || nr.AllocsPerOp > 0 {
+				d.OldAllocs = or.AllocsPerOp
+				d.NewAllocs = nr.AllocsPerOp
+				if or.AllocsPerOp > 0 {
+					d.AllocsDeltaPct = (nr.AllocsPerOp - or.AllocsPerOp) / or.AllocsPerOp * 100
+				}
+			}
 			art.Deltas = append(art.Deltas, d)
 			if d.Gated && d.DeltaPct > *threshold {
 				art.Gate.Violations = append(art.Gate.Violations, d.Name)
 				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f → %.0f ns/op (%+.1f%% > %.0f%%)\n",
 					d.Name, d.OldNs, d.NewNs, d.DeltaPct, *threshold)
+				failed = true
+			}
+			// The allocation gate only fires when the baseline has memory
+			// columns too — a benchmark that just grew -benchmem must not
+			// fail the PR that adds the measurement.
+			if d.Gated && or.AllocsPerOp > 0 && d.AllocsDeltaPct > *allocThr {
+				art.Gate.Violations = append(art.Gate.Violations, d.Name+" (allocs)")
+				fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION %s: %.1f → %.1f allocs/op (%+.1f%% > %.0f%%)\n",
+					d.Name, d.OldAllocs, d.NewAllocs, d.AllocsDeltaPct, *allocThr)
 				failed = true
 			}
 		}

@@ -1,0 +1,34 @@
+//go:build linux
+
+package main
+
+import "syscall"
+
+// raiseFDLimit tries to raise the soft RLIMIT_NOFILE to at least need
+// (raising the hard limit too when the process may) and returns the
+// soft limit in effect afterwards. L4 sizes its connection fleet to
+// whatever this yields.
+func raiseFDLimit(need uint64) uint64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	if rl.Cur >= need {
+		return rl.Cur
+	}
+	want := rl
+	want.Cur = need
+	if want.Max < need {
+		want.Max = need // needs CAP_SYS_RESOURCE; falls through when denied
+	}
+	if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want) == nil {
+		return want.Cur
+	}
+	if rl.Max > rl.Cur {
+		want = syscall.Rlimit{Cur: rl.Max, Max: rl.Max}
+		if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want) == nil {
+			return want.Cur
+		}
+	}
+	return rl.Cur
+}

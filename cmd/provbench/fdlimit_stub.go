@@ -1,0 +1,7 @@
+//go:build !linux
+
+package main
+
+// raiseFDLimit is a no-op where RLIMIT_NOFILE can't portably be
+// adjusted; report "plenty" and let dial errors surface naturally.
+func raiseFDLimit(need uint64) uint64 { return need }

@@ -1,0 +1,258 @@
+package main
+
+// L4 — idle-fleet cost: the monitored-middleware model only pays off
+// if provenance capture is effectively free for the monitored system,
+// and most monitored connections are idle most of the time. This
+// experiment establishes what an idle producer costs the listener:
+// it parks a fleet of N established binary-protocol connections
+// (IdlePark), then measures
+//
+//   - goroutines with the whole fleet parked (epoll parking keeps this
+//     flat in N; the portable sentry fallback is one per conn),
+//   - parked heap per connection (upper bound: both halves of every
+//     loopback conn live in this process),
+//   - append p50/p99 for one *active* producer running against the
+//     parked fleet (the fleet must not tax the hot path),
+//   - wake-to-ack p99 across a sample of parked connections (the
+//     latency an idle producer pays for its first batch after a lull).
+//
+// With -load-out the measurements are merged into the BENCH_results.json
+// artifact as L4/... entries alongside L1-L3.
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+var (
+	idleConns = flag.Int("idle-conns", 2000, "L4: parked connections (2 fds each; the fd limit is raised when possible)")
+	idleWakes = flag.Int("idle-wakes", 500, "L4: parked connections sampled for wake-to-ack latency")
+)
+
+// idleClient is the minimal raw binary-protocol producer for L4: one
+// socket, stream codec released between appends so an idle client side
+// stays as light as the server side under test.
+type idleClient struct {
+	c   net.Conn
+	enc *wire.StreamEncoder
+	dec *wire.StreamDecoder
+	e   *wire.Encoder
+}
+
+func dialIdleClient(addr string) (*idleClient, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &idleClient{c: c, enc: wire.NewStreamEncoder(c), dec: wire.NewStreamDecoder(c), e: wire.NewEncoder()}, nil
+}
+
+func (ic *idleClient) append(id uint64, acts []logs.Action) error {
+	ic.e.Reset()
+	ic.e.IngestBatch(id, acts)
+	if err := ic.enc.Envelope(ic.e.Bytes()); err != nil {
+		return err
+	}
+	if err := ic.enc.Flush(); err != nil {
+		return err
+	}
+	ic.c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	env, err := ic.dec.Envelope()
+	if err != nil {
+		return err
+	}
+	m, err := wire.DecodeIngest(env)
+	if err != nil {
+		return err
+	}
+	if m.Op != wire.OpIngestAck {
+		return fmt.Errorf("got op %#x (%q), want ack", m.Op, m.Msg)
+	}
+	ic.enc.ReleaseBuffers()
+	ic.dec.ReleaseBuffers()
+	return nil
+}
+
+func expL4() {
+	n := *idleConns
+	need := uint64(2*n + 512)
+	if have := raiseFDLimit(need); have < need {
+		n = int((have - 512) / 2)
+		fmt.Printf("  fd limit %d: shrinking fleet %d -> %d conns\n", have, *idleConns, n)
+	}
+	if n <= 0 {
+		fmt.Println("  fd limit leaves no room for a fleet; skipping")
+		return
+	}
+
+	dir, err := os.MkdirTemp("", "provbench-idle-*")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(filepath.Join(dir, "store"), store.Options{Fsync: *loadFsync})
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer st.Close()
+	srv := ingest.NewServer(st, ingest.Options{IdlePark: 5 * time.Millisecond})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer srv.Close()
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heapBefore := ms.HeapInuse
+	goroutinesBefore := runtime.NumGoroutine()
+
+	// Establish the fleet: every conn appends one batch (so it has been
+	// identified and through a commit round), then goes idle.
+	fleet := make([]*idleClient, n)
+	idx := make(chan int)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				ic, err := dialIdleClient(addr)
+				if err == nil {
+					fleet[i] = ic
+					err = ic.append(1, []logs.Action{loadAct("i", i%256, 0, 0)})
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("conn %d: %w", i, err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	defer func() {
+		for _, ic := range fleet {
+			if ic != nil {
+				ic.c.Close()
+			}
+		}
+	}()
+	select {
+	case err := <-errCh:
+		fmt.Println("  fleet:", err)
+		return
+	default:
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	for srv.Stats().Parked < uint64(n) {
+		if time.Now().After(deadline) {
+			fmt.Printf("  only %d/%d conns parked; aborting\n", srv.Stats().Parked, n)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	parkedGoroutines := runtime.NumGoroutine()
+	heapPerConn := 0.0
+	if ms.HeapInuse > heapBefore {
+		heapPerConn = float64(ms.HeapInuse-heapBefore) / float64(n)
+	}
+
+	// One active producer against the parked fleet.
+	active, err := dialIdleClient(addr)
+	if err != nil {
+		fmt.Println("  active conn:", err)
+		return
+	}
+	defer active.c.Close()
+	id := uint64(2)
+	activeRes, err := drive(1, *loadDur, func(w, i int) (int, error) {
+		batch := make([]logs.Action, *loadBatch)
+		for j := range batch {
+			batch[j] = loadAct("a", w, i, j)
+		}
+		id++
+		if err := active.append(id, batch); err != nil {
+			return 0, err
+		}
+		return len(batch), nil
+	})
+	if err != nil {
+		fmt.Println("  active path:", err)
+		return
+	}
+
+	// Wake a sample of the parked fleet, one batch each, and take the
+	// latency distribution of wake-to-ack.
+	sample := *idleWakes
+	if sample > n {
+		sample = n
+	}
+	wakes := make([]time.Duration, 0, sample)
+	for i := 0; i < sample; i++ {
+		ic := fleet[i*n/sample]
+		t0 := time.Now()
+		if err := ic.append(id+uint64(i)+1, []logs.Action{loadAct("w", i%256, i, 0)}); err != nil {
+			fmt.Println("  wake path:", err)
+			return
+		}
+		wakes = append(wakes, time.Since(t0))
+		if (i+1)%64 == 0 {
+			time.Sleep(10 * time.Millisecond) // let the sampled slice re-park behind us
+		}
+	}
+	sort.Slice(wakes, func(i, j int) bool { return wakes[i] < wakes[j] })
+	wakeP50, wakeP99 := wakes[len(wakes)/2], wakes[len(wakes)*99/100]
+
+	stats := srv.Stats()
+	fmt.Printf("  %d parked conns, IdlePark 5ms, active producer %v at %d-action batches\n", n, *loadDur, *loadBatch)
+	row("measure                 ", "value")
+	row(fmt.Sprintf("goroutines (idle fleet)   %8d (was %d before dialing)", parkedGoroutines, goroutinesBefore))
+	row(fmt.Sprintf("parked heap per conn      %8.0f B", heapPerConn))
+	row(fmt.Sprintf("active append p50/p99     %v / %v", activeRes.p50.Round(time.Microsecond), activeRes.p99.Round(time.Microsecond)))
+	row(fmt.Sprintf("active records/s          %8.0f", activeRes.perSec()))
+	row(fmt.Sprintf("wake-to-ack p50/p99       %v / %v (%d sampled)", wakeP50.Round(time.Microsecond), wakeP99.Round(time.Microsecond), sample))
+	row(fmt.Sprintf("parks / wakes             %8d / %d", stats.Parks, stats.Wakes))
+	check("parked fleet holds no per-connection goroutines (epoll parking)",
+		parkedGoroutines < goroutinesBefore+n/10+64)
+	check("active producer sustained load against the parked fleet", activeRes.records > 0)
+	check("every sampled wake acked", len(wakes) == sample)
+
+	if *loadOut != "" {
+		entries := map[string]float64{
+			"L4/parked_conns":               float64(n),
+			"L4/parked_goroutines":          float64(parkedGoroutines),
+			"L4/parked_heap_bytes_per_conn": heapPerConn,
+			"L4/active_append_p99_ns":       float64(activeRes.p99),
+			"L4/wake_to_ack_p50_ns":         float64(wakeP50),
+			"L4/wake_to_ack_p99_ns":         float64(wakeP99),
+		}
+		if err := mergeBenchResults(*loadOut, entries); err != nil {
+			fmt.Println("  merging", *loadOut+":", err)
+			return
+		}
+		fmt.Printf("  merged %d entries into %s\n", len(entries), *loadOut)
+	}
+}

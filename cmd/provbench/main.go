@@ -49,6 +49,7 @@ var experiments = []experiment{
 	{"L1", "Load — binary pipelined ingest vs HTTP/JSON single-record append", expL1},
 	{"L2", "Load — filtered queries + live follow under concurrent binary ingest", expL2},
 	{"L3", "Load — replication: replica bootstrap + follow catch-up under live ingest", expL3},
+	{"L4", "Load — idle-fleet cost: parked connections, wake-to-ack latency", expL4},
 	{"C1", "Cluster sim — seeded fault schedules vs the full invariant suite", expC1},
 }
 

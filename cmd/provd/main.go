@@ -105,6 +105,7 @@ func main() {
 		dedupWindow  = flag.Int("dedup-window", 1024, "per-session ingest dedup window (batch sequences remembered for replay re-acks)")
 		maxSessions  = flag.Int("max-sessions", 1024, "live ingest session cap (least-recently-used session evicted beyond it)")
 		grace        = flag.Duration("grace", 5*time.Second, "graceful shutdown timeout")
+		idlePark     = flag.Duration("idle-park", 2*time.Second, "park idle binary-ingest connections (drop their goroutines and buffers) after this much read silence; negative disables parking")
 		replicaOf    = flag.String("replica-of", "", "run as a read replica of this leader binary ingest address (e.g. leader:7710)")
 		leaderHTTP   = flag.String("leader-http", "", "leader's HTTP base URL for write redirects in replica mode (e.g. http://leader:7709)")
 		tlsCert      = flag.String("tls-cert", "", "PEM server certificate; both surfaces serve TLS when set")
@@ -199,7 +200,7 @@ func main() {
 		// one policy and accumulate one set of counters. In replica mode
 		// the listener still serves queries, follows and snapshots — a
 		// replica can seed further replicas — but refuses appends.
-		ing = ingest.NewServer(st, ingest.Options{Engine: app.Engine(), ReadOnly: rep != nil, LeaderAddr: *replicaOf, TLS: serverTLS, Auth: guard})
+		ing = ingest.NewServer(st, ingest.Options{Engine: app.Engine(), ReadOnly: rep != nil, LeaderAddr: *replicaOf, TLS: serverTLS, Auth: guard, IdlePark: *idlePark})
 		bound, err := ing.Listen(*ingestAddr)
 		if err != nil {
 			if rep != nil {

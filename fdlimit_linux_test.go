@@ -1,0 +1,35 @@
+//go:build linux
+
+package repro_test
+
+import "syscall"
+
+// raiseFDLimit tries to raise the soft RLIMIT_NOFILE to at least need
+// (raising the hard limit too when the process may — root on the CI
+// runners) and returns the soft limit actually in effect. Callers skip
+// fd-hungry tiers when the returned limit is still short.
+func raiseFDLimit(need uint64) uint64 {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0
+	}
+	if rl.Cur >= need {
+		return rl.Cur
+	}
+	want := rl
+	want.Cur = need
+	if want.Max < need {
+		want.Max = need // needs CAP_SYS_RESOURCE; falls through when denied
+	}
+	if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want) == nil {
+		return want.Cur
+	}
+	// Could not touch the hard limit: take all of the existing one.
+	if rl.Max > rl.Cur {
+		want = syscall.Rlimit{Cur: rl.Max, Max: rl.Max}
+		if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &want) == nil {
+			return want.Cur
+		}
+	}
+	return rl.Cur
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package repro_test
+
+// raiseFDLimit is a no-op where the benchmark can't portably adjust
+// RLIMIT_NOFILE; report "plenty" and let dial errors surface naturally.
+func raiseFDLimit(need uint64) uint64 { return need }

@@ -40,6 +40,11 @@ func scheduleCount(tb testing.TB) int {
 // seeded kill/drop/gap/partition schedules, every invariant checked on
 // each, race detector on.
 func TestScenarioSchedules(t *testing.T) {
+	// Every sweep runs with poison-on-return canaries in the wire
+	// pools: a hot-path buffer recycled while still referenced anywhere
+	// in the cluster shows up as corrupted records or failed audit
+	// parity, not silence.
+	testutil.PoisonPools(t)
 	for _, seed := range testutil.Seeds(t, 20090817, scheduleCount(t)) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {

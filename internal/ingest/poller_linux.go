@@ -1,0 +1,127 @@
+//go:build linux
+
+package ingest
+
+// netPoller is the Linux readiness poller: one epoll instance (and one
+// goroutine blocked in epoll_wait) watching every parked connection in
+// the server. A parked socket is registered EPOLLONESHOT, so each
+// registration produces exactly one wake — the woken connection's
+// serve cycle owns the socket again until it parks again.
+//
+// The Go runtime's own netpoller already has these descriptors in
+// non-blocking mode; an fd may belong to any number of epoll interest
+// lists, so watching it here too is benign. The poller never reads —
+// readiness only — which is what keeps parking invisible to the wire
+// protocol.
+
+import (
+	"sync"
+	"syscall"
+)
+
+type netPoller struct {
+	epfd   int
+	wakeR  int // pipe read end, registered in the epoll set: the close signal
+	wakeW  int
+	onWake func(*connState)
+
+	mu     sync.Mutex
+	closed bool
+	parked map[int]*connState
+}
+
+func newNetPoller(onWake func(*connState)) (*netPoller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var pfds [2]int
+	if err := syscall.Pipe2(pfds[:], syscall.O_CLOEXEC|syscall.O_NONBLOCK); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	p := &netPoller{epfd: epfd, wakeR: pfds[0], wakeW: pfds[1], onWake: onWake, parked: make(map[int]*connState)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(p.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.wakeR, &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pfds[0])
+		syscall.Close(pfds[1])
+		return nil, err
+	}
+	go p.run()
+	return p, nil
+}
+
+// park registers a connection's socket for a one-shot readable (or
+// peer-hangup) wake.
+func (p *netPoller) park(fd int, st *connState) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errPollerClosed
+	}
+	ev := syscall.EpollEvent{
+		Events: syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLONESHOT,
+		Fd:     int32(fd),
+	}
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		return err
+	}
+	p.parked[fd] = st
+	return nil
+}
+
+func (p *netPoller) run() {
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(p.epfd, events, -1)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			fd := int(events[i].Fd)
+			if fd == p.wakeR {
+				// close(): every parked connection has already been woken
+				// (close takes the whole map first), so any conn events
+				// remaining in this batch belong to already-woken conns
+				// and are safely dropped with the instance.
+				syscall.Close(p.epfd)
+				syscall.Close(p.wakeR)
+				return
+			}
+			p.mu.Lock()
+			st := p.parked[fd]
+			if st != nil {
+				delete(p.parked, fd)
+				syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+			}
+			p.mu.Unlock()
+			if st != nil {
+				p.onWake(st)
+			}
+		}
+	}
+}
+
+// close wakes every parked connection (each re-enters its serve cycle,
+// observes the drain, and finishes) and shuts the instance down. New
+// park calls fail from this point on.
+func (p *netPoller) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	parked := p.parked
+	p.parked = nil
+	p.mu.Unlock()
+	syscall.Write(p.wakeW, []byte{1})
+	syscall.Close(p.wakeW)
+	for _, st := range parked {
+		p.onWake(st)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package ingest
+
+// Non-Linux platforms have no shared readiness poller; parked
+// connections fall back to the sentry-goroutine probe in park.go (one
+// blocked goroutine per parked connection — still half the goroutines
+// and none of the buffers of a resident connection).
+
+type netPoller struct{}
+
+func newNetPoller(func(*connState)) (*netPoller, error) {
+	return nil, errPollerUnsupported
+}
+
+func (p *netPoller) park(int, *connState) error { return errPollerUnsupported }
+
+func (p *netPoller) close() {}

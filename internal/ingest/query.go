@@ -84,6 +84,15 @@ func (cq *connQueries) unregister(id uint64) {
 	cq.mu.Unlock()
 }
 
+// active reports the number of queries (including follows) currently
+// running. A connection must not park while this is nonzero: the
+// query goroutines write through the reply encoder parking releases.
+func (cq *connQueries) active() int {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return len(cq.running)
+}
+
 // sendQueryChunk writes and flushes one result chunk; flushing per
 // chunk keeps follows live.
 func (rw *replyWriter) sendQueryChunk(id uint64, recs []wire.Record) bool {

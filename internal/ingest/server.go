@@ -118,6 +118,21 @@ type Options struct {
 	// mutual-TLS deployment shape (docs/security.md); the verified
 	// client certificate is what Auth resolves identities from.
 	TLS *tls.Config
+	// IdlePark is how long a connection must be quiet — nothing
+	// buffered, no queued requests, no running queries or follows —
+	// before its reader/committer goroutines are torn down and the
+	// socket is parked on a shared readiness poller (default 2s;
+	// negative disables parking). A parked connection costs its file
+	// descriptor and a small state record: its stream buffers go back
+	// to the wire pools and, on Linux, no goroutine watches it at all
+	// (one epoll instance watches every parked socket). The first byte
+	// from the peer wakes it; the wire protocol is untouched — parking
+	// happens only at a frame boundary, so neither side can observe it
+	// except as scheduling latency on the first frame after an idle
+	// gap. This is what lets one listener hold 10k mostly-idle
+	// monitored middlewares at approximately zero heap and goroutine
+	// cost.
+	IdlePark time.Duration
 	// Auth, when set, turns on identity enforcement: a connection must
 	// authenticate (client certificate on TLS, a wire.OpIngestAuth
 	// token frame on cleartext) as an identity the guard's map knows,
@@ -143,6 +158,9 @@ func (o Options) withDefaults() Options {
 	if o.DrainWriteTimeout <= 0 {
 		o.DrainWriteTimeout = 5 * time.Second
 	}
+	if o.IdlePark == 0 {
+		o.IdlePark = 2 * time.Second
+	}
 	return o
 }
 
@@ -166,6 +184,9 @@ type Stats struct {
 	QueryRejects    uint64 // queries answered with a query-end error
 	Snapshots       uint64 // snapshot transfers started
 	SnapshotRecords uint64 // records served over snapshot chunks
+	Parked          uint64 // connections currently idle-parked (no reader/committer goroutines)
+	Parks           uint64 // park transitions since start
+	Wakes           uint64 // parked connections woken by traffic (or drain)
 }
 
 // Server is the binary ingest listener over a store.
@@ -198,6 +219,12 @@ type Server struct {
 	queryRejects    atomic.Uint64
 	snapshots       atomic.Uint64
 	snapshotRecords atomic.Uint64
+	parked          atomic.Int64
+	parks           atomic.Uint64
+	wakes           atomic.Uint64
+
+	pollOnce sync.Once
+	poll     *netPoller // nil until a connection first parks, or unsupported
 }
 
 // NewServer wraps a store in an ingest listener.
@@ -266,6 +293,9 @@ func (s *Server) Stats() Stats {
 		QueryRejects:    s.queryRejects.Load(),
 		Snapshots:       s.snapshots.Load(),
 		SnapshotRecords: s.snapshotRecords.Load(),
+		Parked:          uint64(max(s.parked.Load(), 0)),
+		Parks:           s.parks.Load(),
+		Wakes:           s.wakes.Load(),
 	}
 }
 
@@ -300,6 +330,15 @@ func (s *Server) Close() {
 		c.SetWriteDeadline(now.Add(s.opts.DrainWriteTimeout))
 	}
 	s.mu.Unlock()
+	// Wake every parked connection so it can observe the drain and
+	// finish; a connection parking concurrently finds the poller closed,
+	// falls back to its sentry probe, and is kicked by the deadline set
+	// above. Sentry-parked connections need no extra signal — the
+	// deadline fails their blocked probe read directly.
+	s.pollOnce.Do(func() {}) // claim the init slot: no poller springs up after this
+	if p := s.poll; p != nil {
+		p.close()
+	}
 	s.wg.Wait()
 }
 
@@ -329,7 +368,10 @@ func (s *Server) acceptLoop(l net.Listener) {
 
 // request is one decoded batch request awaiting commit. A sessioned
 // (v2) request carries the connection's idempotency session and its
-// batch sequence number; a v1 request leaves session empty.
+// batch sequence number; a v1 request leaves session empty. The acts
+// slice is drawn from the connection's freelist and returns there
+// after the commit round that resolves it — including its fsync and
+// ack write — completes.
 type request struct {
 	id       uint64
 	acts     []logs.Action
@@ -338,35 +380,52 @@ type request struct {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		s.active.Add(-1)
-		s.wg.Done()
-	}()
-
-	replies := &replyWriter{enc: wire.NewStreamEncoder(conn), scratch: wire.NewEncoder()}
-	grant, ok := s.identify(conn, replies)
+	st := newConnState(conn)
+	grant, ok := s.identify(conn, st.replies)
 	if !ok {
+		s.finish(st)
 		return
 	}
+	st.grant = grant
+	s.serveConn(st)
+}
 
+// serveConn runs one serve cycle — a reader/committer goroutine pair —
+// over an identified connection, repeating after each wake until the
+// connection ends or parks. Parking tears the pair down entirely; the
+// poller (or sentry probe) calls serveConn again when bytes arrive, so
+// an idle connection's whole server-side presence is its connState.
+func (s *Server) serveConn(st *connState) {
 	reqs := make(chan request, s.opts.Queue)
 	cq := newConnQueries()
-
 	committerDone := make(chan struct{})
 	go func() {
 		defer close(committerDone)
-		s.commitLoop(replies, conn, reqs)
+		s.commitLoop(st, reqs)
 	}()
 
-	s.readLoop(conn, replies, reqs, cq, grant)
+	verdict := s.readLoop(st, reqs, cq)
 	close(reqs)     // reader done: let the committer drain what was read
 	close(cq.done)  // and stop this connection's queries and follows
 	cq.wg.Wait()    // every query has written its end frame (or given up)
-	<-committerDone // committed, acked and flushed — now the deferred close is graceful
+	<-committerDone // committed, acked and flushed — park/close is now graceful
+
+	if verdict == readPark {
+		s.park(st) // a poller event (or the sentry probe) re-runs serveConn
+		return
+	}
+	s.finish(st)
+}
+
+// finish closes and unregisters a connection: the teardown half of
+// accept.
+func (s *Server) finish(st *connState) {
+	st.conn.Close()
+	s.mu.Lock()
+	delete(s.conns, st.conn)
+	s.mu.Unlock()
+	s.active.Add(-1)
+	s.wg.Done()
 }
 
 // identify runs the connection's TLS handshake (if any) and resolves
@@ -445,27 +504,68 @@ func (rw *replyWriter) sendHelloAck(maxBatchSeq uint64) {
 	}
 }
 
+// readVerdict is how a serve cycle's reader ended: the connection is
+// done (close it) or merely idle (park it).
+type readVerdict int
+
+const (
+	readClosed readVerdict = iota
+	readPark
+)
+
 // readLoop decodes request frames until the connection ends (EOF, error
-// or drain kick), queueing ingest requests for the committer and
-// dispatching query-family frames to their own goroutines. Malformed
-// traffic gets an id-0 error reply; frame-level damage ends the loop. A
-// drain kick (the read-deadline Close sets) must end the loop
-// *silently*: the committer is about to ack everything read, and an
-// id-0 error would make the client fail those very requests as
-// connection-scoped.
-func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- request, cq *connQueries, grant *auth.Grant) {
-	dec := wire.NewStreamDecoder(conn)
-	session := "" // set by the v2 hello; "" = sessionless (v1) connection
+// or drain kick) or goes idle long enough to park, queueing ingest
+// requests for the committer and dispatching query-family frames to
+// their own goroutines. Malformed traffic gets an id-0 error reply;
+// frame-level damage ends the loop. A drain kick (the read-deadline
+// Close sets) must end the loop *silently*: the committer is about to
+// ack everything read, and an id-0 error would make the client fail
+// those very requests as connection-scoped.
+//
+// Idleness is probed with Peek(1) under a read deadline: a peek that
+// times out has consumed nothing, so the stream is still exactly at a
+// frame boundary — the one place a connection can park (or drain)
+// without either side losing protocol state.
+func (s *Server) readLoop(st *connState, reqs chan<- request, cq *connQueries) readVerdict {
+	conn, replies, dec := st.conn, st.replies, st.dec
 	for {
+		if s.opts.IdlePark > 0 && dec.Buffered() == 0 {
+			select {
+			case <-s.done:
+				// Drain already began; nothing is buffered, so there is
+				// nothing left this reader owes the committer.
+				return readClosed
+			default:
+			}
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdlePark))
+			_, err := dec.Peek(1)
+			conn.SetReadDeadline(time.Time{})
+			if err != nil {
+				if isConnKick(err) {
+					if s.isDraining() {
+						return readClosed
+					}
+					if len(reqs) == 0 && cq.active() == 0 {
+						return readPark
+					}
+					continue // queries still running: stay resident, probe again
+				}
+				if !errors.Is(err, io.EOF) {
+					replies.sendError(0, fmt.Sprintf("closing: %v", err))
+					s.connFails.Add(1)
+				}
+				return readClosed
+			}
+		}
 		env, err := dec.Envelope()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !isConnKick(err) {
 				replies.sendError(0, fmt.Sprintf("closing: %v", err))
 				s.connFails.Add(1)
 			}
-			return
+			return readClosed
 		}
-		if guard := s.opts.Auth; guard != nil && grant == nil {
+		if guard := s.opts.Auth; guard != nil && st.grant == nil {
 			// Cleartext with enforcement on: nothing proceeds until a
 			// token frame names a known identity. Anything else first is
 			// an unauthenticated caller and closes the connection.
@@ -474,35 +574,42 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 				guard.ConnRejects.Add(1)
 				s.connFails.Add(1)
 				replies.sendError(0, "closing: authentication required")
-				return
+				return readClosed
 			}
-			if grant = guard.Map.ByToken(m.Token); grant == nil {
+			if st.grant = guard.Map.ByToken(m.Token); st.grant == nil {
 				guard.ConnRejects.Add(1)
 				s.connFails.Add(1)
 				replies.sendError(0, "closing: unknown authentication token")
-				return
+				return readClosed
 			}
 			continue
 		}
+		grant := st.grant
 		if op, err := wire.PeekOp(env); err == nil {
 			if wire.IsQueryOp(op) {
 				if !s.handleQueryMsg(cq, replies, env, grant) {
-					return
+					return readClosed
 				}
 				continue
 			}
 			if wire.IsSnapshotOp(op) {
 				if !s.handleSnapshotMsg(cq, replies, env, grant) {
-					return
+					return readClosed
 				}
 				continue
 			}
 		}
-		m, err := wire.DecodeIngest(env)
-		if err != nil {
+		// Decode into the connection's reusable message, drawing the
+		// acts buffer from its freelist: the steady-state decode of the
+		// hot path allocates only what the interner has not yet seen.
+		if st.msg.Acts == nil {
+			st.msg.Acts = st.getActs()
+		}
+		m := &st.msg
+		if err := wire.DecodeIngestInto(env, m, st.intern); err != nil {
 			replies.sendError(0, fmt.Sprintf("closing: bad ingest message: %v", err))
 			s.connFails.Add(1)
-			return
+			return readClosed
 		}
 		if m.Op == wire.OpIngestAuth {
 			// Identity already established (client certificate, an earlier
@@ -529,7 +636,7 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			default:
 				replies.sendError(0, "closing: "+msg)
 				s.connFails.Add(1)
-				return
+				return readClosed
 			}
 		}
 		if grant != nil && !grant.CanAppend() {
@@ -547,7 +654,7 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 				s.opts.Auth.AppendRejects.Add(1)
 				replies.sendError(0, "closing: "+msg)
 				s.connFails.Add(1)
-				return
+				return readClosed
 			}
 		}
 		var req request
@@ -557,45 +664,50 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			// session; it must come first and only once, so a batch can
 			// never be ambiguous about its session.
 			switch {
-			case session != "":
+			case st.session != "":
 				replies.sendError(0, "closing: duplicate hello")
 			case m.Version != wire.IngestV2:
 				replies.sendError(0, fmt.Sprintf("closing: unsupported ingest protocol version %d", m.Version))
 			case m.Session == "":
 				replies.sendError(0, "closing: empty session id")
 			default:
-				session = m.Session
+				st.session = m.Session
 				s.sessions.Add(1)
-				replies.sendHelloAck(s.store.Sessions().Max(session))
+				replies.sendHelloAck(s.store.Sessions().Max(st.session))
 				continue
 			}
 			s.connFails.Add(1)
-			return
+			return readClosed
 		case wire.OpIngestBatch:
 			req = request{id: m.ID, acts: m.Acts}
 		case wire.OpIngestBatch2:
-			if session == "" {
+			if st.session == "" {
 				replies.sendError(0, "closing: sessioned batch before hello")
 				s.connFails.Add(1)
-				return
+				return readClosed
 			}
-			req = request{id: m.ID, acts: m.Acts, session: session, batchSeq: m.BatchSeq}
+			req = request{id: m.ID, acts: m.Acts, session: st.session, batchSeq: m.BatchSeq}
 		default:
 			replies.sendError(0, fmt.Sprintf("closing: unexpected opcode %#x", m.Op))
 			s.connFails.Add(1)
-			return
+			return readClosed
 		}
 		if grant != nil {
 			if bad := outsideGrant(grant, req.acts); bad != "" {
 				// The batch claims a principal the identity does not hold:
 				// refused per request — "error means none appended" holds,
-				// the connection and its other requests survive.
+				// the connection and its other requests survive (and the
+				// acts buffer stays in st.msg for the next decode).
 				s.rejects.Add(1)
 				s.opts.Auth.AppendRejects.Add(1)
 				replies.sendError(req.id, fmt.Sprintf("identity %q may not append as principal %q", grant.Name, bad))
 				continue
 			}
 		}
+		// The committer owns the acts buffer from here until the round
+		// that resolves this request is fully acked; the next decode
+		// draws a fresh buffer from the freelist.
+		st.msg.Acts = nil
 		s.requests.Add(1)
 		select {
 		case reqs <- req:
@@ -603,7 +715,7 @@ func (s *Server) readLoop(conn net.Conn, replies *replyWriter, reqs chan<- reque
 			// Drain began while the queue was full: this request was
 			// read but cannot be queued without blocking forever; drop
 			// it unacked, like an unread one.
-			return
+			return readClosed
 		}
 	}
 }
@@ -629,31 +741,34 @@ func isConnKick(err error) bool {
 
 // commitLoop is the connection's committer: it drains whatever requests
 // have queued, commits them in one store round, and acks each with its
-// sub-block of the assigned sequence range.
-func (s *Server) commitLoop(replies *replyWriter, conn net.Conn, reqs <-chan request) {
-	var round []request
+// sub-block of the assigned sequence range. All round-scoped scratch —
+// the outcome table, the coalesced action slice, the checkpoint entries
+// — lives in the connection's commitScratch and is reused round after
+// round, so a warm committer allocates nothing per round.
+func (s *Server) commitLoop(st *connState, reqs <-chan request) {
+	cs := &st.cs
 	for {
 		req, ok := <-reqs
 		if !ok {
 			return
 		}
-		round = append(round[:0], req)
+		cs.round = append(cs.round[:0], req)
 		total := len(req.acts)
 	coalesce:
 		for total < s.opts.MaxRoundActions {
 			select {
 			case r, more := <-reqs:
 				if !more {
-					s.commitRound(replies, round)
+					s.commitRound(st, cs)
 					return
 				}
-				round = append(round, r)
+				cs.round = append(cs.round, r)
 				total += len(r.acts)
 			default:
 				break coalesce
 			}
 		}
-		if !s.commitRound(replies, round) {
+		if !s.commitRound(st, cs) {
 			// The peer is unreachable or the store failed mid-write:
 			// further commits would append actions whose acks no one can
 			// trust. Drain the queue so the reader never blocks, but
@@ -661,7 +776,7 @@ func (s *Server) commitLoop(replies *replyWriter, conn net.Conn, reqs <-chan req
 			for range reqs {
 				s.connFails.Add(1)
 			}
-			conn.Close()
+			st.conn.Close()
 			return
 		}
 	}
@@ -693,8 +808,31 @@ const (
 	oAlias
 )
 
-// commitRound appends one coalesced round and writes its replies,
-// reporting whether the connection is still usable.
+// dedupKey identifies one sessioned batch inside a commit round.
+type dedupKey struct {
+	session  string
+	batchSeq uint64
+}
+
+// commitScratch is a committer's round-scoped working memory, owned by
+// the connection and reused round after round (serve cycles never
+// overlap, so a single instance per connection suffices). Everything
+// here is either plain value state or slices whose elements the store
+// copies out of before the round ends.
+type commitScratch struct {
+	round    []request
+	outcomes []outcome
+	toCommit []int
+	all      []logs.Action
+	entries  []wire.SessionEntry
+	claimed  map[dedupKey]int
+}
+
+// commitRound appends one coalesced round (cs.round) and writes its
+// replies, reporting whether the connection is still usable. When it
+// returns, every request's acts buffer has been handed back to the
+// connection's freelist: the store has copied the actions it kept, the
+// acks are on the wire, and nothing references the buffers again.
 //
 // Sessioned requests go through the store's session table first: a
 // batch sequence the table holds is re-acked with its original block
@@ -703,8 +841,14 @@ const (
 // before ack — under the table lock, so a replay racing its original
 // commit on another connection blocks and then dedups. Store work runs
 // first and replies are written afterwards, preserving round order.
-func (s *Server) commitRound(replies *replyWriter, round []request) bool {
-	outcomes := make([]outcome, len(round))
+func (s *Server) commitRound(st *connState, cs *commitScratch) bool {
+	replies := st.replies
+	round := cs.round
+	outcomes := cs.outcomes[:0]
+	for range round {
+		outcomes = append(outcomes, outcome{})
+	}
+	cs.outcomes = outcomes
 	fatal := "" // set: the connection must close after the resolved replies
 
 	sessioned := false
@@ -721,12 +865,13 @@ func (s *Server) commitRound(replies *replyWriter, round []request) bool {
 	}
 
 	// Classify: replays and evictions resolve now; the rest commits.
-	type dedupKey struct {
-		session  string
-		batchSeq uint64
+	// Claims are strictly intra-round (committed rounds are visible via
+	// the table itself), so the map clears between rounds.
+	claimed := cs.claimed
+	if claimed != nil {
+		clear(claimed)
 	}
-	var claimed map[dedupKey]int
-	toCommit := make([]int, 0, len(round))
+	toCommit := cs.toCommit[:0]
 	for i, r := range round {
 		if r.session == "" {
 			toCommit = append(toCommit, i)
@@ -734,6 +879,7 @@ func (s *Server) commitRound(replies *replyWriter, round []request) bool {
 		}
 		if claimed == nil {
 			claimed = make(map[dedupKey]int)
+			cs.claimed = claimed
 		}
 		key := dedupKey{r.session, r.batchSeq}
 		if j, dup := claimed[key]; dup {
@@ -757,8 +903,9 @@ func (s *Server) commitRound(replies *replyWriter, round []request) bool {
 			toCommit = append(toCommit, i)
 		}
 	}
+	cs.toCommit = toCommit
 
-	var entries []wire.SessionEntry
+	entries := cs.entries[:0]
 	record := func(i int, base uint64) {
 		r := round[i]
 		outcomes[i] = outcome{kind: oAck, base: base, count: uint64(len(r.acts))}
@@ -767,14 +914,11 @@ func (s *Server) commitRound(replies *replyWriter, round []request) bool {
 		}
 	}
 	if len(toCommit) > 0 {
-		total := 0
-		for _, i := range toCommit {
-			total += len(round[i].acts)
-		}
-		all := make([]logs.Action, 0, total)
+		all := cs.all[:0]
 		for _, i := range toCommit {
 			all = append(all, round[i].acts...)
 		}
+		cs.all = all
 		base, err := s.store.AppendBatch(all)
 		switch {
 		case err == nil:
@@ -831,8 +975,25 @@ func (s *Server) commitRound(replies *replyWriter, round []request) bool {
 	if sessioned {
 		tab.Unlock()
 	}
+	cs.entries = entries
 
-	// Write the resolved replies in round order, then any fatal notice.
+	usable := s.writeRoundReplies(replies, round, outcomes, fatal)
+
+	// Every request is now resolved with its replies on the wire (or
+	// the connection is condemned): the store copied what it kept, so
+	// the acts buffers go back to the connection's freelist for the
+	// reader to decode into again.
+	for i := range round {
+		st.putActs(round[i].acts)
+		round[i] = request{}
+	}
+	return usable
+}
+
+// writeRoundReplies writes a round's resolved replies in round order,
+// then any fatal notice, reporting whether the connection is still
+// usable.
+func (s *Server) writeRoundReplies(replies *replyWriter, round []request, outcomes []outcome, fatal string) bool {
 	replies.mu.Lock()
 	defer replies.mu.Unlock()
 	for i, o := range outcomes {

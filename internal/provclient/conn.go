@@ -24,6 +24,13 @@ type result struct {
 	err  error
 }
 
+// resultChPool recycles waiter channels across requests: a roundTrip
+// that consumed its result deterministically hands the (now empty)
+// channel back; one whose delivery state is unknowable (the timeout
+// path) leaks its channel to the GC instead — a late reply must never
+// land in a channel another request is already waiting on.
+var resultChPool = sync.Pool{New: func() any { return make(chan result, 1) }}
+
 // conn is one pooled connection. Requests pipeline: the send path
 // registers a waiter under the state mutex, then writes its frame under
 // a separate write mutex — never holding the state mutex across a
@@ -75,7 +82,7 @@ func (cn *conn) roundTrip(acts []logs.Action, batchSeq uint64, timeout time.Dura
 	}
 	id := cn.nextID
 	cn.nextID++
-	ch := make(chan result, 1)
+	ch := resultChPool.Get().(chan result)
 	cn.pending[id] = ch
 	gen := cn.gen
 	enc := cn.enc
@@ -101,6 +108,7 @@ func (cn *conn) roundTrip(acts []logs.Action, batchSeq uint64, timeout time.Dura
 		// fail delivered errConnBroken to ch (or the reader beat us to
 		// this request's reply); either way the waiter map is clean.
 		res := <-ch
+		resultChPool.Put(ch)
 		if res.err != nil {
 			return 0, res.err
 		}
@@ -115,6 +123,7 @@ func (cn *conn) roundTrip(acts []logs.Action, batchSeq uint64, timeout time.Dura
 	}
 	select {
 	case res := <-ch:
+		resultChPool.Put(ch)
 		return res.base, res.err
 	case <-timer:
 		// The ack may still be in flight, but this request's outcome is
@@ -124,8 +133,11 @@ func (cn *conn) roundTrip(acts []logs.Action, batchSeq uint64, timeout time.Dura
 		cn.fail(gen, errors.New("request timed out"))
 		select {
 		case res := <-ch:
+			resultChPool.Put(ch)
 			return res.base, res.err
 		default:
+			// Delivery state unknowable: the channel does not return to
+			// the pool.
 			return 0, fmt.Errorf("%w: request timed out after %v", errConnBroken, timeout)
 		}
 	}
@@ -244,17 +256,22 @@ func (cn *conn) handshakeLocked(nc net.Conn, dec *wire.StreamDecoder) error {
 // the dial's stream decoder (the handshake reply was consumed there, so
 // a helloack here is a protocol violation handled by the default arm).
 func (cn *conn) readLoop(dec *wire.StreamDecoder, gen uint64) {
+	// The decoder dies with the connection: its frame buffer (and, if
+	// clean, its read buffer) go back to the wire pools for the redial
+	// to reacquire.
+	defer dec.ReleaseBuffers()
+	var msg wire.IngestMsg // reply decode target, reused frame to frame
 	for {
 		env, err := dec.Envelope()
 		if err != nil {
 			cn.fail(gen, err)
 			return
 		}
-		m, err := wire.DecodeIngest(env)
-		if err != nil {
+		if err := wire.DecodeIngestInto(env, &msg, nil); err != nil {
 			cn.fail(gen, err)
 			return
 		}
+		m := &msg
 		switch m.Op {
 		case wire.OpIngestAck:
 			cn.deliver(m.ID, result{base: m.Base})

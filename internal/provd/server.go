@@ -599,7 +599,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "provd_ingest_query_rejects_total %d\n", in.QueryRejects)
 		fmt.Fprintf(w, "provd_ingest_snapshots_total %d\n", in.Snapshots)
 		fmt.Fprintf(w, "provd_ingest_snapshot_records_total %d\n", in.SnapshotRecords)
+		fmt.Fprintf(w, "provd_ingest_parked_conns %d\n", in.Parked)
+		fmt.Fprintf(w, "provd_ingest_parks_total %d\n", in.Parks)
+		fmt.Fprintf(w, "provd_ingest_wakes_total %d\n", in.Wakes)
 	}
+	ps := wire.PoolStats()
+	fmt.Fprintf(w, "provd_wire_pool_hits_total %d\n", ps.Hits)
+	fmt.Fprintf(w, "provd_wire_pool_misses_total %d\n", ps.Misses)
+	fmt.Fprintf(w, "provd_wire_pool_returns_total %d\n", ps.Returns)
 	if s.auth != nil {
 		fmt.Fprintf(w, "provd_auth_conn_rejects_total %d\n", s.auth.ConnRejects.Load())
 		fmt.Fprintf(w, "provd_auth_append_rejects_total %d\n", s.auth.AppendRejects.Load())

@@ -79,8 +79,9 @@ func (s *Store) Compact(principal string) error {
 		return err
 	}
 	var buf []byte
+	scratch := wire.NewEncoder()
 	for _, r := range merged {
-		buf = wire.AppendRecordFrame(buf[:0], r)
+		buf = wire.AppendRecordFrameScratch(buf[:0], r, scratch)
 		if _, err := f.Write(buf); err != nil {
 			f.Close()
 			os.Remove(tmp)

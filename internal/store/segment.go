@@ -30,10 +30,11 @@ func segName(baseSeq uint64) string {
 
 // segment is an open, appendable segment file.
 type segment struct {
-	path string
-	f    *os.File
-	size int64
-	buf  []byte // frame scratch buffer, reused across appends
+	path    string
+	f       *os.File
+	size    int64
+	buf     []byte        // frame scratch buffer, reused across appends
+	scratch *wire.Encoder // envelope scratch, reused across appends
 	// poisoned marks a segment whose failed append could not be rolled
 	// back: a torn frame sits mid-file, so further appends would be
 	// silently discarded by recovery. All writes are refused until a
@@ -53,7 +54,7 @@ func openSegment(path string, size int64) (*segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &segment{path: path, f: f, size: size}, nil
+	return &segment{path: path, f: f, size: size, scratch: wire.NewEncoder()}, nil
 }
 
 // appendRecord writes one framed record, returning the frame size. A
@@ -66,7 +67,7 @@ func (g *segment) appendRecord(r wire.Record, fsync bool) (int, error) {
 	if g.poisoned {
 		return 0, errPoisoned
 	}
-	g.buf = wire.AppendRecordFrame(g.buf[:0], r)
+	g.buf = wire.AppendRecordFrameScratch(g.buf[:0], r, g.scratch)
 	rollback := func(err error) error {
 		if terr := g.f.Truncate(g.size); terr != nil {
 			// The torn frame could not be removed: any later write would

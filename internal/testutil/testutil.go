@@ -20,12 +20,30 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/logs"
 	"repro/internal/store"
+	"repro/internal/wire"
 )
 
 // Act returns a small distinct valid action for principal p — the
 // standard workload unit of the distributed suites.
 func Act(p string, i int) logs.Action {
 	return logs.SndAct(p, logs.NameT(fmt.Sprintf("m%d", i)), logs.NameT("v"))
+}
+
+// PoisonPools turns on wire-pool poison mode for the duration of one
+// test: every pooled buffer (stream frame buffers, recycled acts
+// slices) is smeared with a sentinel the moment it returns to its
+// pool, so any component still reading a buffer it gave back sees
+// garbage instead of stale-but-plausible data. The big end-to-end
+// suites (the simulation harness sweeps) run under this as a standing
+// pool-corruption detector; the cost is one memset per recycle.
+//
+// The flag is process-global (the pools are shared), so tests that use
+// it must tolerate every other concurrently running test also seeing
+// poisoned returns — which is safe by construction: poison only ever
+// lands on buffers whose owner has already relinquished them.
+func PoisonPools(tb testing.TB) {
+	wire.SetPoolPoison(true)
+	tb.Cleanup(func() { wire.SetPoolPoison(false) })
 }
 
 // OpenStore opens a store in dir and registers its Close with the test.

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/logs"
@@ -106,6 +107,95 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		if _, err := DecodeMessage(EncodeMessage(m)); err != nil {
 			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+	})
+}
+
+// FuzzPooledDecodeIngest is the reuse-pollution target for the pooled
+// decode mode of the ingest hot path: hostile bytes go through
+// DecodeIngestInto with a *reused* message and interner — exactly the
+// per-connection state the listener keeps — and must neither panic nor
+// pollute the next, valid decode. A failed decode leaves the message
+// as scratch; the contract under fuzz is that the subsequent good
+// decode comes out bit-identical to a fresh one.
+func FuzzPooledDecodeIngest(f *testing.F) {
+	good := NewEncoder()
+	good.IngestBatch2(3, 9, []logs.Action{
+		logs.SndAct("alice", logs.NameT("m"), logs.NameT("v")),
+		logs.RcvAct("bob", logs.NameT("ch"), logs.VarT("x")),
+	})
+	f.Add(append([]byte(nil), good.Bytes()...))
+	f.Add([]byte{magicHi, magicLo, version, OpIngestBatch, 0x01, 0xFF})
+	f.Add([]byte{magicHi, magicLo, version})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		it := NewInterner()
+		var m IngestMsg
+		// First pass: the hostile input, into the reused state. Errors
+		// are expected; panics are the bug.
+		if err := DecodeIngestInto(data, &m, it); err == nil {
+			// Whatever decoded must also decode fresh to the same thing.
+			var fresh IngestMsg
+			if err := DecodeIngestInto(data, &fresh, nil); err != nil {
+				t.Fatalf("decode succeeded reused but failed fresh: %v", err)
+			}
+			if m.Op != fresh.Op || m.ID != fresh.ID || len(m.Acts) != len(fresh.Acts) {
+				t.Fatalf("reused decode diverged: %+v vs %+v", m, fresh)
+			}
+		}
+		// Second pass: a known-good envelope through the same (possibly
+		// polluted) message and interner must be exactly right.
+		env := good.Bytes()
+		if err := DecodeIngestInto(env, &m, it); err != nil {
+			t.Fatalf("good envelope failed after hostile decode: %v", err)
+		}
+		var want IngestMsg
+		if err := DecodeIngestInto(env, &want, nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.Op != want.Op || m.ID != want.ID || m.BatchSeq != want.BatchSeq || len(m.Acts) != len(want.Acts) {
+			t.Fatalf("reused decode polluted: %+v want %+v", m, want)
+		}
+		for i := range want.Acts {
+			if m.Acts[i] != want.Acts[i] {
+				t.Fatalf("action %d polluted by previous decode: %+v want %+v", i, m.Acts[i], want.Acts[i])
+			}
+		}
+	})
+}
+
+// FuzzStreamRelease: a stream decoder that releases and reacquires its
+// pooled buffers mid-stream (the idle-park shape) decodes the same
+// frames as one that never released.
+func FuzzStreamRelease(f *testing.F) {
+	e := NewEncoder()
+	e.IngestBatch(1, []logs.Action{logs.SndAct("p", logs.NameT("m"), logs.NameT("v"))})
+	var frames bytes.Buffer
+	se := NewStreamEncoder(&frames)
+	se.Envelope(e.Bytes())
+	se.Envelope(e.Bytes())
+	se.Flush()
+	f.Add(frames.Bytes(), uint8(1))
+	f.Fuzz(func(t *testing.T, stream []byte, releaseAt uint8) {
+		plain := NewStreamDecoder(bytes.NewReader(stream))
+		parky := NewStreamDecoder(bytes.NewReader(stream))
+		for i := 0; ; i++ {
+			// Release only at a frame boundary with nothing buffered —
+			// the only state the listener parks in. Buffered bytes keep
+			// the reader resident, matching ReleaseBuffers' contract.
+			if uint8(i) == releaseAt && parky.Buffered() == 0 {
+				parky.ReleaseBuffers()
+			}
+			wantEnv, wantErr := plain.Envelope()
+			gotEnv, gotErr := parky.Envelope()
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("frame %d: release changed outcome: %v vs %v", i, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				return
+			}
+			if !bytes.Equal(wantEnv, gotEnv) {
+				t.Fatalf("frame %d: release changed payload", i)
+			}
 		}
 	})
 }

@@ -172,97 +172,125 @@ func (e *Encoder) IngestError(id uint64, msg string) {
 
 // Ingest decodes one ingest protocol message.
 func (d *Decoder) Ingest() (IngestMsg, error) {
-	op, err := d.byte()
-	if err != nil {
+	var m IngestMsg
+	if err := d.IngestInto(&m); err != nil {
 		return IngestMsg{}, err
 	}
-	m := IngestMsg{Op: op}
+	return m, nil
+}
+
+// IngestInto decodes one ingest protocol message into *m, reusing
+// m.Acts' backing array — the zero-steady-state-allocation decode mode
+// of the ingest hot path. Ownership contract: the caller owns m.Acts
+// until it hands the slice back to whatever pool it came from; this
+// decoder only ever writes m.Acts[:0] onward, never retains it. On
+// error m is left partially filled and must not be interpreted.
+func (d *Decoder) IngestInto(m *IngestMsg) error {
+	acts := m.Acts[:0]
+	op, err := d.byte()
+	if err != nil {
+		return err
+	}
+	*m = IngestMsg{Op: op, Acts: acts}
 	switch op {
 	case OpIngestHello:
 		if m.Version, err = d.uvarint(); err != nil {
-			return IngestMsg{}, err
+			return err
 		}
 		if m.Session, err = d.string(); err != nil {
-			return IngestMsg{}, err
+			return err
 		}
 		if len(m.Session) > MaxSessionLen {
-			return IngestMsg{}, fmt.Errorf("%w: session id of %d bytes", ErrTooLarge, len(m.Session))
+			return fmt.Errorf("%w: session id of %d bytes", ErrTooLarge, len(m.Session))
 		}
-		return m, nil
+		return nil
 	case OpIngestHelloAck:
 		if m.Version, err = d.uvarint(); err != nil {
-			return IngestMsg{}, err
+			return err
 		}
 		if m.BatchSeq, err = d.uvarint(); err != nil {
-			return IngestMsg{}, err
+			return err
 		}
-		return m, nil
+		return nil
 	case OpIngestAuth:
 		if m.Token, err = d.string(); err != nil {
-			return IngestMsg{}, err
+			return err
 		}
 		if len(m.Token) > MaxTokenLen {
-			return IngestMsg{}, fmt.Errorf("%w: auth token of %d bytes", ErrTooLarge, len(m.Token))
+			return fmt.Errorf("%w: auth token of %d bytes", ErrTooLarge, len(m.Token))
 		}
-		return m, nil
+		return nil
 	}
 	if m.ID, err = d.uvarint(); err != nil {
-		return IngestMsg{}, err
+		return err
 	}
 	switch op {
 	case OpIngestBatch, OpIngestBatch2:
 		if op == OpIngestBatch2 {
 			if m.BatchSeq, err = d.uvarint(); err != nil {
-				return IngestMsg{}, err
+				return err
 			}
 		}
 		n, err := d.uvarint()
 		if err != nil {
-			return IngestMsg{}, err
+			return err
 		}
 		if n > MaxIngestBatch {
-			return IngestMsg{}, fmt.Errorf("%w: ingest batch of %d actions", ErrTooLarge, n)
+			return fmt.Errorf("%w: ingest batch of %d actions", ErrTooLarge, n)
 		}
 		// Cap the up-front allocation: the claimed count is attacker
 		// chosen and the body may be truncated, so grow into large
 		// batches rather than trusting n before the actions decode.
-		m.Acts = make([]logs.Action, 0, min(n, 1024))
+		if c := int(min(n, 1024)); cap(m.Acts) < c {
+			m.Acts = make([]logs.Action, 0, c)
+		}
 		for i := uint64(0); i < n; i++ {
 			a, err := d.Action()
 			if err != nil {
-				return IngestMsg{}, err
+				return err
 			}
 			m.Acts = append(m.Acts, a)
 		}
 	case OpIngestAck:
 		if m.Base, err = d.uvarint(); err != nil {
-			return IngestMsg{}, err
+			return err
 		}
 		if m.Count, err = d.uvarint(); err != nil {
-			return IngestMsg{}, err
+			return err
 		}
 	case OpIngestError:
 		if m.Msg, err = d.string(); err != nil {
-			return IngestMsg{}, err
+			return err
 		}
 	default:
-		return IngestMsg{}, ErrBadTag
+		return ErrBadTag
 	}
-	return m, nil
+	return nil
 }
 
 // DecodeIngest is a convenience one-shot ingest message decoder.
 func DecodeIngest(env []byte) (IngestMsg, error) {
-	d, err := NewDecoder(env)
-	if err != nil {
-		return IngestMsg{}, err
-	}
-	m, err := d.Ingest()
-	if err != nil {
-		return IngestMsg{}, err
-	}
-	if err := d.Done(); err != nil {
+	var m IngestMsg
+	if err := DecodeIngestInto(env, &m, nil); err != nil {
 		return IngestMsg{}, err
 	}
 	return m, nil
+}
+
+// DecodeIngestInto is the reuse-everything one-shot decoder of the
+// ingest hot path: it decodes env into *m (reusing m.Acts' backing
+// array) with an optional string interner, allocating nothing in the
+// steady state. See Decoder.IngestInto for the ownership contract on
+// m.Acts; it is the ingest listener's per-connection freelists that
+// make the reuse safe.
+func DecodeIngestInto(env []byte, m *IngestMsg, it *Interner) error {
+	var d Decoder
+	if err := d.Reset(env); err != nil {
+		return err
+	}
+	d.intern = it
+	if err := d.IngestInto(m); err != nil {
+		return err
+	}
+	return d.Done()
 }

@@ -1,0 +1,141 @@
+package wire
+
+// Size-classed frame-buffer pooling: the shared heap the streaming
+// codec's hot paths draw scratch from. Every buffer that crosses a
+// get/put cycle is a []byte whose *capacity class* keys one of a fixed
+// ladder of sync.Pool tiers, so a 300-byte ack frame and a 1 MiB
+// snapshot chunk never contend for (or pollute) the same free list,
+// and a steady-state connection reaches zero per-frame allocations once
+// each tier is warm.
+//
+// Ownership discipline (the whole point, and what the aliasing suites
+// prove): a buffer obtained from GetBuf is exclusively owned until
+// PutBuf returns it; after PutBuf the bytes may be handed to any other
+// goroutine and overwritten at any time. Nothing that escapes a decode
+// — record fields, strings, acks — may alias a pooled buffer. Decoders
+// therefore materialise strings (interned, see intern.go) out of frame
+// buffers before the frame is released.
+//
+// Poison mode turns that discipline into a detector: with
+// SetPoolPoison(true) every returned buffer is overwritten with a
+// sentinel byte before it re-enters its tier, so any reader still
+// holding a view of it sees garbage immediately (and deterministically)
+// instead of corrupting an audit log silently. The harness sweep and
+// the aliasing property suites run with poison on.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// bufClassShift/bufClasses define the capacity ladder: 1<<8 (256 B) up
+// to 1<<20 (MaxFrameLen). A request larger than the top tier is
+// allocated directly and never pooled.
+const (
+	bufClassMin   = 8  // smallest tier: 1<<8 bytes
+	bufClassMax   = 20 // largest tier: 1<<20 bytes == MaxFrameLen
+	bufClassCount = bufClassMax - bufClassMin + 1
+)
+
+// poolPoison, when nonzero, overwrites every returned buffer with
+// poisonByte before pooling it (see SetPoolPoison).
+var poolPoison atomic.Bool
+
+// poisonByte is the fill pattern poison mode stamps on returned
+// buffers: distinctive in hex dumps and never a valid envelope magic.
+const poisonByte = 0xDB
+
+// SetPoolPoison toggles poison-on-return for every pooled buffer. Test
+// harnesses enable it so a use-after-return reads as deterministic
+// garbage (caught by frame checksums and the property suites) rather
+// than as silent corruption. The toggle is global and safe for
+// concurrent use; production leaves it off.
+func SetPoolPoison(on bool) { poolPoison.Store(on) }
+
+// PoolPoisoned reports whether poison-on-return is enabled, so layers
+// pooling their own typed scratch (the ingest listener's action
+// freelists) can poison in sympathy.
+func PoolPoisoned() bool { return poolPoison.Load() }
+
+// BufPoolStats is a snapshot of the pool's counters: Hits are gets
+// served from a warm tier, Misses are gets that had to allocate
+// (including requests above the top tier), Returns are buffers
+// accepted back.
+type BufPoolStats struct {
+	Hits    uint64
+	Misses  uint64
+	Returns uint64
+}
+
+var bufTiers [bufClassCount]sync.Pool
+var bufHits, bufMisses, bufReturns atomic.Uint64
+
+// PoolStats snapshots the frame-buffer pool counters (exported on
+// provd's /metrics as the pool hit/miss gauges).
+func PoolStats() BufPoolStats {
+	return BufPoolStats{Hits: bufHits.Load(), Misses: bufMisses.Load(), Returns: bufReturns.Load()}
+}
+
+// bufClass returns the tier index whose buffers hold at least n bytes,
+// or -1 if n exceeds the top tier.
+func bufClass(n int) int {
+	c := 0
+	for size := 1 << bufClassMin; size < n; size <<= 1 {
+		c++
+	}
+	if c >= bufClassCount {
+		return -1
+	}
+	return c
+}
+
+// GetBuf returns a zero-length buffer with capacity at least n, drawn
+// from the tier ladder when possible. The caller owns it exclusively
+// until PutBuf.
+func GetBuf(n int) []byte {
+	c := bufClass(n)
+	if c < 0 {
+		bufMisses.Add(1)
+		return make([]byte, 0, n)
+	}
+	if v := bufTiers[c].Get(); v != nil {
+		bufHits.Add(1)
+		return (*(v.(*[]byte)))[:0]
+	}
+	bufMisses.Add(1)
+	return make([]byte, 0, 1<<(bufClassMin+c))
+}
+
+// PutBuf returns a buffer to its capacity tier. Buffers whose capacity
+// matches no tier exactly (grown by append, or allocated above the top
+// tier) are dropped — a tier must only ever hand out buffers of its
+// full class size, or GetBuf's capacity promise breaks. Safe to call
+// with nil.
+func PutBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := cap(b)
+	if c < 1<<bufClassMin || c > 1<<bufClassMax || c&(c-1) != 0 {
+		return
+	}
+	if poolPoison.Load() {
+		full := b[:c]
+		for i := range full {
+			full[i] = poisonByte
+		}
+	}
+	b = b[:0]
+	tier := bufClass(c)
+	bufTiers[tier].Put(&b)
+	bufReturns.Add(1)
+}
+
+// Pools of the bufio buffers behind StreamEncoder/StreamDecoder: a
+// parked connection releases its reader and writer back here
+// (ReleaseBuffers), so 10k mostly-idle connections hold file
+// descriptors, not 64 KiB buffer pairs.
+var (
+	readerPool = sync.Pool{}
+	writerPool = sync.Pool{}
+)

@@ -76,7 +76,19 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // before a crash and detect the torn frame (if any) at the tail of a
 // segment.
 func AppendRecordFrame(dst []byte, r Record) []byte {
-	env := EncodeRecord(r)
+	return AppendRecordFrameScratch(dst, r, NewEncoder())
+}
+
+// AppendRecordFrameScratch is AppendRecordFrame with a caller-owned
+// scratch encoder for the envelope, the zero-alloc shape of the store's
+// append hot path: a segment reuses one scratch across every record it
+// writes, so framing a record costs no garbage once the scratch is
+// warm. The scratch is reset here; its contents after the call are the
+// framed record's envelope.
+func AppendRecordFrameScratch(dst []byte, r Record, scratch *Encoder) []byte {
+	scratch.Reset()
+	scratch.Record(r)
+	env := scratch.Bytes()
 	dst = binary.AppendUvarint(dst, uint64(len(env)))
 	dst = append(dst, env...)
 	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(env, crcTable))

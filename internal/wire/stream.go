@@ -10,10 +10,14 @@ package wire
 // cleanly closed one by *where* the bytes run out — at a frame boundary
 // (io.EOF) or inside a frame (ErrTruncated).
 //
-// Both directions are allocation-frugal: the encoder reuses one
-// envelope buffer across writes, and the decoder reads each frame into
-// a buffer it owns and hands out a view of it, so a pipelined
-// connection encodes and decodes frames without per-frame garbage.
+// Both directions are allocation-free in the steady state, and *cheap
+// while idle*: the bufio buffers and the decoder's frame buffer are
+// acquired lazily from shared pools (pool.go) and can be handed back
+// with ReleaseBuffers when a connection goes quiet — which is how the
+// ingest listener's idle-parking path keeps 10k parked connections at
+// approximately zero heap. After a release the next read or write
+// reacquires transparently; releasing is refused (silently skipped)
+// while buffered bytes would be lost.
 
 import (
 	"bufio"
@@ -29,17 +33,33 @@ import (
 const streamBufSize = 64 << 10
 
 // StreamEncoder writes checksummed frames to an underlying writer
-// through a buffer. It is not safe for concurrent use; a connection
-// writer serialises access. Call Flush to push buffered frames to the
-// underlying writer.
+// through a pooled buffer. It is not safe for concurrent use; a
+// connection writer serialises access. Call Flush to push buffered
+// frames to the underlying writer.
 type StreamEncoder struct {
-	w       *bufio.Writer
+	dst     io.Writer
+	w       *bufio.Writer // nil when released; reacquired lazily
 	scratch *Encoder
 }
 
-// NewStreamEncoder returns an encoder framing onto w.
+// NewStreamEncoder returns an encoder framing onto w. The write buffer
+// is drawn from a shared pool on first use.
 func NewStreamEncoder(w io.Writer) *StreamEncoder {
-	return &StreamEncoder{w: bufio.NewWriterSize(w, streamBufSize), scratch: NewEncoder()}
+	return &StreamEncoder{dst: w, scratch: NewEncoder()}
+}
+
+// writer returns the bufio writer, reacquiring one from the pool after
+// a release.
+func (e *StreamEncoder) writer() *bufio.Writer {
+	if e.w == nil {
+		if v := writerPool.Get(); v != nil {
+			e.w = v.(*bufio.Writer)
+			e.w.Reset(e.dst)
+		} else {
+			e.w = bufio.NewWriterSize(e.dst, streamBufSize)
+		}
+	}
+	return e.w
 }
 
 // Envelope writes one frame holding the given envelope bytes (as
@@ -48,17 +68,18 @@ func (e *StreamEncoder) Envelope(env []byte) error {
 	if len(env) > MaxFrameLen {
 		return ErrTooLarge
 	}
+	w := e.writer()
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(env)))
-	if _, err := e.w.Write(hdr[:n]); err != nil {
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
-	if _, err := e.w.Write(env); err != nil {
+	if _, err := w.Write(env); err != nil {
 		return err
 	}
 	var sum [4]byte
 	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(env, crcTable))
-	_, err := e.w.Write(sum[:])
+	_, err := w.Write(sum[:])
 	return err
 }
 
@@ -71,23 +92,103 @@ func (e *StreamEncoder) Record(r Record) error {
 }
 
 // Flush pushes all buffered frames to the underlying writer.
-func (e *StreamEncoder) Flush() error { return e.w.Flush() }
+func (e *StreamEncoder) Flush() error {
+	if e.w == nil {
+		return nil
+	}
+	return e.w.Flush()
+}
+
+// ReleaseBuffers returns the write buffer to the shared pool if nothing
+// is pending in it (call Flush first). An idle-parked connection calls
+// this so its cost while parked is the socket, not the buffers.
+func (e *StreamEncoder) ReleaseBuffers() {
+	if e.w != nil && e.w.Buffered() == 0 {
+		w := e.w
+		e.w = nil
+		w.Reset(io.Discard) // drop the conn reference while pooled
+		writerPool.Put(w)
+	}
+}
 
 // StreamDecoder reads checksummed frames from an underlying reader
-// through a buffer. It is not safe for concurrent use.
+// through a pooled buffer. It is not safe for concurrent use.
 type StreamDecoder struct {
-	r   *bufio.Reader
-	buf []byte // reused frame buffer; Envelope returns views into it
+	src    io.Reader
+	r      *bufio.Reader // nil when released; reacquired lazily
+	buf    []byte        // pooled frame buffer; Envelope returns views into it
+	intern *Interner     // optional, threaded into Record decodes
 }
 
-// NewStreamDecoder returns a decoder framing off r.
+// NewStreamDecoder returns a decoder framing off r. The read buffer is
+// drawn from a shared pool on first use.
 func NewStreamDecoder(r io.Reader) *StreamDecoder {
-	return &StreamDecoder{r: bufio.NewReaderSize(r, streamBufSize)}
+	return &StreamDecoder{src: r}
 }
+
+// SetInterner installs a string cache used by this decoder's Record
+// decodes (see Interner).
+func (d *StreamDecoder) SetInterner(it *Interner) { d.intern = it }
+
+// reader returns the bufio reader, reacquiring one from the pool after
+// a release.
+func (d *StreamDecoder) reader() *bufio.Reader {
+	if d.r == nil {
+		if v := readerPool.Get(); v != nil {
+			d.r = v.(*bufio.Reader)
+			d.r.Reset(d.src)
+		} else {
+			d.r = bufio.NewReaderSize(d.src, streamBufSize)
+		}
+	}
+	return d.r
+}
+
+// Buffered reports the bytes sitting in the read buffer — frames (or
+// frame fragments) already off the socket but not yet decoded. A
+// connection must not park while this is nonzero.
+func (d *StreamDecoder) Buffered() int {
+	if d.r == nil {
+		return 0
+	}
+	return d.r.Buffered()
+}
+
+// Peek blocks until at least n bytes are buffered (consuming nothing)
+// and returns a view of them. The idle-parking path uses Peek(1) under
+// a read deadline as its safe idleness probe: a deadline that expires
+// here has consumed no bytes, so the stream is still exactly at a frame
+// boundary and can be parked or resumed without damage.
+func (d *StreamDecoder) Peek(n int) ([]byte, error) {
+	return d.reader().Peek(n)
+}
+
+// ReleaseBuffers returns the read buffer (if it holds no undecoded
+// bytes) and the frame buffer to their shared pools. The frame buffer
+// must no longer be aliased: any envelope previously returned is dead
+// the moment this is called — same contract as the next Envelope call.
+func (d *StreamDecoder) ReleaseBuffers() {
+	if d.buf != nil {
+		PutBuf(d.buf)
+		d.buf = nil
+	}
+	if d.r != nil && d.r.Buffered() == 0 {
+		r := d.r
+		d.r = nil
+		r.Reset(eofReader{}) // drop the conn reference while pooled
+		readerPool.Put(r)
+	}
+}
+
+// eofReader is the parked state of a pooled bufio.Reader.
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }
 
 // Envelope reads the next frame and returns its envelope payload,
-// checksum verified. The returned slice aliases the decoder's internal
-// buffer and is valid only until the next call.
+// checksum verified. The returned slice aliases the decoder's pooled
+// frame buffer and is valid only until the next call (or a
+// ReleaseBuffers).
 //
 // Errors are precise about stream state: io.EOF means the stream ended
 // cleanly at a frame boundary; ErrTruncated means it ended inside a
@@ -96,7 +197,8 @@ func NewStreamDecoder(r io.Reader) *StreamDecoder {
 // adversarial length cannot balloon memory); ErrChecksum means the
 // frame arrived complete but corrupt.
 func (d *StreamDecoder) Envelope() ([]byte, error) {
-	n, err := binary.ReadUvarint(d.r)
+	r := d.reader()
+	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrTruncated // stream died inside the length prefix
@@ -108,10 +210,11 @@ func (d *StreamDecoder) Envelope() ([]byte, error) {
 	}
 	need := int(n) + 4
 	if cap(d.buf) < need {
-		d.buf = make([]byte, need)
+		PutBuf(d.buf)
+		d.buf = GetBuf(need)
 	}
 	buf := d.buf[:need]
-	if _, err := io.ReadFull(d.r, buf); err != nil {
+	if _, err := io.ReadFull(r, buf); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrTruncated
 		}
@@ -124,11 +227,24 @@ func (d *StreamDecoder) Envelope() ([]byte, error) {
 	return env, nil
 }
 
-// Record reads the next frame and decodes it as a record.
+// Record reads the next frame and decodes it as a record, interning
+// strings when an interner is installed.
 func (d *StreamDecoder) Record() (Record, error) {
 	env, err := d.Envelope()
 	if err != nil {
 		return Record{}, err
 	}
-	return DecodeRecord(env)
+	var dec Decoder
+	if err := dec.Reset(env); err != nil {
+		return Record{}, err
+	}
+	dec.intern = d.intern
+	r, err := dec.Record()
+	if err != nil {
+		return Record{}, err
+	}
+	if err := dec.Done(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
 }

@@ -76,6 +76,12 @@ func NewEncoder() *Encoder {
 // Bytes returns the encoded envelope.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Cap reports the capacity of the encoder's internal buffer — how much
+// memory a long-lived scratch encoder pins. Holders that park (the
+// ingest listener's idle connections) use it to decide whether the
+// scratch is worth keeping.
+func (e *Encoder) Cap() int { return cap(e.buf) }
+
 // Reset rewinds the encoder to a fresh envelope header, keeping the
 // underlying buffer so steady-state encoders (the streaming frame
 // writer, a connection's ack encoder) stop allocating once warm.
@@ -153,24 +159,44 @@ func (e *Encoder) Action(a logs.Action) {
 
 // Decoder consumes an encoded envelope.
 type Decoder struct {
-	buf []byte
-	pos int
+	buf    []byte
+	pos    int
+	intern *Interner
 }
 
 // NewDecoder validates the envelope header and returns a decoder
 // positioned at the payload.
 func NewDecoder(b []byte) (*Decoder, error) {
+	d := &Decoder{}
+	if err := d.Reset(b); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Reset points an existing decoder at a fresh envelope, validating the
+// header — the alloc-free equivalent of NewDecoder for steady-state
+// loops that decode one envelope per frame. The interner, if any, is
+// kept: its vocabulary is exactly what a long-lived connection wants
+// to carry across frames.
+func (d *Decoder) Reset(b []byte) error {
 	if len(b) < 3 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if b[0] != magicHi || b[1] != magicLo {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if b[2] != version {
-		return nil, fmt.Errorf("%w: %d", ErrVersion, b[2])
+		return fmt.Errorf("%w: %d", ErrVersion, b[2])
 	}
-	return &Decoder{buf: b, pos: 3}, nil
+	d.buf, d.pos = b, 3
+	return nil
 }
+
+// SetInterner installs a string cache for every length-prefixed string
+// this decoder reads (see Interner). The interner must be single-owner:
+// sharing one across concurrently running decoders is a race.
+func (d *Decoder) SetInterner(it *Interner) { d.intern = it }
 
 // Done verifies the whole payload was consumed.
 func (d *Decoder) Done() error {
@@ -209,9 +235,15 @@ func (d *Decoder) string() (string, error) {
 	if d.pos+int(n) > len(d.buf) {
 		return "", ErrTruncated
 	}
-	s := string(d.buf[d.pos : d.pos+int(n)])
+	raw := d.buf[d.pos : d.pos+int(n)]
 	d.pos += int(n)
-	return s, nil
+	if d.intern != nil {
+		// The returned string never aliases raw (which may live in a
+		// pooled frame buffer): Intern either finds a previously
+		// materialised copy or makes one now.
+		return d.intern.Intern(raw), nil
+	}
+	return string(raw), nil
 }
 
 // Uvarint reads a raw unsigned varint.
