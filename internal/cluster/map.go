@@ -1,0 +1,261 @@
+// Package cluster turns N independent provd leaders into one logical
+// provenance service (docs/architecture.md, "The partition layer").
+//
+// The unit of partitioning is the principal: the store is already
+// sharded per principal and the paper's Definition-3 audit judges
+// per-principal provenance logs, so a principal's entire shard lives
+// bit-intact on exactly one leader and only the cross-principal views
+// (the merged spine, the global query feed) need assembling at read
+// time. Ownership comes from a versioned partition map: rendezvous
+// hashing over stable leader IDs — adding or removing a leader moves
+// only the principals that hash to it, and reordering the leader list
+// moves nothing — with explicit per-principal overrides for operator
+// pinning. Maps are plain text files (docs/operations.md, "Running a
+// partitioned fleet"), versioned by a single epoch the whole fleet
+// compares: leaders reject appends for principals they don't own under
+// their map, clients refetch and re-route on such rejections, and
+// rollouts go leaders-first so a client can always recover by asking
+// any leader for a fresher map.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Leader is one partition leader in a map.
+type Leader struct {
+	ID      string // stable identity, the rendezvous-hash key
+	Ingest  string // binary ingest address (host:port)
+	HTTP    string // HTTP base URL ("" = none published)
+	TLSName string // expected TLS server name ("" = derive from address)
+}
+
+// Map is a validated partition map: who the leaders are and which one
+// owns each principal. A Map is immutable after Validate; share it
+// freely across goroutines.
+type Map struct {
+	Epoch     uint64
+	Leaders   []Leader
+	Overrides map[string]int // principal → leader index
+
+	byID map[string]int
+}
+
+// Validate checks structural soundness and builds the lookup indexes.
+// It must be called (and succeed) before Owner.
+func (m *Map) Validate() error {
+	if m.Epoch == 0 {
+		return fmt.Errorf("cluster: map epoch must be positive")
+	}
+	if len(m.Leaders) == 0 {
+		return fmt.Errorf("cluster: map has no leaders")
+	}
+	if len(m.Leaders) > wire.MaxClusterLeaders {
+		return fmt.Errorf("cluster: %d leaders exceeds the %d-leader bound", len(m.Leaders), wire.MaxClusterLeaders)
+	}
+	if len(m.Overrides) > wire.MaxClusterOverrides {
+		return fmt.Errorf("cluster: %d overrides exceeds the %d bound", len(m.Overrides), wire.MaxClusterOverrides)
+	}
+	m.byID = make(map[string]int, len(m.Leaders))
+	for i, l := range m.Leaders {
+		if l.ID == "" {
+			return fmt.Errorf("cluster: leader %d has an empty id", i)
+		}
+		if len(l.ID) > wire.MaxNameLen || len(l.Ingest) > wire.MaxNameLen ||
+			len(l.HTTP) > wire.MaxNameLen || len(l.TLSName) > wire.MaxNameLen {
+			return fmt.Errorf("cluster: leader %q has an over-long field", l.ID)
+		}
+		if l.Ingest == "" {
+			return fmt.Errorf("cluster: leader %q has no ingest address", l.ID)
+		}
+		if _, dup := m.byID[l.ID]; dup {
+			return fmt.Errorf("cluster: duplicate leader id %q", l.ID)
+		}
+		m.byID[l.ID] = i
+	}
+	for p, idx := range m.Overrides {
+		if p == "" || len(p) > wire.MaxNameLen {
+			return fmt.Errorf("cluster: override with empty or over-long principal")
+		}
+		if idx < 0 || idx >= len(m.Leaders) {
+			return fmt.Errorf("cluster: override %q names leader %d of %d", p, idx, len(m.Leaders))
+		}
+	}
+	return nil
+}
+
+// Owner returns the index of the leader owning principal p. Ownership
+// is a pure function of (map, principal): every node holding the same
+// epoch routes identically.
+func (m *Map) Owner(p string) int {
+	if i, ok := m.Overrides[p]; ok {
+		return i
+	}
+	// Rendezvous (highest-random-weight) hashing keyed by leader ID:
+	// stable under leader-list reordering, and removing a leader
+	// re-homes only the principals it owned.
+	best, bestScore := 0, uint64(0)
+	for i, l := range m.Leaders {
+		h := fnv.New64a()
+		h.Write([]byte(l.ID))
+		h.Write([]byte{0})
+		h.Write([]byte(p))
+		if s := mix64(h.Sum64()); s > bestScore || (s == bestScore && i < best) {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// mix64 is a 64-bit avalanche finalizer (the murmur3 fmix64 constants).
+// Raw fnv-1a is nearly affine in its running state: for principals of
+// equal name length the score *differences* between leaders are almost
+// constant, so one leader wins every principal of a given length and
+// the "hash" degenerates into a length bucket. Finalizing breaks that
+// structure; rendezvous scores then rank independently per principal.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// OwnerLeader returns the leader owning principal p.
+func (m *Map) OwnerLeader(p string) Leader { return m.Leaders[m.Owner(p)] }
+
+// Index returns the position of the leader with the given ID, or -1.
+func (m *Map) Index(id string) int {
+	if i, ok := m.byID[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Wire converts the map to its wire form.
+func (m *Map) Wire() wire.ClusterMap {
+	w := wire.ClusterMap{Epoch: m.Epoch, Leaders: make([]wire.ClusterLeader, len(m.Leaders))}
+	for i, l := range m.Leaders {
+		w.Leaders[i] = wire.ClusterLeader{ID: l.ID, Ingest: l.Ingest, HTTP: l.HTTP, TLSName: l.TLSName}
+	}
+	for p, idx := range m.Overrides {
+		w.Overrides = append(w.Overrides, wire.ClusterOverride{Principal: p, Leader: uint64(idx)})
+	}
+	return w
+}
+
+// FromWire converts a decoded wire map into a validated Map.
+func FromWire(w wire.ClusterMap) (*Map, error) {
+	m := &Map{Epoch: w.Epoch, Leaders: make([]Leader, len(w.Leaders))}
+	for i, l := range w.Leaders {
+		m.Leaders[i] = Leader{ID: l.ID, Ingest: l.Ingest, HTTP: l.HTTP, TLSName: l.TLSName}
+	}
+	if len(w.Overrides) > 0 {
+		m.Overrides = make(map[string]int, len(w.Overrides))
+		for _, o := range w.Overrides {
+			m.Overrides[o.Principal] = int(o.Leader)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadFile parses and validates a partition-map file. The format is
+// line-oriented (see docs/operations.md for the full spec):
+//
+//	# comment
+//	epoch 3
+//	leader l0 ingest=10.0.0.1:7710 http=https://10.0.0.1:7709 name=leader-0
+//	leader l1 ingest=10.0.0.2:7710
+//	override audit-svc l1
+//
+// Exactly one epoch line; at least one leader; override lines name a
+// leader by ID and must follow its leader line.
+func LoadFile(path string) (*Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	defer f.Close()
+
+	m := &Map{}
+	ids := map[string]int{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "epoch":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("cluster: %s:%d: epoch wants one value", path, line)
+			}
+			if m.Epoch != 0 {
+				return nil, fmt.Errorf("cluster: %s:%d: duplicate epoch line", path, line)
+			}
+			e, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil || e == 0 {
+				return nil, fmt.Errorf("cluster: %s:%d: epoch must be a positive integer", path, line)
+			}
+			m.Epoch = e
+		case "leader":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("cluster: %s:%d: leader wants an id and at least ingest=", path, line)
+			}
+			l := Leader{ID: fields[1]}
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || v == "" {
+					return nil, fmt.Errorf("cluster: %s:%d: malformed attribute %q", path, line, kv)
+				}
+				switch k {
+				case "ingest":
+					l.Ingest = v
+				case "http":
+					l.HTTP = v
+				case "name":
+					l.TLSName = v
+				default:
+					return nil, fmt.Errorf("cluster: %s:%d: unknown attribute %q", path, line, k)
+				}
+			}
+			ids[l.ID] = len(m.Leaders)
+			m.Leaders = append(m.Leaders, l)
+		case "override":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("cluster: %s:%d: override wants a principal and a leader id", path, line)
+			}
+			idx, ok := ids[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("cluster: %s:%d: override names unknown leader %q", path, line, fields[2])
+			}
+			if m.Overrides == nil {
+				m.Overrides = map[string]int{}
+			}
+			m.Overrides[fields[1]] = idx
+		default:
+			return nil, fmt.Errorf("cluster: %s:%d: unknown directive %q", path, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: reading %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return m, nil
+}

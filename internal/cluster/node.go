@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Node is one process's view of the partition map: the map itself plus
+// which leader (if any) this process is. A leader node answers Owns for
+// its own slice of the principal space; a coordinator node (self == -1)
+// owns nothing. The map is swappable (SetMap) for epoch rollouts; all
+// methods are safe for concurrent use and satisfy ingest.ClusterView.
+type Node struct {
+	mu   sync.RWMutex
+	m    *Map
+	self int // index into m.Leaders, or -1 for a coordinator
+	id   string
+}
+
+// NewNode builds a node over a validated map. selfID names which leader
+// this process is; empty means a coordinator (no ownership). A non-empty
+// selfID absent from the map is an error — a leader that cannot find
+// itself would silently reject every append.
+func NewNode(m *Map, selfID string) (*Node, error) {
+	n := &Node{id: selfID}
+	if err := n.SetMap(m); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// SetMap swaps in a new map (an epoch rollout), re-resolving this
+// node's own position by its stable leader ID.
+func (n *Node) SetMap(m *Map) error {
+	self := -1
+	if n.id != "" {
+		if self = m.Index(n.id); self < 0 {
+			return fmt.Errorf("cluster: this node (%q) is not a leader in the epoch-%d map", n.id, m.Epoch)
+		}
+	}
+	n.mu.Lock()
+	n.m, n.self = m, self
+	n.mu.Unlock()
+	return nil
+}
+
+// Map returns the current map.
+func (n *Node) Map() *Map {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.m
+}
+
+// Self returns this node's leader entry and true, or false for a
+// coordinator.
+func (n *Node) Self() (Leader, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.self < 0 {
+		return Leader{}, false
+	}
+	return n.m.Leaders[n.self], true
+}
+
+// Owns reports whether this node is the leader for principal p under
+// the current map. Always false on a coordinator.
+func (n *Node) Owns(p string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.self >= 0 && n.m.Owner(p) == n.self
+}
+
+// Epoch returns the current map's epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.m.Epoch
+}
+
+// WireMap returns the current map in wire form.
+func (n *Node) WireMap() wire.ClusterMap {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.m.Wire()
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/auth"
+	"repro/internal/cluster"
 	"repro/internal/ingest"
 	"repro/internal/provclient"
 	"repro/internal/provd"
@@ -74,7 +75,13 @@ type Result struct {
 	LeaderKills   int
 	ReplicaKills  int
 	ClaimsChecked int
-	Elapsed       time.Duration
+	// ClaimsSkipped counts claims a partitioned run could not judge for
+	// parity: their provenance names a principal a StaleMap epoch moved,
+	// so its log is split across two leaders until shards migrate.
+	ClaimsSkipped int
+	// Epochs counts partition-map rollouts injected (multi-leader runs).
+	Epochs  int
+	Elapsed time.Duration
 }
 
 func (r *Result) String() string {
@@ -92,11 +99,16 @@ type leaderNode struct {
 	sopts   store.Options
 	tlsConf *tls.Config
 	guard   *auth.Guard
-	st      *store.Store
-	app     *provd.Server
-	ing     *ingest.Server
-	http    *httptest.Server
-	addr    string
+	// cnode, when set, makes this leader one partition of a multi-leader
+	// fleet: the listener serves the partition map and refuses appends
+	// for principals it does not own. The node survives restarts — a
+	// recovered leader keeps the epoch it held when killed.
+	cnode *cluster.Node
+	st    *store.Store
+	app   *provd.Server
+	ing   *ingest.Server
+	http  *httptest.Server
+	addr  string
 	// replays accumulates DedupReplays across restarts (Stats reset
 	// with the listener).
 	replays uint64
@@ -117,7 +129,12 @@ func (n *leaderNode) start() error {
 	}
 	app := provd.NewServer(st, nil)
 	app.SetAuth(n.guard)
-	ing := ingest.NewServer(st, ingest.Options{Engine: app.Engine(), TLS: n.tlsConf, Auth: n.guard})
+	iopts := ingest.Options{Engine: app.Engine(), TLS: n.tlsConf, Auth: n.guard}
+	if n.cnode != nil {
+		iopts.Cluster = n.cnode
+		app.SetCluster(n.cnode)
+	}
+	ing := ingest.NewServer(st, iopts)
 	addr, err := ing.Listen("127.0.0.1:0")
 	if err != nil {
 		st.Close()
@@ -259,9 +276,15 @@ func newClusterAuth() (*clusterAuth, error) {
 }
 
 // Run executes one compiled scenario and checks every invariant.
+// Specs with Leaders > 1 run the partitioned multi-leader path
+// (partitioned.go); everything else runs the single-leader cluster.
 // A non-nil error always embeds the scenario seed.
 func Run(sc *scenario.Scenario, opts Options) (*Result, error) {
-	res, err := run(sc, opts)
+	exec := run
+	if sc.Spec.Leaders > 1 {
+		exec = runPartitioned
+	}
+	res, err := exec(sc, opts)
 	if err != nil {
 		return res, fmt.Errorf("seed %d: %w", sc.Seed, err)
 	}

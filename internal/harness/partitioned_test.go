@@ -1,0 +1,110 @@
+package harness
+
+// Property suite for the partitioned multi-leader path: seeded
+// schedules over a routed fleet, with leader kills per partition and
+// stale-map epochs forcing the reject → refetch → re-route recovery.
+// A failing subtest prints its seed; REPRO_SEED=<n> replays it alone.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/testutil"
+)
+
+func partitionedScheduleCount(tb testing.TB) int {
+	n := 10
+	if env := os.Getenv("HARNESS_PARTITIONED_SCHEDULES"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v <= 0 {
+			tb.Fatalf("HARNESS_PARTITIONED_SCHEDULES=%q: %v", env, err)
+		}
+		n = v
+	}
+	return n
+}
+
+// partitionedSpecFor rotates fleet width and fault emphasis by seed, so
+// a sweep covers 2- and 3-leader fleets with and without map rollouts.
+func partitionedSpecFor(seed int64) scenario.Spec {
+	i := int(uint64(seed) % 6)
+	spec := scenario.MultiLeader()
+	spec.Name = fmt.Sprintf("multi-leader-%d", i)
+	spec.Leaders = 2 + i%2
+	spec.Producers = 1 + i%3
+	switch i % 3 {
+	case 0: // routing-hostile: stale maps dominate
+		spec.Faults = scenario.FaultPlan{DropAck: 60, DropConn: 60, StaleMap: 250}
+	case 1: // crash-hostile: partition leaders die and recover
+		spec.Faults = scenario.FaultPlan{
+			DropAck: 80, DropConn: 60, KillLeader: 150, StaleMap: 80, MaxLeaderKills: 3,
+		}
+	default: // transport-hostile
+		spec.Faults = scenario.FaultPlan{
+			DropAck: 220, DropConn: 150, KillLeader: 40, StaleMap: 60, MaxLeaderKills: 1,
+		}
+	}
+	return spec
+}
+
+// TestPartitionedSchedules: seeded multi-leader schedules, every
+// partition invariant checked on each — per-principal exactly-once
+// across re-routes, per-partition spines, merged read plane equal to
+// control, audit locality — race detector on.
+func TestPartitionedSchedules(t *testing.T) {
+	testutil.PoisonPools(t)
+	for _, seed := range testutil.Seeds(t, 50911302, partitionedScheduleCount(t)) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			seed := testutil.Seed(t, seed)
+			sc := scenario.Compile(partitionedSpecFor(seed), seed)
+			res, err := Run(sc, Options{Dir: t.TempDir(), Logf: t.Logf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s epochs=%d claims=%d/%d skipped=%d", res, res.Epochs,
+				res.ClaimsChecked, len(sc.Claims), res.ClaimsSkipped)
+			if res.Records == 0 || res.Records != uint64(sc.TotalActions) {
+				t.Fatalf("fleet committed %d records, workload has %d", res.Records, sc.TotalActions)
+			}
+			if res.ClaimsChecked+res.ClaimsSkipped != len(sc.Claims) {
+				t.Fatalf("judged %d + skipped %d claims of %d",
+					res.ClaimsChecked, res.ClaimsSkipped, len(sc.Claims))
+			}
+			if res.Epochs != res.Faults[scenario.StaleMap.String()] {
+				t.Fatalf("injected %d stale-map faults but rolled %d epochs",
+					res.Faults[scenario.StaleMap.String()], res.Epochs)
+			}
+		})
+	}
+}
+
+// TestPartitionedNoFault: the multi-leader harness's own control — an
+// empty fault plan over 3 leaders runs clean, with no replays and no
+// map rollouts, and every claim judged (nothing skipped).
+func TestPartitionedNoFault(t *testing.T) {
+	seed := testutil.Seed(t, 99)
+	spec := scenario.MultiLeader()
+	spec.Faults = scenario.FaultPlan{}
+	sc := scenario.Compile(spec, seed)
+	if len(sc.Faults) != 0 {
+		t.Fatalf("empty fault plan compiled %d faults", len(sc.Faults))
+	}
+	res, err := Run(sc, Options{Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replays != 0 || res.AcksDropped != 0 || res.Epochs != 0 {
+		t.Fatalf("no-fault run saw recovery work: %s epochs=%d", res, res.Epochs)
+	}
+	if res.ClaimsSkipped != 0 || res.ClaimsChecked != len(sc.Claims) {
+		t.Fatalf("checked %d claims of %d (%d skipped)", res.ClaimsChecked, len(sc.Claims), res.ClaimsSkipped)
+	}
+	if res.Records != uint64(sc.TotalActions) {
+		t.Fatalf("committed %d records, want %d", res.Records, sc.TotalActions)
+	}
+}

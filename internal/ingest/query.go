@@ -280,7 +280,7 @@ func (s *Server) runFollow(cq *connQueries, replies *replyWriter, id uint64, spe
 		// pieces rather than being silently truncated).
 		q.Limit = int(min(spec.Limit, uint64(1<<31-1)))
 	}
-	f, err := s.engine.Follow(q)
+	f, err := s.engine.FollowStream(q)
 	if err != nil {
 		s.queryRejects.Add(1)
 		replies.sendQueryEnd(id, "", err.Error())

@@ -91,8 +91,11 @@ type Options struct {
 	Policy *trust.DisclosurePolicy
 	// Engine, when set, serves queries instead of an engine built from
 	// Policy. Pass provd's engine (provd.Server.Engine) so both read
-	// surfaces share one set of redaction/denial counters.
-	Engine *query.Engine
+	// surfaces share one set of redaction/denial counters — or a
+	// cluster coordinator's scatter-gather runner, which is how one
+	// binary read protocol serves both a single node and a partitioned
+	// fleet. Required when the store is nil (coordinator mode).
+	Engine query.Runner
 	// MaxQueriesPerConn caps concurrently running queries (including
 	// follows) per connection (default 8); one past the cap is rejected
 	// with a query-end error, the connection survives.
@@ -133,6 +136,16 @@ type Options struct {
 	// monitored middlewares at approximately zero heap and goroutine
 	// cost.
 	IdlePark time.Duration
+	// Cluster, when set, is this node's view of the partition map
+	// (internal/cluster.Node). Two effects: the listener answers
+	// wire.OpClusterMapReq with the map, and — on a leader, where Owns
+	// can be true — every batch is ownership-checked, with batches
+	// naming a principal this node does not own refused per request by
+	// an error starting "cluster:" that names the node's epoch. A
+	// routing client that sees one refetches the map and re-routes;
+	// nothing from the refused batch was appended, so re-sending it to
+	// the new owner under a fresh sequence is exactly-once safe.
+	Cluster ClusterView
 	// Auth, when set, turns on identity enforcement: a connection must
 	// authenticate (client certificate on TLS, a wire.OpIngestAuth
 	// token frame on cleartext) as an identity the guard's map knows,
@@ -143,6 +156,17 @@ type Options struct {
 	// enforcement (every caller may do anything), the pre-auth
 	// behaviour the harness's -insecure shape keeps.
 	Auth *auth.Guard
+}
+
+// ClusterView is what the listener needs from a partition map: whether
+// this node owns a principal, which epoch the node's map carries, and
+// the wire form of the map for serving to clients. internal/cluster's
+// Node satisfies it; the interface keeps this package free of a
+// dependency on the cluster layer.
+type ClusterView interface {
+	Owns(principal string) bool
+	Epoch() uint64
+	WireMap() wire.ClusterMap
 }
 
 func (o Options) withDefaults() Options {
@@ -189,11 +213,15 @@ type Stats struct {
 	Wakes           uint64 // parked connections woken by traffic (or drain)
 }
 
-// Server is the binary ingest listener over a store.
+// Server is the binary ingest listener over a store. With a nil store
+// (coordinator mode) it serves only the read plane: queries and
+// follows run against Options.Engine, hellos are answered with a zero
+// floor so ordinary clients can dial it, and batches and snapshots are
+// refused per the same per-op shape as ReadOnly.
 type Server struct {
 	store  *store.Store
 	opts   Options
-	engine *query.Engine
+	engine query.Runner
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -232,6 +260,9 @@ func NewServer(st *store.Store, opts Options) *Server {
 	opts = opts.withDefaults()
 	engine := opts.Engine
 	if engine == nil {
+		if st == nil {
+			panic("ingest: NewServer with a nil store requires Options.Engine")
+		}
 		engine = query.NewEngine(st, opts.Policy)
 	}
 	return &Server{
@@ -492,6 +523,17 @@ func (rw *replyWriter) sendError(id uint64, msg string) {
 	}
 }
 
+// sendClusterMap writes and flushes one partition-map reply, reporting
+// whether the connection is still writable.
+func (rw *replyWriter) sendClusterMap(id uint64, m wire.ClusterMap, errMsg string) bool {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if !rw.write(func(e *wire.Encoder) { e.ClusterMapResp(id, m, errMsg) }) {
+		return false
+	}
+	return rw.enc.Flush() == nil
+}
+
 // sendHelloAck writes and flushes the session handshake reply, best
 // effort. Flushing immediately (rather than with the first ack) lets a
 // resuming client learn its replay floor before deciding what to
@@ -593,7 +635,18 @@ func (s *Server) readLoop(st *connState, reqs chan<- request, cq *connQueries) r
 				continue
 			}
 			if wire.IsSnapshotOp(op) {
+				if s.store == nil {
+					replies.sendError(0, "closing: coordinator serves no snapshots; bootstrap from a partition leader")
+					s.connFails.Add(1)
+					return readClosed
+				}
 				if !s.handleSnapshotMsg(cq, replies, env, grant) {
+					return readClosed
+				}
+				continue
+			}
+			if wire.IsClusterOp(op) {
+				if !s.handleClusterMsg(replies, env) {
 					return readClosed
 				}
 				continue
@@ -639,6 +692,18 @@ func (s *Server) readLoop(st *connState, reqs chan<- request, cq *connQueries) r
 				return readClosed
 			}
 		}
+		if s.store == nil {
+			// Coordinator mode: the read plane only. Hellos are still
+			// answered — every client handshakes on dial, query-only ones
+			// included — but batches are refused per request, pointing the
+			// producer at the partition leaders.
+			switch m.Op {
+			case wire.OpIngestBatch, wire.OpIngestBatch2:
+				s.rejects.Add(1)
+				replies.sendError(m.ID, "coordinator: appends go to the partition leaders; fetch the cluster map and route by principal")
+				continue
+			}
+		}
 		if grant != nil && !grant.CanAppend() {
 			// Same per-op shape as ReadOnly: batches are refused per
 			// request, anything else on the append path (a hello opening
@@ -673,7 +738,11 @@ func (s *Server) readLoop(st *connState, reqs chan<- request, cq *connQueries) r
 			default:
 				st.session = m.Session
 				s.sessions.Add(1)
-				replies.sendHelloAck(s.store.Sessions().Max(st.session))
+				floor := uint64(0)
+				if s.store != nil {
+					floor = s.store.Sessions().Max(st.session)
+				}
+				replies.sendHelloAck(floor)
 				continue
 			}
 			s.connFails.Add(1)
@@ -704,6 +773,18 @@ func (s *Server) readLoop(st *connState, reqs chan<- request, cq *connQueries) r
 				continue
 			}
 		}
+		if cv := s.opts.Cluster; cv != nil {
+			if bad := outsideCluster(cv, req.acts); bad != "" {
+				// The batch names a principal another leader owns under
+				// this node's map: refused per request, same none-appended
+				// guarantee as above, so the client may re-route the whole
+				// batch to the owner under a fresh sequence. The "cluster:"
+				// prefix and epoch are the routing client's refresh signal.
+				s.rejects.Add(1)
+				replies.sendError(req.id, fmt.Sprintf("cluster: not owner of principal %q at epoch %d: refetch the map and re-route", bad, cv.Epoch()))
+				continue
+			}
+		}
 		// The committer owns the acts buffer from here until the round
 		// that resolves this request is fully acked; the next decode
 		// draws a fresh buffer from the freelist.
@@ -729,6 +810,41 @@ func outsideGrant(grant *auth.Grant, acts []logs.Action) string {
 		}
 	}
 	return ""
+}
+
+// outsideCluster returns the first principal in acts this node does not
+// own under its partition map ("" if it owns the whole batch).
+func outsideCluster(cv ClusterView, acts []logs.Action) string {
+	for i := range acts {
+		if !cv.Owns(acts[i].Principal) {
+			return acts[i].Principal
+		}
+	}
+	return ""
+}
+
+// handleClusterMsg answers one cluster-family message from the reader:
+// a map request gets the node's partition map (or an error naming the
+// absence of one); anything else in the family only flows server →
+// client and closes the connection. The map is routing metadata, not
+// log data, so any authenticated connection may fetch it regardless of
+// role.
+func (s *Server) handleClusterMsg(replies *replyWriter, env []byte) bool {
+	m, err := wire.DecodeCluster(env)
+	if err != nil {
+		replies.sendError(0, fmt.Sprintf("closing: bad cluster message: %v", err))
+		s.connFails.Add(1)
+		return false
+	}
+	if m.Op != wire.OpClusterMapReq || m.ID == 0 {
+		replies.sendError(0, fmt.Sprintf("closing: unexpected cluster opcode %#x from client", m.Op))
+		s.connFails.Add(1)
+		return false
+	}
+	if cv := s.opts.Cluster; cv != nil {
+		return replies.sendClusterMap(m.ID, cv.WireMap(), "")
+	}
+	return replies.sendClusterMap(m.ID, wire.ClusterMap{}, "cluster: no partition map configured on this node")
 }
 
 // isConnKick reports whether a read error is the expected end of a

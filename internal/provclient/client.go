@@ -113,6 +113,12 @@ type Options struct {
 	// Unused when TLSConfig is set — there the certificate is the
 	// identity.
 	Token string
+	// Journal, when set, write-ahead journals every chunk before its
+	// first wire write and marks it on ack, closing exactly-once across
+	// producer crashes (see OpenJournal and ReplayJournal; ignored in
+	// Legacy mode). A journal that already names a session overrides
+	// Session — the journal and the session resume together.
+	Journal *Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -191,6 +197,16 @@ func New(addr string, opts Options) *Client {
 		sum := sha256.Sum256([]byte(opts.Session))
 		opts.Session = hex.EncodeToString(sum[:])
 	}
+	if opts.Journal != nil && !opts.Legacy {
+		// A journal carrying a session is a crashed incarnation's: resume
+		// it (its pending batches were journaled under that session's
+		// sequences). A fresh journal binds to this client's session.
+		if prev := opts.Journal.Session(); prev != "" {
+			opts.Session = prev
+		} else {
+			opts.Journal.bind(opts.Session)
+		}
+	}
 	c := &Client{addr: addr, opts: opts, conns: make([]*conn, opts.Conns)}
 	for i := range c.conns {
 		c.conns[i] = &conn{addr: addr, dialTimeout: opts.DialTimeout, session: opts.Session, tlsConf: opts.TLSConfig, token: opts.Token}
@@ -252,7 +268,14 @@ func (c *Client) ensureSeeded() error {
 		floor, err := cn.sessionFloor()
 		if err == nil {
 			c.floor.Store(floor)
-			c.seq.Store(floor)
+			// With a journal in play the counter must also clear every
+			// journaled-but-uncommitted sequence, or a new batch could
+			// collide with one ReplayJournal is about to re-send.
+			seed := floor
+			if c.opts.Journal != nil {
+				seed = max(seed, c.opts.Journal.MaxSeq())
+			}
+			c.seq.Store(seed)
 			c.seeded.Store(true)
 			return nil
 		}
@@ -377,7 +400,27 @@ func (c *Client) sendChunk(acts []logs.Action) (uint64, error) {
 			return 0, err
 		}
 		batchSeq = c.seq.Add(1)
+		if j := c.opts.Journal; j != nil {
+			// Journal-before-send: the chunk is on disk under its sequence
+			// before any wire write, so a producer crash between here and
+			// the ack leaves a replayable record instead of a silent loss.
+			if err := j.record(batchSeq, acts); err != nil {
+				return 0, err
+			}
+		}
 	}
+	base, err := c.deliver(acts, batchSeq)
+	if err == nil && !c.opts.Legacy {
+		if j := c.opts.Journal; j != nil {
+			j.ack(batchSeq)
+		}
+	}
+	return base, err
+}
+
+// deliver ships one chunk under an already-assigned sequence, retrying
+// transport failures with the same sequence.
+func (c *Client) deliver(acts []logs.Action, batchSeq uint64) (uint64, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		cn := c.pick()
@@ -437,6 +480,9 @@ func (c *Client) Close() error {
 	}
 	for _, cn := range c.conns {
 		cn.close()
+	}
+	if c.opts.Journal != nil {
+		c.opts.Journal.Close()
 	}
 	return err
 }

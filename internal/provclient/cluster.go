@@ -1,0 +1,59 @@
+package provclient
+
+// Cluster-map fetch: the client side of the partition-map request
+// (wire/cluster.go, docs/protocol.md "Cluster map"). A routing client
+// refreshes its map through this whenever a leader rejects a batch
+// with a "cluster:" ownership error; any node in the fleet can answer,
+// since rollouts go leaders-first.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// FetchClusterMap asks the server for its current partition map over a
+// dedicated connection, the same isolation discipline as QueryStream
+// and FetchSnapshot.
+func (c *Client) FetchClusterMap() (wire.ClusterMap, error) {
+	if c.isClosed() {
+		return wire.ClusterMap{}, ErrClosed
+	}
+	nc, err := dial(c.addr, c.opts.DialTimeout, c.opts.TLSConfig, c.opts.Token)
+	if err != nil {
+		return wire.ClusterMap{}, fmt.Errorf("provclient: cluster map dial: %w", err)
+	}
+	defer nc.Close()
+	enc := wire.NewStreamEncoder(nc)
+	e := wire.NewEncoder()
+	e.ClusterMapReq(1)
+	if err := enc.Envelope(e.Bytes()); err == nil {
+		err = enc.Flush()
+	} else {
+		return wire.ClusterMap{}, fmt.Errorf("provclient: sending cluster map request: %w", err)
+	}
+	if c.opts.RequestTimeout > 0 {
+		nc.SetReadDeadline(time.Now().Add(c.opts.RequestTimeout))
+	}
+	env, err := wire.NewStreamDecoder(nc).Envelope()
+	if err != nil {
+		return wire.ClusterMap{}, fmt.Errorf("provclient: reading cluster map: %w", err)
+	}
+	m, err := wire.DecodeCluster(env)
+	if err != nil {
+		// The server may have answered with a connection-scoped ingest
+		// error (an old node that does not speak the cluster family).
+		if im, ierr := wire.DecodeIngest(env); ierr == nil && im.Op == wire.OpIngestError {
+			return wire.ClusterMap{}, &ServerError{Msg: im.Msg}
+		}
+		return wire.ClusterMap{}, fmt.Errorf("provclient: decoding cluster map: %w", err)
+	}
+	if m.Op != wire.OpClusterMap || m.ID != 1 {
+		return wire.ClusterMap{}, fmt.Errorf("provclient: cluster map reply had opcode %#x id %d", m.Op, m.ID)
+	}
+	if m.Err != "" {
+		return wire.ClusterMap{}, &ServerError{Msg: m.Err}
+	}
+	return m.Map, nil
+}

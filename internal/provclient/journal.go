@@ -1,0 +1,378 @@
+package provclient
+
+// The write-ahead journal: exactly-once across *producer* crashes.
+// The v2 session machinery already makes delivery exactly-once across
+// connection failures and server restarts — but a batch that died with
+// the producer process was never anyone's responsibility. With
+// Options.Journal set, every chunk is appended to a durable journal
+// (with the batch sequence it was assigned) and fsynced *before* it is
+// first written to the wire, and marked acknowledged once the server
+// acks it. A restarted producer opens the same journal, resumes the
+// session recorded in it, and calls ReplayJournal: entries at or below
+// the server's committed floor are provably durable and dropped;
+// entries above it are re-sent with their original sequence numbers, so
+// a batch the previous incarnation had delivered-but-not-recorded is
+// recognised by the server's dedup window and re-acked, not duplicated.
+// See docs/operations.md, "Journaled producers".
+//
+// The journal file is a stream of CRC-framed envelopes (the same frame
+// codec as segment files, so a torn tail from a crash mid-write is
+// detected and ignored):
+//
+//	session := kind(0x01) string(session)
+//	batch   := kind(0x02) uvarint(seq) uvarint(n) action*n
+//	ack     := kind(0x03) uvarint(seq)
+//
+// Acks are appended without fsync: losing one costs a redundant
+// re-send, which the dedup window absorbs. When the dead weight of
+// acked entries grows past a threshold the journal is compacted in
+// place (write-aside, rename), keeping restart replay O(pending).
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/logs"
+	"repro/internal/wire"
+)
+
+// Journal entry kinds.
+const (
+	journalSession = 0x01
+	journalBatch   = 0x02
+	journalAck     = 0x03
+)
+
+// journalCompactSlack is how many acked-and-dead entries may accumulate
+// before the journal rewrites itself.
+const journalCompactSlack = 1024
+
+// Journal is a producer's write-ahead journal of unsent batches. Open
+// one with OpenJournal and hand it to New via Options.Journal; all
+// further writes happen inside the client. A Journal must not be shared
+// by two live clients.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	enc     *wire.StreamEncoder
+	session string
+	pending map[uint64][]logs.Action
+	dead    int // acked entries still occupying the file
+	err     error
+}
+
+// OpenJournal opens (or creates) the journal at path and recovers its
+// state: the session it belongs to and every batch journaled but not
+// yet acknowledged. A truncated tail — the mark of a crash mid-write —
+// is dropped; everything before it is intact by checksum.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("provclient: opening journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, pending: make(map[uint64][]logs.Action)}
+	dec := wire.NewStreamDecoder(f)
+	for {
+		env, err := dec.Envelope()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, wire.ErrTruncated) || errors.Is(err, wire.ErrChecksum) {
+			break // torn tail from a crash mid-append: recovered prefix stands
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("provclient: reading journal %s: %w", path, err)
+		}
+		if err := j.apply(env); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("provclient: journal %s: %w", path, err)
+		}
+	}
+	// Position at the end for appends; the torn tail (if any) is
+	// overwritten by the next compaction, not here — appending after it
+	// would hide it behind valid frames.
+	if j.dead > 0 || j.err == nil {
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("provclient: seeking journal: %w", err)
+		}
+	}
+	j.enc = wire.NewStreamEncoder(j.f)
+	return j, nil
+}
+
+// apply folds one recovered journal frame into the state.
+func (j *Journal) apply(env []byte) error {
+	d, err := wire.NewDecoder(env)
+	if err != nil {
+		return err
+	}
+	kind, err := d.Uvarint()
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case journalSession:
+		if j.session, err = d.ReadString(); err != nil {
+			return err
+		}
+	case journalBatch:
+		seq, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		n, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		if n > wire.MaxIngestBatch {
+			return fmt.Errorf("journaled batch of %d actions", n)
+		}
+		acts := make([]logs.Action, 0, min(n, 1024))
+		for i := uint64(0); i < n; i++ {
+			a, err := d.Action()
+			if err != nil {
+				return err
+			}
+			acts = append(acts, a)
+		}
+		j.pending[seq] = acts
+	case journalAck:
+		seq, err := d.Uvarint()
+		if err != nil {
+			return err
+		}
+		delete(j.pending, seq)
+		j.dead++
+	default:
+		return fmt.Errorf("unknown journal entry kind %#x", kind)
+	}
+	return nil
+}
+
+// Session returns the session recorded in the journal ("" for a fresh
+// file). A client given this journal resumes that session.
+func (j *Journal) Session() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.session
+}
+
+// Pending returns the journaled-but-unacknowledged batch sequences,
+// ascending.
+func (j *Journal) Pending() []uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seqs := make([]uint64, 0, len(j.pending))
+	for s := range j.pending {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	return seqs
+}
+
+// MaxSeq returns the highest journaled batch sequence still pending (0
+// if none) — the floor a resumed client's sequence counter must clear.
+func (j *Journal) MaxSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var maxSeq uint64
+	for s := range j.pending {
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	return maxSeq
+}
+
+// bind records the session this journal serves (first open only; a
+// journal that already names one keeps it).
+func (j *Journal) bind(session string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.session != "" || session == "" {
+		return j.err
+	}
+	j.session = session
+	e := wire.NewEncoder()
+	e.Uvarint(journalSession)
+	e.String(session)
+	return j.appendLocked(e.Bytes(), true)
+}
+
+// record journals one batch under its assigned sequence, fsynced before
+// return — the batch may touch the wire only after this succeeds.
+func (j *Journal) record(seq uint64, acts []logs.Action) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	e := wire.NewEncoder()
+	e.Uvarint(journalBatch)
+	e.Uvarint(seq)
+	e.Uvarint(uint64(len(acts)))
+	for i := range acts {
+		e.Action(acts[i])
+	}
+	if err := j.appendLocked(e.Bytes(), true); err != nil {
+		return err
+	}
+	j.pending[seq] = append([]logs.Action(nil), acts...)
+	return nil
+}
+
+// ack marks one batch durable on the server. No fsync: a lost ack mark
+// re-sends a batch the dedup window will re-ack harmlessly.
+func (j *Journal) ack(seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.pending[seq]; !ok {
+		return
+	}
+	if j.err == nil {
+		e := wire.NewEncoder()
+		e.Uvarint(journalAck)
+		e.Uvarint(seq)
+		if err := j.appendLocked(e.Bytes(), false); err == nil {
+			delete(j.pending, seq)
+			j.dead++
+			if j.dead >= journalCompactSlack {
+				j.compactLocked()
+			}
+			return
+		}
+	}
+	// The journal is wedged (disk error): keep the in-memory state
+	// honest anyway so Pending stays accurate for this process.
+	delete(j.pending, seq)
+}
+
+// appendLocked frames one entry onto the file.
+func (j *Journal) appendLocked(env []byte, sync bool) error {
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.enc.Envelope(env); err != nil {
+		j.err = fmt.Errorf("provclient: journal append: %w", err)
+		return j.err
+	}
+	if err := j.enc.Flush(); err != nil {
+		j.err = fmt.Errorf("provclient: journal flush: %w", err)
+		return j.err
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			j.err = fmt.Errorf("provclient: journal sync: %w", err)
+			return j.err
+		}
+	}
+	return nil
+}
+
+// compactLocked rewrites the journal with only the live state (session
+// + pending batches), write-aside then rename, fsynced.
+func (j *Journal) compactLocked() {
+	tmp := j.path + ".compact"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return // compaction is an optimisation; the long file still works
+	}
+	enc := wire.NewStreamEncoder(f)
+	e := wire.NewEncoder()
+	ok := true
+	if j.session != "" {
+		e.Uvarint(journalSession)
+		e.String(j.session)
+		ok = enc.Envelope(e.Bytes()) == nil
+	}
+	for seq, acts := range j.pending {
+		if !ok {
+			break
+		}
+		e.Reset()
+		e.Uvarint(journalBatch)
+		e.Uvarint(seq)
+		e.Uvarint(uint64(len(acts)))
+		for i := range acts {
+			e.Action(acts[i])
+		}
+		ok = enc.Envelope(e.Bytes()) == nil
+	}
+	if !ok || enc.Flush() != nil || f.Sync() != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, f.Name()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	j.f.Close()
+	j.f, j.enc, j.dead = f, enc, 0
+}
+
+// Close closes the journal file. Pending entries stay on disk — they
+// are the next incarnation's replay work.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if j.err == nil && err != nil {
+		j.err = err
+	}
+	return err
+}
+
+// ReplayJournal delivers every journaled batch the server has not
+// committed, in sequence order, and must run before the client's first
+// new append. Entries at or below the session's committed floor are
+// acknowledged without sending (the server proved them durable);
+// entries above it are re-sent with their original sequence numbers —
+// a batch that was actually delivered by the crashed incarnation is
+// deduplicated server-side and re-acked. Returns the number of batches
+// re-sent over the wire.
+func (c *Client) ReplayJournal() (int, error) {
+	j := c.opts.Journal
+	if j == nil {
+		return 0, nil
+	}
+	if c.isClosed() {
+		return 0, ErrClosed
+	}
+	floor, err := c.CommittedFloor()
+	if err != nil {
+		return 0, err
+	}
+	resent := 0
+	for _, seq := range j.Pending() {
+		if seq <= floor {
+			j.ack(seq)
+			continue
+		}
+		j.mu.Lock()
+		acts := j.pending[seq]
+		j.mu.Unlock()
+		if len(acts) == 0 {
+			j.ack(seq)
+			continue
+		}
+		if _, err := c.deliver(acts, seq); err != nil {
+			return resent, fmt.Errorf("provclient: replaying journaled batch %d: %w", seq, err)
+		}
+		j.ack(seq)
+		resent++
+	}
+	return resent, nil
+}

@@ -55,6 +55,12 @@ type Server struct {
 	// endpoint except /healthz and /metrics requires a resolved grant,
 	// checked per operation exactly like the binary surface checks it.
 	auth *auth.Guard
+	// cluster, when set, makes this node one partition leader
+	// (SetCluster): HTTP appends for principals it does not own are
+	// refused with 421, mirroring the binary surface's per-request
+	// "cluster:" reject — a principal's records must live on exactly
+	// one leader or audit locality breaks.
+	cluster ingest.ClusterView
 
 	requests atomic.Uint64
 	badReqs  atomic.Uint64
@@ -91,6 +97,23 @@ func (s *Server) Engine() *query.Engine { return s.engine }
 // set of provd_auth_* rejection counters.
 func (s *Server) SetAuth(g *auth.Guard) { s.auth = g }
 
+// SetCluster marks this node a partition leader. Pass the same view as
+// ingest.Options.Cluster so both write surfaces enforce one ownership
+// decision.
+func (s *Server) SetCluster(cv ingest.ClusterView) { s.cluster = cv }
+
+// forbidNotOwned writes the 421 for an append naming a principal this
+// leader does not own under the current map epoch.
+func (s *Server) forbidNotOwned(w http.ResponseWriter, principal string) bool {
+	if s.cluster == nil || s.cluster.Owns(principal) {
+		return false
+	}
+	s.writeJSON(w, http.StatusMisdirectedRequest, map[string]string{
+		"error": fmt.Sprintf("cluster: not owner of principal %q at epoch %d: refetch the map and re-route", principal, s.cluster.Epoch()),
+	})
+	return true
+}
+
 // grantKey stashes the request's resolved grant in its context.
 type grantKey struct{}
 
@@ -117,15 +140,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // token against the auth map's token table (the dev shape). Nil if
 // neither names a known identity.
 func (s *Server) resolveGrant(r *http.Request) *auth.Grant {
-	if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
-		if g := s.auth.GrantForCert(r.TLS.PeerCertificates); g != nil {
-			return g
-		}
-	}
-	if tok, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer "); ok {
-		return s.auth.Map.ByToken(tok)
-	}
-	return nil
+	return resolveGrant(s.auth, r)
 }
 
 // grantFrom recovers the grant ServeHTTP resolved (nil when
@@ -145,9 +160,7 @@ func (s *Server) forbidRole(w http.ResponseWriter, ctr *atomic.Uint64, grant *au
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	writeJSON(w, code, v)
 }
 
 func (s *Server) clientError(w http.ResponseWriter, err error) {
@@ -197,6 +210,9 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.forbidPrincipal(w, grant, a.Principal)
 		return
 	}
+	if s.forbidNotOwned(w, a.Principal) {
+		return
+	}
 	seq, err := s.store.Append(a)
 	if err != nil {
 		s.appendError(w, err)
@@ -238,6 +254,9 @@ func (s *Server) appendBatch(w http.ResponseWriter, grant *auth.Grant, body []by
 		}
 		if grant != nil && !grant.AllowsPrincipal(a.Principal) {
 			s.forbidPrincipal(w, grant, a.Principal)
+			return
+		}
+		if s.forbidNotOwned(w, a.Principal) {
 			return
 		}
 		acts[i] = a
@@ -572,6 +591,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "provd_store_audit_failures_total %d\n", st.AuditFailures)
 	fmt.Fprintf(w, "provd_store_recovered_records_total %d\n", st.RecoveredRecords)
 	fmt.Fprintf(w, "provd_store_truncated_bytes_total %d\n", st.TruncatedBytes)
+	fmt.Fprintf(w, "provd_store_shard_cap_rejects_total %d\n", st.ShardCapRejects)
 	fmt.Fprintf(w, "provd_store_principals %d\n", st.Principals)
 	fmt.Fprintf(w, "provd_store_records %d\n", st.Records)
 	fmt.Fprintf(w, "provd_store_sessions %d\n", st.Sessions)

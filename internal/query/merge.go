@@ -1,0 +1,116 @@
+package query
+
+// The k-way merge executor of the partitioned read plane
+// (docs/architecture.md, "The partition layer"). Each partition leader
+// orders its own records by its own sequence counter; counters are
+// independent across leaders, so the merged view has no single global
+// order to recover. The merge defines one: records are emitted
+// ascending by (sequence, source index), which is total, deterministic
+// for a fixed leader list, and agrees with every per-leader order —
+// the property the paper's per-principal audit actually needs, since a
+// principal's records all live on one leader.
+//
+// Pagination resumes from a vector cursor (wire.VectorCursor): the map
+// epoch plus, per source, the smallest sequence number not yet
+// consumed. Each page fetches up to `limit` matching records from
+// every source. That over-fetch is the correctness lever: the page
+// stops after `limit` merged records, and a source's buffer can only
+// run dry mid-merge if every one of its `limit` records was consumed —
+// by which point the page is already full. A buffer that came back
+// short is definitively exhausted. So a completed page never needed a
+// record it didn't have, and the walk is gap-free and duplicate-free
+// even while appends continue on every leader: positions only ever
+// advance past records actually emitted, and records land strictly
+// above their leader's consumed position.
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Source is one partition leader's slice of the merged read plane.
+type Source interface {
+	// Fetch returns up to limit of this source's matching records with
+	// sequence >= min, ascending by sequence.
+	Fetch(min uint64, limit int) ([]wire.Record, error)
+}
+
+// Merger paginates the union of k sources in (sequence, source index)
+// order. The zero value is unusable; fill Epoch and Sources. A Merger
+// is stateless between pages — all resume state lives in the cursor —
+// so one Merger may serve concurrent walks.
+type Merger struct {
+	// Epoch is the partition-map epoch the source list was built under;
+	// cursors minted by this merger carry it, and cursors from another
+	// epoch are refused rather than silently merged against the wrong
+	// leaders.
+	Epoch   uint64
+	Sources []Source
+}
+
+// Page serves one merged page: up to limit records from cursor ("" =
+// the start). The returned cursor is "" once every source is exhausted.
+func (m *Merger) Page(cursor string, limit int) ([]wire.Record, string, error) {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	pos := make([]uint64, len(m.Sources))
+	if cursor != "" {
+		v, err := wire.DecodeVectorCursor(cursor)
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: %v", ErrBadCursor, err)
+		}
+		if v.Epoch != m.Epoch {
+			return nil, "", fmt.Errorf("%w: vector cursor from epoch %d, fleet at epoch %d", ErrBadCursor, v.Epoch, m.Epoch)
+		}
+		if len(v.Pos) != len(m.Sources) {
+			return nil, "", fmt.Errorf("%w: vector cursor over %d leaders, fleet has %d", ErrBadCursor, len(v.Pos), len(m.Sources))
+		}
+		copy(pos, v.Pos)
+	}
+
+	bufs := make([][]wire.Record, len(m.Sources))
+	short := make([]bool, len(m.Sources))
+	for i, src := range m.Sources {
+		recs, err := src.Fetch(pos[i], limit)
+		if err != nil {
+			return nil, "", fmt.Errorf("query: merge source %d: %w", i, err)
+		}
+		bufs[i], short[i] = recs, len(recs) < limit
+	}
+
+	out := make([]wire.Record, 0, limit)
+	for len(out) < limit {
+		best := -1
+		for i, b := range bufs {
+			if len(b) == 0 {
+				continue
+			}
+			if best == -1 || b[0].Seq < bufs[best][0].Seq {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // every buffer drained
+		}
+		r := bufs[best][0]
+		bufs[best] = bufs[best][1:]
+		pos[best] = r.Seq + 1
+		out = append(out, r)
+	}
+
+	// Exhausted only when every source came back short of the fetch
+	// limit and was merged to the end; anything else may hold more.
+	done := true
+	for i := range bufs {
+		if !short[i] || len(bufs[i]) > 0 {
+			done = false
+			break
+		}
+	}
+	if done {
+		return out, "", nil
+	}
+	return out, wire.VectorCursor{Epoch: m.Epoch, Pos: pos}.Encode(), nil
+}

@@ -1,0 +1,42 @@
+package query
+
+import "repro/internal/wire"
+
+// Runner is the surface-independent query executor: the contract the
+// binary listener (internal/ingest) and any other read surface need
+// from a read plane. A single node's Engine satisfies it directly; a
+// fleet coordinator satisfies it by scatter-gather over the partition
+// leaders (internal/cluster). Keeping the listener against this
+// interface is what lets one wire protocol serve both shapes.
+type Runner interface {
+	// Run executes one paginated query (see Engine.Run).
+	Run(q Query) (Page, error)
+	// FollowStream opens a live tail (see Engine.Follow).
+	FollowStream(q Query) (FollowStream, error)
+}
+
+// FollowStream is a running live tail: the subset of Follower the
+// listener's follow pump drives.
+type FollowStream interface {
+	// NextChunk returns the next batch of records, blocking until data
+	// arrives or stop closes; ok=false means the tail is done and the
+	// resume point is in Cursor.
+	NextChunk(max int, stop <-chan struct{}) ([]wire.Record, bool)
+	// Cursor is the resume point a reconnecting follower continues from.
+	Cursor() string
+	// Close releases the tail's resources.
+	Close()
+}
+
+// FollowStream adapts Follow to the Runner interface. The indirection
+// (rather than Follow itself returning the interface) keeps a nil
+// *Follower from ever escaping as a non-nil interface value.
+func (e *Engine) FollowStream(q Query) (FollowStream, error) {
+	f, err := e.Follow(q)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+var _ Runner = (*Engine)(nil)

@@ -77,6 +77,12 @@ const (
 	// evaporates while the stream stays up — the replicator must detect
 	// the sequence gap and re-follow.
 	Gap
+	// StaleMap (multi-leader only): the cluster rolls a new partition-map
+	// epoch that moves the target principal to another leader, but the
+	// producers keep their old map. Their next append naming that
+	// principal hits the old owner, is refused with the stale-epoch
+	// reject, and must refetch + re-route exactly-once.
+	StaleMap
 )
 
 func (k FaultKind) String() string {
@@ -95,6 +101,8 @@ func (k FaultKind) String() string {
 		return "heal"
 	case Gap:
 		return "gap"
+	case StaleMap:
+		return "stale-map"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -110,6 +118,10 @@ type FaultPlan struct {
 	KillReplica int
 	Partition   int
 	Gap         int
+	// StaleMap only fires when Spec.Leaders > 1; each hit retires one
+	// principal (a principal moves partitions at most once per scenario,
+	// so its log splits into at most two leader-resident segments).
+	StaleMap int
 	// MaxLeaderKills caps leader restarts per scenario (each one stalls
 	// the whole cluster while the store recovers).
 	MaxLeaderKills int
@@ -126,6 +138,11 @@ type Spec struct {
 	Principals int
 	Channels   int
 	Topology   Topology
+	// Leaders, when > 1, compiles a partitioned multi-leader scenario:
+	// the harness boots that many partition leaders under one cluster
+	// map, drives the workload through routing clients, and KillLeader /
+	// StaleMap faults target partitions instead of "the" leader.
+	Leaders int
 	// Replicas is the number of read replicas the harness boots behind
 	// the leader.
 	Replicas int
@@ -176,9 +193,39 @@ func Default() Spec {
 	}
 }
 
+// MultiLeader is a partitioned-fleet spec for -race property tests:
+// three partition leaders, no replicas, and a fault emphasis on the
+// routing path (lost acks, dying connections, leader restarts per
+// partition, stale-map epochs forcing re-routes).
+func MultiLeader() Spec {
+	return Spec{
+		Name:       "multi-leader",
+		Principals: 6,
+		Channels:   4,
+		Topology:   Ring,
+		Leaders:    3,
+		Producers:  3,
+		Batches:    24,
+		MinBatch:   2,
+		MaxBatch:   10,
+		Mix:        gen.MixSendHeavy(),
+		Systems:    1,
+		Claims:     8,
+		Faults: FaultPlan{
+			DropAck:        140,
+			DropConn:       100,
+			KillLeader:     60,
+			StaleMap:       120,
+			MaxLeaderKills: 2,
+		},
+	}
+}
+
 // Fault is one scheduled injection: before driving batch Batch, apply
-// Kind to Target (a replica index, or -1 for the leader/producer
-// path).
+// Kind to Target. Target is a replica index for replica faults and -1
+// for the leader/producer path — except in multi-leader scenarios,
+// where KillLeader's Target is a partition index and StaleMap's Target
+// is the index of the principal the new epoch moves.
 type Fault struct {
 	Batch  int
 	Kind   FaultKind
@@ -211,11 +258,16 @@ type Scenario struct {
 	TotalActions int
 }
 
+// PrincipalName maps a principal index to its workload name. Exported
+// so the harness can resolve a StaleMap fault's Target (a principal
+// index) to the name the partition map re-homes.
+func PrincipalName(i int) string { return fmt.Sprintf("p%d", i) }
+
 // principals returns the ordered name pool p0..pN-1.
 func principals(n int) []string {
 	out := make([]string, n)
 	for i := range out {
-		out[i] = fmt.Sprintf("p%d", i)
+		out[i] = PrincipalName(i)
 	}
 	return out
 }
@@ -352,6 +404,7 @@ func Compile(spec Spec, seed int64) *Scenario {
 	healAt := make([]int, 0, 4) // parallel slices, sorted by construction
 	healTarget := make([]int, 0, 4)
 	partitioned := make([]bool, spec.Replicas)
+	moved := make([]bool, spec.Principals) // principals already re-homed by a StaleMap epoch
 	for b := 0; b < spec.Batches; b++ {
 		for len(healAt) > 0 && healAt[0] == b {
 			sc.Faults = append(sc.Faults, Fault{Batch: b, Kind: Heal, Target: healTarget[0]})
@@ -372,7 +425,11 @@ func Compile(spec Spec, seed int64) *Scenario {
 		case roll < f.DropAck+f.DropConn+f.KillLeader:
 			if leaderKills < f.MaxLeaderKills {
 				leaderKills++
-				sc.Faults = append(sc.Faults, Fault{Batch: b, Kind: KillLeader, Target: -1})
+				target := -1
+				if spec.Leaders > 1 {
+					target = rng.Intn(spec.Leaders)
+				}
+				sc.Faults = append(sc.Faults, Fault{Batch: b, Kind: KillLeader, Target: target})
 			}
 		case roll < f.DropAck+f.DropConn+f.KillLeader+f.KillReplica:
 			if replica >= 0 && !partitioned[replica] {
@@ -396,6 +453,13 @@ func Compile(spec Spec, seed int64) *Scenario {
 			if replica >= 0 && !partitioned[replica] {
 				sc.Faults = append(sc.Faults, Fault{Batch: b, Kind: Gap, Target: replica})
 			}
+		case roll < f.DropAck+f.DropConn+f.KillLeader+f.KillReplica+f.Partition+f.Gap+f.StaleMap:
+			if spec.Leaders > 1 {
+				if p := rng.Intn(spec.Principals); !moved[p] {
+					moved[p] = true
+					sc.Faults = append(sc.Faults, Fault{Batch: b, Kind: StaleMap, Target: p})
+				}
+			}
 		}
 	}
 	// Any partition still open heals after the last batch.
@@ -405,14 +469,22 @@ func Compile(spec Spec, seed int64) *Scenario {
 		}
 	}
 
-	// (4) Audit claims: half target genuine workload values (with an
-	// empty claimed provenance — parity is the invariant, not truth),
-	// half fabricate values no node ever saw.
+	// (4) Audit claims: half target genuine workload values, half
+	// fabricate values no node ever saw. Single-leader scenarios claim
+	// an empty provenance (parity is the invariant, not truth);
+	// multi-leader scenarios claim a single-principal provenance so the
+	// verdict exercises audit locality — it must be identical on the
+	// principal's owning leader and on the no-fault control.
 	for i := 0; i < spec.Claims; i++ {
 		if i%2 == 0 && sc.TotalActions > 0 {
 			b := rng.Intn(len(sc.Batches))
 			acts := sc.Batches[b].Acts
-			sc.Claims = append(sc.Claims, Claim{Term: acts[rng.Intn(len(acts))].A})
+			a := acts[rng.Intn(len(acts))]
+			cl := Claim{Term: a.A}
+			if spec.Leaders > 1 {
+				cl.Prov = syntax.Seq(syntax.OutEvent(a.Principal, nil))
+			}
+			sc.Claims = append(sc.Claims, cl)
 		} else {
 			sc.Claims = append(sc.Claims, Claim{Term: logs.NameT(fmt.Sprintf("forged%d", i))})
 		}

@@ -16,6 +16,10 @@ type Metrics struct {
 	AuditFailures      atomic.Uint64
 	RecoveredRecords   atomic.Uint64
 	TruncatedBytes     atomic.Uint64
+	// ShardCapRejects counts appends refused by the MaxShards cap
+	// (ErrShardCap). A nonzero, growing value is the capacity signal to
+	// partition the principal space across leaders (docs/operations.md).
+	ShardCapRejects atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the store's counters.
@@ -31,6 +35,7 @@ type Stats struct {
 	AuditFailures      uint64
 	RecoveredRecords   uint64
 	TruncatedBytes     uint64
+	ShardCapRejects    uint64
 	Principals         int
 	Records            int
 	Sessions           int
@@ -54,6 +59,7 @@ func (s *Store) Stats() Stats {
 		AuditFailures:      s.metrics.AuditFailures.Load(),
 		RecoveredRecords:   s.metrics.RecoveredRecords.Load(),
 		TruncatedBytes:     s.metrics.TruncatedBytes.Load(),
+		ShardCapRejects:    s.metrics.ShardCapRejects.Load(),
 		Principals:         len(c.Principals),
 		Records:            c.Records,
 		Sessions:           s.sessions.Count(),

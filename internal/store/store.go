@@ -56,11 +56,20 @@ var ErrInvalidAction = errors.New("store: action not representable on the wire")
 // NAME_MAX of 255.
 const MaxPrincipalLen = 120
 
-// ErrShardLimit is returned by Append when creating a shard for a new
+// ErrShardCap is returned by Append when creating a shard for a new
 // principal would exceed Options.MaxShards. Each shard holds an open
 // file descriptor, so an unbounded principal population (e.g. names
 // minted by an untrusted appender) would exhaust the process fd limit.
-var ErrShardLimit = errors.New("store: shard limit reached")
+// The cap is per node: a fleet partitioned by principal
+// (docs/operations.md, "Running a partitioned fleet") multiplies the
+// principal budget by the leader count, which is the supported way past
+// it. Rejections are counted in Stats.ShardCapRejects
+// (provd_store_shard_cap_rejects_total).
+var ErrShardCap = errors.New("store: shard limit reached")
+
+// ErrShardLimit is the historical name of ErrShardCap; errors.Is
+// matches either.
+var ErrShardLimit = ErrShardCap
 
 // validateAction checks that the wire codec can round-trip the action
 // and that the store can shard it (an empty principal has no shard key
@@ -417,7 +426,8 @@ func (s *Store) shardFor(principal string) (*shard, error) {
 		return sh, nil
 	}
 	if len(s.shards) >= s.opts.MaxShards {
-		return nil, fmt.Errorf("%w: %d principals", ErrShardLimit, len(s.shards))
+		s.metrics.ShardCapRejects.Add(1)
+		return nil, fmt.Errorf("%w: %d principals", ErrShardCap, len(s.shards))
 	}
 	dir := filepath.Join(s.dir, shardDirName(principal))
 	if err := os.MkdirAll(dir, 0o755); err != nil {

@@ -1,0 +1,211 @@
+package wire
+
+// Cluster protocol messages: the partition-map fetch used by routing
+// clients and fleet coordinators (docs/protocol.md, "Cluster map"), and
+// the vector cursor that paginates merged reads across a partitioned
+// fleet. Map messages share the ingest listener's connections and frame
+// layer (stream.go); each travels as one stream frame whose envelope
+// payload is:
+//
+//	mapreq  := op(1) uvarint(id)                           client → server
+//	mapresp := op(1) uvarint(id) string(err) uvarint(epoch)
+//	           uvarint(nLeaders) leader*n
+//	           uvarint(nOverrides) override*n              server → client
+//	leader   := string(id) string(ingest) string(http) string(tlsname)
+//	override := string(principal) uvarint(leaderIdx)
+//
+// id is a client-assigned request identifier (nonzero), as in the query
+// family, so a map fetch can pipeline with other traffic. A mapresp
+// with a nonempty err carries no map (epoch and both counts are zero on
+// the wire): the serving node has no cluster configuration.
+//
+// The map itself is deliberately small — a handful of leaders and an
+// explicit override list — and versioned by a single epoch counter. A
+// node rejects appends for principals it does not own under its current
+// map with an ingest error whose text starts "cluster:" and names its
+// epoch; a client that sees one refetches the map and re-routes (safe
+// because a per-request rejection means nothing was appended).
+
+import "fmt"
+
+// Cluster opcodes. Outside every other family's range test
+// (ingest 0x21-0x27, query 0x31-0x34, snapshot 0x41-0x45).
+const (
+	OpClusterMapReq byte = 0x51
+	OpClusterMap    byte = 0x52
+)
+
+// MaxClusterLeaders bounds the leader list in a cluster map. The bound
+// is shared with vector cursors: a cursor carries one position per
+// leader and must still fit MaxCursorLen once encoded.
+const MaxClusterLeaders = 16
+
+// MaxClusterOverrides bounds the explicit principal→leader override
+// list in a cluster map.
+const MaxClusterOverrides = 4096
+
+// ClusterLeader is one partition leader's identity and endpoints as
+// carried in a cluster map.
+type ClusterLeader struct {
+	ID      string // stable identity; the rendezvous-hash key
+	Ingest  string // binary ingest address (host:port)
+	HTTP    string // HTTP base URL ("" = none published)
+	TLSName string // expected TLS server name ("" = derive from address)
+}
+
+// ClusterOverride pins one principal to a leader regardless of the
+// rendezvous hash.
+type ClusterOverride struct {
+	Principal string
+	Leader    uint64 // index into the map's leader list
+}
+
+// ClusterMap is the wire form of a partition map: a monotonically
+// increasing epoch, the leader list (order is significant — override
+// indices and vector-cursor positions refer to it), and explicit
+// overrides.
+type ClusterMap struct {
+	Epoch     uint64
+	Leaders   []ClusterLeader
+	Overrides []ClusterOverride
+}
+
+// ClusterMsg is one decoded cluster protocol message.
+type ClusterMsg struct {
+	Op  byte
+	ID  uint64
+	Map ClusterMap // OpClusterMap with empty Err
+	Err string     // OpClusterMap: nonempty = no map available
+}
+
+// IsClusterOp reports whether op belongs to the cluster message family.
+func IsClusterOp(op byte) bool {
+	return op == OpClusterMapReq || op == OpClusterMap
+}
+
+// ClusterMapReq encodes a client's request for the server's current
+// partition map.
+func (e *Encoder) ClusterMapReq(id uint64) {
+	e.byte(OpClusterMapReq)
+	e.uvarint(id)
+}
+
+// ClusterMapResp encodes a map response. With a nonempty errMsg the map
+// is omitted entirely (zero epoch, zero counts), mirroring QueryEnd's
+// failure shape; over-long errors are truncated to the codec's bounds.
+func (e *Encoder) ClusterMapResp(id uint64, m ClusterMap, errMsg string) {
+	if len(errMsg) > MaxNameLen {
+		errMsg = errMsg[:MaxNameLen]
+	}
+	e.byte(OpClusterMap)
+	e.uvarint(id)
+	e.string(errMsg)
+	if errMsg != "" {
+		e.uvarint(0) // epoch
+		e.uvarint(0) // leaders
+		e.uvarint(0) // overrides
+		return
+	}
+	e.uvarint(m.Epoch)
+	e.uvarint(uint64(len(m.Leaders)))
+	for _, l := range m.Leaders {
+		e.string(l.ID)
+		e.string(l.Ingest)
+		e.string(l.HTTP)
+		e.string(l.TLSName)
+	}
+	e.uvarint(uint64(len(m.Overrides)))
+	for _, o := range m.Overrides {
+		e.string(o.Principal)
+		e.uvarint(o.Leader)
+	}
+}
+
+// ClusterMsg decodes one cluster protocol message.
+func (d *Decoder) ClusterMsg() (ClusterMsg, error) {
+	op, err := d.byte()
+	if err != nil {
+		return ClusterMsg{}, err
+	}
+	m := ClusterMsg{Op: op}
+	if m.ID, err = d.uvarint(); err != nil {
+		return ClusterMsg{}, err
+	}
+	switch op {
+	case OpClusterMapReq:
+		// id only
+	case OpClusterMap:
+		if m.Err, err = d.string(); err != nil {
+			return ClusterMsg{}, err
+		}
+		if m.Map.Epoch, err = d.uvarint(); err != nil {
+			return ClusterMsg{}, err
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return ClusterMsg{}, err
+		}
+		if n > MaxClusterLeaders {
+			return ClusterMsg{}, fmt.Errorf("%w: cluster map with %d leaders", ErrTooLarge, n)
+		}
+		m.Map.Leaders = make([]ClusterLeader, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var l ClusterLeader
+			if l.ID, err = d.string(); err != nil {
+				return ClusterMsg{}, err
+			}
+			if l.Ingest, err = d.string(); err != nil {
+				return ClusterMsg{}, err
+			}
+			if l.HTTP, err = d.string(); err != nil {
+				return ClusterMsg{}, err
+			}
+			if l.TLSName, err = d.string(); err != nil {
+				return ClusterMsg{}, err
+			}
+			m.Map.Leaders = append(m.Map.Leaders, l)
+		}
+		no, err := d.uvarint()
+		if err != nil {
+			return ClusterMsg{}, err
+		}
+		if no > MaxClusterOverrides {
+			return ClusterMsg{}, fmt.Errorf("%w: cluster map with %d overrides", ErrTooLarge, no)
+		}
+		// Cap the up-front allocation: the claimed count is untrusted
+		// and the body may be truncated.
+		m.Map.Overrides = make([]ClusterOverride, 0, min(no, 1024))
+		for i := uint64(0); i < no; i++ {
+			var o ClusterOverride
+			if o.Principal, err = d.string(); err != nil {
+				return ClusterMsg{}, err
+			}
+			if o.Leader, err = d.uvarint(); err != nil {
+				return ClusterMsg{}, err
+			}
+			if o.Leader >= n {
+				return ClusterMsg{}, fmt.Errorf("%w: override leader %d of %d", ErrBadTag, o.Leader, n)
+			}
+			m.Map.Overrides = append(m.Map.Overrides, o)
+		}
+	default:
+		return ClusterMsg{}, ErrBadTag
+	}
+	return m, nil
+}
+
+// DecodeCluster is a convenience one-shot cluster message decoder.
+func DecodeCluster(env []byte) (ClusterMsg, error) {
+	d, err := NewDecoder(env)
+	if err != nil {
+		return ClusterMsg{}, err
+	}
+	m, err := d.ClusterMsg()
+	if err != nil {
+		return ClusterMsg{}, err
+	}
+	if err := d.Done(); err != nil {
+		return ClusterMsg{}, err
+	}
+	return m, nil
+}

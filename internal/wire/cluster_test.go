@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleClusterMap() ClusterMap {
+	return ClusterMap{
+		Epoch: 7,
+		Leaders: []ClusterLeader{
+			{ID: "l0", Ingest: "10.0.0.1:7710", HTTP: "https://10.0.0.1:7709", TLSName: "leader-0"},
+			{ID: "l1", Ingest: "10.0.0.2:7710", HTTP: "https://10.0.0.2:7709", TLSName: "leader-1"},
+		},
+		Overrides: []ClusterOverride{
+			{Principal: "alice", Leader: 1},
+			{Principal: "bob", Leader: 0},
+		},
+	}
+}
+
+func TestClusterMapRoundTrip(t *testing.T) {
+	want := sampleClusterMap()
+	e := NewEncoder()
+	e.ClusterMapResp(42, want, "")
+	m, err := DecodeCluster(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != OpClusterMap || m.ID != 42 || m.Err != "" {
+		t.Fatalf("header mismatch: %+v", m)
+	}
+	if m.Map.Epoch != want.Epoch || len(m.Map.Leaders) != 2 || len(m.Map.Overrides) != 2 {
+		t.Fatalf("map mismatch: %+v", m.Map)
+	}
+	for i := range want.Leaders {
+		if m.Map.Leaders[i] != want.Leaders[i] {
+			t.Fatalf("leader %d: %+v want %+v", i, m.Map.Leaders[i], want.Leaders[i])
+		}
+	}
+	for i := range want.Overrides {
+		if m.Map.Overrides[i] != want.Overrides[i] {
+			t.Fatalf("override %d: %+v want %+v", i, m.Map.Overrides[i], want.Overrides[i])
+		}
+	}
+}
+
+func TestClusterMapReqAndError(t *testing.T) {
+	e := NewEncoder()
+	e.ClusterMapReq(9)
+	m, err := DecodeCluster(e.Bytes())
+	if err != nil || m.Op != OpClusterMapReq || m.ID != 9 {
+		t.Fatalf("mapreq: %+v %v", m, err)
+	}
+	e.Reset()
+	e.ClusterMapResp(9, sampleClusterMap(), "cluster: no map configured")
+	m, err = DecodeCluster(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Err == "" || m.Map.Epoch != 0 || len(m.Map.Leaders) != 0 {
+		t.Fatalf("error response leaked a map: %+v", m)
+	}
+}
+
+func TestClusterMapRejectsBadOverrideIndex(t *testing.T) {
+	// Hand-build a response whose override points past the leader list.
+	e := NewEncoder()
+	e.byte(OpClusterMap)
+	e.uvarint(1)
+	e.string("")
+	e.uvarint(3) // epoch
+	e.uvarint(1) // one leader
+	e.string("l0")
+	e.string("addr:1")
+	e.string("")
+	e.string("")
+	e.uvarint(1) // one override
+	e.string("p")
+	e.uvarint(5) // out of range
+	if _, err := DecodeCluster(e.Bytes()); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("want ErrBadTag for out-of-range override, got %v", err)
+	}
+}
+
+func TestVectorCursorRoundTrip(t *testing.T) {
+	want := VectorCursor{Epoch: 12, Pos: []uint64{0, 7, 1 << 40, 3}}
+	s := want.Encode()
+	if !IsVectorCursor(s) {
+		t.Fatalf("encoded cursor %q not recognised", s)
+	}
+	if len(s) > MaxCursorLen {
+		t.Fatalf("cursor %d bytes exceeds MaxCursorLen", len(s))
+	}
+	got, err := DecodeVectorCursor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != want.Epoch || len(got.Pos) != len(want.Pos) {
+		t.Fatalf("round trip changed cursor: %+v want %+v", got, want)
+	}
+	for i := range want.Pos {
+		if got.Pos[i] != want.Pos[i] {
+			t.Fatalf("pos %d: %d want %d", i, got.Pos[i], want.Pos[i])
+		}
+	}
+}
+
+func TestVectorCursorWidestFits(t *testing.T) {
+	// The worst case — a full fleet with maximal positions — must still
+	// fit the wire cursor bound, or merged pagination would wedge at
+	// scale.
+	v := VectorCursor{Epoch: ^uint64(0), Pos: make([]uint64, MaxClusterLeaders)}
+	for i := range v.Pos {
+		v.Pos[i] = ^uint64(0)
+	}
+	if s := v.Encode(); len(s) > MaxCursorLen {
+		t.Fatalf("widest vector cursor is %d bytes, over MaxCursorLen %d", len(s), MaxCursorLen)
+	}
+}
+
+func TestVectorCursorRejects(t *testing.T) {
+	cases := []string{
+		"q1.notavector",
+		"v1.!!!!",
+		"v1." + strings.Repeat("A", 400),
+	}
+	for _, s := range cases {
+		if _, err := DecodeVectorCursor(s); err == nil {
+			t.Fatalf("decoded invalid cursor %q", s)
+		}
+	}
+	// Width over the leader bound.
+	wide := VectorCursor{Pos: make([]uint64, MaxClusterLeaders+1)}
+	if _, err := DecodeVectorCursor(wide.Encode()); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge for over-wide cursor, got %v", err)
+	}
+}
+
+// FuzzDecodeClusterMap: hostile cluster-map envelopes (the payload a
+// routing client fetches from a possibly-compromised node) never panic,
+// and whatever decodes re-encodes to a decodable message with the same
+// meaning.
+func FuzzDecodeClusterMap(f *testing.F) {
+	e := NewEncoder()
+	e.ClusterMapResp(1, sampleClusterMap(), "")
+	f.Add(append([]byte(nil), e.Bytes()...))
+	e.Reset()
+	e.ClusterMapReq(2)
+	f.Add(append([]byte(nil), e.Bytes()...))
+	e.Reset()
+	e.ClusterMapResp(3, ClusterMap{}, "cluster: no map configured")
+	f.Add(append([]byte(nil), e.Bytes()...))
+	f.Add([]byte{magicHi, magicLo, version, OpClusterMap})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeCluster(data)
+		if err != nil {
+			return
+		}
+		re := NewEncoder()
+		switch m.Op {
+		case OpClusterMapReq:
+			re.ClusterMapReq(m.ID)
+		case OpClusterMap:
+			re.ClusterMapResp(m.ID, m.Map, m.Err)
+		}
+		m2, err := DecodeCluster(re.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded cluster message failed to decode: %v", err)
+		}
+		if m2.Op != m.Op || m2.ID != m.ID || m2.Map.Epoch != m.Map.Epoch ||
+			len(m2.Map.Leaders) != len(m.Map.Leaders) || len(m2.Map.Overrides) != len(m.Map.Overrides) {
+			t.Fatalf("re-encoded cluster message changed: %+v vs %+v", m2, m)
+		}
+	})
+}
+
+// FuzzVectorCursor: hostile cursor strings (clients hand these straight
+// back to the read surface) never panic, and valid ones round-trip.
+func FuzzVectorCursor(f *testing.F) {
+	f.Add(VectorCursor{Epoch: 3, Pos: []uint64{1, 2, 3}}.Encode())
+	f.Add("v1.")
+	f.Add("q1.f.0.0.00000000")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := DecodeVectorCursor(s)
+		if err != nil {
+			return
+		}
+		v2, err := DecodeVectorCursor(v.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded vector cursor failed to decode: %v", err)
+		}
+		if v2.Epoch != v.Epoch || len(v2.Pos) != len(v.Pos) {
+			t.Fatalf("vector cursor round trip changed: %+v vs %+v", v2, v)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package wire
+
+// Vector cursors: the resume tokens of merged reads over a partitioned
+// fleet (docs/protocol.md, "Vector cursors"). A coordinator paginating
+// the merged global view holds one position per partition leader; the
+// cursor carries the map epoch it was minted under and that position
+// vector, so a resumed page can detect a reshaped fleet (epoch
+// mismatch) instead of silently merging against the wrong leaders.
+//
+//	vector := uvarint(epoch) uvarint(n) uvarint(pos)*n
+//
+// encoded as "v1." + base64url(raw, unpadded). Pos[i] is the next
+// still-unconsumed sequence number on leader i, in the map's leader
+// order; together with the per-leader total order of sequence numbers
+// this makes merged pagination gap-free and duplicate-free even while
+// appends continue on every leader. The prefix keeps vector cursors
+// disjoint from the single-node engine's "q1." cursors, so a client can
+// hand either kind back to the surface that minted it.
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// vectorPrefix versions the encoding.
+const vectorPrefix = "v1."
+
+// VectorCursor is a merged-read resume point: the map epoch and the
+// next unconsumed sequence number on each leader.
+type VectorCursor struct {
+	Epoch uint64
+	Pos   []uint64
+}
+
+// IsVectorCursor reports whether s looks like an encoded vector cursor
+// — the routing test between the merged executor's cursors and a
+// single-node engine's.
+func IsVectorCursor(s string) bool { return strings.HasPrefix(s, vectorPrefix) }
+
+// Encode renders the cursor as an opaque string. The MaxClusterLeaders
+// bound on fleets keeps the result under MaxCursorLen.
+func (v VectorCursor) Encode() string {
+	raw := make([]byte, 0, 2*binary.MaxVarintLen64+len(v.Pos)*binary.MaxVarintLen64)
+	raw = binary.AppendUvarint(raw, v.Epoch)
+	raw = binary.AppendUvarint(raw, uint64(len(v.Pos)))
+	for _, p := range v.Pos {
+		raw = binary.AppendUvarint(raw, p)
+	}
+	return vectorPrefix + base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// DecodeVectorCursor parses an encoded vector cursor, rejecting
+// anything oversized, truncated, or carrying trailing bytes.
+func DecodeVectorCursor(s string) (VectorCursor, error) {
+	if !IsVectorCursor(s) {
+		return VectorCursor{}, fmt.Errorf("%w: not a vector cursor", ErrBadTag)
+	}
+	if len(s) > MaxCursorLen {
+		return VectorCursor{}, fmt.Errorf("%w: cursor of %d bytes", ErrTooLarge, len(s))
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s[len(vectorPrefix):])
+	if err != nil {
+		return VectorCursor{}, fmt.Errorf("%w: vector cursor: %v", ErrBadTag, err)
+	}
+	var v VectorCursor
+	var n int
+	if v.Epoch, n = binary.Uvarint(raw); n <= 0 {
+		return VectorCursor{}, ErrTruncated
+	}
+	raw = raw[n:]
+	width, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return VectorCursor{}, ErrTruncated
+	}
+	raw = raw[n:]
+	if width > MaxClusterLeaders {
+		return VectorCursor{}, fmt.Errorf("%w: vector cursor over %d leaders", ErrTooLarge, width)
+	}
+	v.Pos = make([]uint64, 0, width)
+	for i := uint64(0); i < width; i++ {
+		p, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return VectorCursor{}, ErrTruncated
+		}
+		raw = raw[n:]
+		v.Pos = append(v.Pos, p)
+	}
+	if len(raw) != 0 {
+		return VectorCursor{}, ErrTrailing
+	}
+	return v, nil
+}
